@@ -1,0 +1,54 @@
+"""Shared benchmark fixtures: one measured corpus, all tables from it.
+
+The corpus scale defaults to 1/50 of the paper's 58,739 apps and can be
+raised with ``DYDROID_BENCH_APPS`` (e.g. ``DYDROID_BENCH_APPS=5874`` for a
+1/10-scale run).  Every bench registers its paper-vs-measured rendering via
+:func:`record_table`; the collected blocks are printed in the terminal
+summary so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+captures the regenerated tables alongside the timings.
+"""
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro.core.config import DyDroidConfig
+from repro.core.pipeline import DyDroid
+from repro.corpus.generator import generate_corpus
+
+BENCH_APPS = int(os.environ.get("DYDROID_BENCH_APPS", "1000"))
+BENCH_SEED = int(os.environ.get("DYDROID_BENCH_SEED", "42"))
+
+from benchmarks.paper_compare import fmt_compare, record_table, rendered_tables  # noqa: F401
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return generate_corpus(BENCH_APPS, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def dydroid():
+    return DyDroid(DyDroidConfig(train_samples_per_family=3))
+
+
+@pytest.fixture(scope="session")
+def report(corpus, dydroid):
+    return dydroid.measure(corpus)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    tables = rendered_tables()
+    if not tables:
+        return
+    terminalreporter.section(
+        "DyDroid reproduction: paper vs measured (corpus = {} apps, seed = {})".format(
+            BENCH_APPS, BENCH_SEED
+        )
+    )
+    for experiment_id in sorted(tables):
+        terminalreporter.write_line("")
+        terminalreporter.write_line("=== {} ===".format(experiment_id))
+        for line in tables[experiment_id].splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,22 @@
+"""Shared paper-vs-measured registry for the benchmark suite.
+
+Lives outside conftest.py so the pytest-plugin instance of the conftest and
+the ``benchmarks.conftest`` import in test modules see one registry.
+"""
+
+from typing import Dict
+
+_RENDERED: Dict[str, str] = {}
+
+
+def record_table(experiment_id: str, text: str) -> None:
+    """Register a rendered paper-vs-measured block for the summary."""
+    _RENDERED[experiment_id] = text
+
+
+def rendered_tables() -> Dict[str, str]:
+    return dict(_RENDERED)
+
+
+def fmt_compare(label: str, paper: str, measured: str) -> str:
+    return "  {:<44} paper: {:<28} measured: {}".format(label, paper, measured)

@@ -1,0 +1,219 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. **Delete/rename blocking** -- without the interception queue's mutual
+   exclusion, ad-library temp payloads vanish from the device after the
+   load (the paper's motivation for hooking java.io.File).
+2. **Stack-trace entity attribution** -- vs the naive "blame the app"
+   baseline, which would call 100% of DCL developer-initiated and miss the
+   paper's headline (>85% third-party).
+3. **ACFG match threshold** -- sweep the DroidNative threshold against
+   degraded variants: high thresholds miss mutated malware, low thresholds
+   start flagging benign payloads.
+4. **Monkey event budget** -- lifecycle-only fuzzing misses the DCL that
+   only fires from UI handlers.
+"""
+
+import pytest
+
+from benchmarks.paper_compare import fmt_compare, record_table
+from repro.corpus.generator import generate_corpus
+from repro.dynamic.engine import AppExecutionEngine, EngineOptions
+from repro.dynamic.provenance import Entity
+from repro.static_analysis.malware import families
+from repro.static_analysis.malware.droidnative import DroidNative
+
+
+def _dcl_records(n=120, seed=77):
+    corpus = generate_corpus(n, seed=seed)
+    return [
+        r for r in corpus
+        if r.blueprint.dex_dcl_reachable or r.blueprint.native_dcl_reachable
+    ]
+
+
+def _run(record, **options):
+    engine = AppExecutionEngine(
+        EngineOptions(
+            remote_resources=record.remote_resources,
+            companions=record.companions,
+            release_time_ms=record.release_time_ms,
+            **options,
+        )
+    )
+    return engine.run(record.apk)
+
+
+def test_ablation_delete_blocking(benchmark):
+    """On-device survival of loaded payload files, blocking on vs off.
+
+    The Google-Ads-like SDK deletes its ``cache/ad*`` payload after the
+    merge; with the java.io.File hooks disabled, those files are gone
+    before any non-synchronous dump could read them.
+    """
+    records = [r for r in _dcl_records() if r.blueprint.uses_google_ads][:10]
+    assert records
+
+    def survival(block):
+        survived = total = 0
+        for record in records:
+            report = _run(record, block_file_ops=block)
+            total += len(report.intercepted)
+            survived += len(report.surviving_paths)
+        return survived, total
+
+    on_survived, on_total = benchmark(survival, True)
+    off_survived, off_total = survival(False)
+
+    lines = [
+        "ablation 1: delete/rename blocking (temp-file ad SDK apps)",
+        fmt_compare(
+            "device-side payloads kept (blocking on)",
+            "100% (paper's design)",
+            "{}/{}".format(on_survived, on_total),
+        ),
+        fmt_compare(
+            "device-side payloads kept (blocking off)",
+            "collapses for temp files",
+            "{}/{}".format(off_survived, off_total),
+        ),
+    ]
+    record_table("Ablation: interception blocking", "\n".join(lines))
+    assert on_total and on_survived == on_total
+    assert off_survived < off_total
+
+
+def test_ablation_entity_attribution(benchmark, report):
+    """Stack-trace call sites vs the 'blame the app' baseline."""
+    apps = [a for a in report.apps if a.dex_intercepted or a.native_intercepted]
+
+    def third_party_share():
+        third = sum(
+            1
+            for a in apps
+            if Entity.THIRD_PARTY in (a.dex_entities() | a.native_entities())
+        )
+        return third / len(apps)
+
+    measured = benchmark(third_party_share)
+    lines = [
+        "ablation 2: entity attribution",
+        fmt_compare("third-party share (stack traces)", "> 85%", "{:.2%}".format(measured)),
+        fmt_compare("third-party share (naive baseline)", "0% (all blamed on app)", "0.00%"),
+    ]
+    record_table("Ablation: entity attribution", "\n".join(lines))
+    assert measured > 0.80
+
+
+@pytest.mark.parametrize("drop_fraction,expected_detected", [(0.0, True), (0.15, False)])
+def test_ablation_acfg_threshold(benchmark, drop_fraction, expected_detected):
+    """At the paper's 90% threshold, mild variants match and heavily
+    mutated ones drop out; a lowered threshold recovers them (at FP risk)."""
+    detector = DroidNative(threshold=0.90)
+    detector.train(families.SWISS_CODE_MONKEYS, families.swiss_code_monkeys_dex(0))
+    sample = families.swiss_code_monkeys_dex(seed=99)
+    if drop_fraction:
+        sample = families.degrade(sample, drop_fraction, seed=1)
+
+    detection = benchmark(detector.detect, sample)
+    assert (detection is not None) == expected_detected
+
+    if not expected_detected:
+        relaxed = DroidNative(threshold=0.5)
+        relaxed.train(families.SWISS_CODE_MONKEYS, families.swiss_code_monkeys_dex(0))
+        assert relaxed.detect(sample) is not None
+        lines = [
+            "ablation 3: ACFG match threshold",
+            fmt_compare("15%-mutated variant @ threshold 0.90", "missed", "missed"),
+            fmt_compare("15%-mutated variant @ threshold 0.50", "caught", "caught"),
+        ]
+        record_table("Ablation: ACFG threshold", "\n".join(lines))
+
+
+def test_ablation_prefilter_reachability(benchmark):
+    """Existence prefilter (the paper's choice) vs a reachability-pruned one.
+
+    Reachability pruning skips dynamic runs on dead-DCL apps, but a static
+    call graph cannot see reflection-driven control flow -- the paper chose
+    existence to never miss a reachable site.  Measured on generated apps
+    (whose DCL call chains are direct), pruning saves the dead-code runs at
+    zero misses; the bench records both numbers.
+    """
+    from repro.corpus.generator import CorpusGenerator
+    from repro.static_analysis.callgraph import prefilter_reachable
+    from repro.static_analysis.decompiler import Decompiler
+    from repro.static_analysis.prefilter import prefilter
+
+    generator = CorpusGenerator(seed=90)
+    blueprints = generator.sample_blueprints(300)
+    records = [
+        generator.build_record(b)
+        for b in blueprints
+        if b.has_dex_dcl_code and not b.anti_decompilation and not b.is_packed
+    ][:60]
+    decompiler = Decompiler()
+
+    def compare():
+        existence = reachable = missed = 0
+        for record in records:
+            program = decompiler.decompile(record.apk)
+            flagged = prefilter(program).has_dex_dcl
+            pruned = prefilter_reachable(program).has_dex_dcl
+            existence += flagged
+            reachable += pruned
+            if record.blueprint.dex_dcl_reachable and not pruned:
+                missed += 1
+        return existence, reachable, missed
+
+    existence, reachable, missed = benchmark(compare)
+    lines = [
+        "ablation 5: prefilter existence vs reachability ({} DCL-code apps)".format(len(records)),
+        fmt_compare("flagged by existence check (paper)", "all DCL-code apps", str(existence)),
+        fmt_compare("flagged by reachability pruning", "fewer (dead code skipped)", str(reachable)),
+        fmt_compare("reachable sites missed by pruning", "0 here; >0 with reflection", str(missed)),
+        fmt_compare("dynamic runs saved", "-", str(existence - reachable)),
+    ]
+    record_table("Ablation: prefilter reachability", "\n".join(lines))
+    assert existence == len(records)
+    assert reachable < existence
+    assert missed == 0
+
+
+def test_ablation_monkey_budget(benchmark):
+    """Lifecycle-only fuzzing misses UI-handler-triggered DCL."""
+    records = _dcl_records(n=300, seed=55)
+    ui_triggered = [r for r in records if r.blueprint.dcl_trigger == "ui"][:8]
+    launch_triggered = [r for r in records if r.blueprint.dcl_trigger == "launch"][:8]
+    assert ui_triggered and launch_triggered
+
+    def intercept_rate(sample, budget):
+        hits = 0
+        for record in sample:
+            report = _run(record, monkey_budget=budget)
+            hits += bool(report.intercepted)
+        return hits / len(sample)
+
+    zero_budget_ui = intercept_rate(ui_triggered, 0)
+    full_budget_ui = benchmark(intercept_rate, ui_triggered, 25)
+    launch_rate = intercept_rate(launch_triggered, 0)
+
+    def mean_coverage(sample, budget):
+        reports = [_run(record, monkey_budget=budget) for record in sample]
+        return sum(r.method_coverage for r in reports) / len(reports)
+
+    coverage_zero = mean_coverage(ui_triggered, 0)
+    coverage_full = mean_coverage(ui_triggered, 25)
+
+    lines = [
+        "ablation 4: monkey event budget (the paper's code-coverage discussion)",
+        fmt_compare("launch-triggered DCL @ budget 0", "caught (ads fire at launch)", "{:.0%}".format(launch_rate)),
+        fmt_compare("UI-triggered DCL @ budget 0", "missed", "{:.0%}".format(zero_budget_ui)),
+        fmt_compare("UI-triggered DCL @ budget 25", "caught", "{:.0%}".format(full_budget_ui)),
+        fmt_compare("mean method coverage @ budget 0 vs 25", "coverage grows with events",
+                    "{:.0%} -> {:.0%}".format(coverage_zero, coverage_full)),
+    ]
+    record_table("Ablation: monkey budget", "\n".join(lines))
+
+    assert launch_rate == 1.0
+    assert zero_budget_ui == 0.0
+    assert full_budget_ui == 1.0
+    assert coverage_full > coverage_zero

@@ -1,0 +1,108 @@
+"""Baseline comparison: DyDroid vs its related work (paper Section VI).
+
+On identical inputs -- apps whose malware arrives through DCL -- the
+reproduction quantifies the paper's qualitative comparisons:
+
+- **RiskRanker-style static analysis** flags DCL presence and can scan
+  locally packaged payloads, but misses code fetched remotely or hidden
+  behind encryption;
+- **Crowdroid-style syscall monitoring** may notice anomalous behaviour but
+  cannot attribute it to loaded code or produce the binary;
+- **DyDroid** intercepts the payload itself and classifies it.
+"""
+
+from benchmarks.paper_compare import fmt_compare, record_table
+from repro.baselines.crowdroid import CrowdroidMonitor, SyscallVector
+from repro.baselines.riskranker import RiskRankerStatic
+from repro.corpus.generator import CorpusGenerator
+from repro.dynamic.engine import AppExecutionEngine, EngineOptions
+from repro.static_analysis.malware.droidnative import DroidNative
+from repro.static_analysis.malware.families import training_corpus
+
+
+def _scenario():
+    """Malware carriers + benign DCL apps from one corpus."""
+    generator = CorpusGenerator(seed=88)
+    blueprints = generator.sample_blueprints(600)
+    carriers = [generator.build_record(b) for b in blueprints if b.malware_family]
+    benign = [
+        generator.build_record(b)
+        for b in blueprints
+        if b.dex_dcl_reachable and not b.malware_family and not b.is_packed
+    ][:12]
+    return carriers, benign
+
+
+def _run(record):
+    return AppExecutionEngine(
+        EngineOptions(
+            remote_resources=record.remote_resources,
+            companions=record.companions,
+            release_time_ms=record.release_time_ms,
+        )
+    ).run(record.apk)
+
+
+def test_baseline_comparison(benchmark):
+    carriers, benign = _scenario()
+    assert carriers
+
+    detector = DroidNative()
+    detector.train_corpus(training_corpus(samples_per_family=3, seed=0))
+    static_baseline = RiskRankerStatic(detector)
+
+    # -- RiskRanker: static-only ------------------------------------------------
+    def static_pass():
+        hits = 0
+        for record in carriers:
+            report = static_baseline.analyze(record.apk)
+            hits += bool(report.detected_malware)
+        return hits
+
+    static_hits = benchmark(static_pass)
+
+    # -- DyDroid: intercept + classify -------------------------------------------
+    dydroid_hits = 0
+    runs = []
+    for record in carriers:
+        report = _run(record)
+        runs.append(report)
+        for payload in report.intercepted:
+            binary = payload.as_dex() or payload.as_native()
+            if binary is not None and detector.detect(binary) is not None:
+                dydroid_hits += 1
+                break
+
+    # -- Crowdroid: anomaly over syscall vectors ----------------------------------
+    monitor = CrowdroidMonitor(threshold_sigmas=2.0)
+    benign_vectors = [SyscallVector.from_report(_run(r)) for r in benign]
+    monitor.fit(benign_vectors)
+    crowd_flags = sum(
+        monitor.is_anomalous(SyscallVector.from_report(r)) for r in runs
+    )
+
+    lines = [
+        "baseline comparison on {} DCL-malware carriers".format(len(carriers)),
+        fmt_compare(
+            "RiskRanker-style static scan",
+            "misses remote/hidden payloads",
+            "{}/{} detected".format(static_hits, len(carriers)),
+        ),
+        fmt_compare(
+            "Crowdroid-style syscall monitor",
+            "coarse, no payload, no attribution",
+            "{}/{} flagged anomalous".format(crowd_flags, len(carriers)),
+        ),
+        fmt_compare(
+            "DyDroid (intercept + DroidNative)",
+            "87/87 carriers in the paper",
+            "{}/{} detected with payload in hand".format(dydroid_hits, len(carriers)),
+        ),
+    ]
+    record_table("Baseline comparison (Section VI)", "\n".join(lines))
+
+    # DyDroid catches every carrier; the static baseline misses the ones
+    # whose payload is packaged locally-but-benign-looking or gated.
+    assert dydroid_hits == len(carriers)
+    assert static_hits <= dydroid_hits
+    assert not CrowdroidMonitor.produces_payload_sample()

@@ -1,0 +1,38 @@
+"""Figure 3: DEX-encryption apps per application category.
+
+Paper: 140 packed apps, with Entertainment, Tools, and Shopping playing
+"a dominant role" (smart-TV remotes, antivirus tools, payment apps).
+Shape: those three categories hold the plurality of packed apps.
+"""
+
+from benchmarks.paper_compare import fmt_compare, record_table
+from repro.corpus.profiles import FIG3_CATEGORY_WEIGHTS
+
+DOMINANT = ("Entertainment", "Tools", "Shopping")
+
+
+def test_fig03_dex_encryption_categories(benchmark, report):
+    counts = benchmark(report.dex_encryption_by_category)
+
+    total = sum(counts.values())
+    dominant_share = sum(counts.get(category, 0) for category in DOMINANT) / total
+    lines = [
+        report.render_fig3(),
+        "",
+        "shape check vs paper:",
+        fmt_compare(
+            "Entertainment+Tools+Shopping share",
+            "dominant (~{:.0%} of 140)".format(sum(FIG3_CATEGORY_WEIGHTS[c] for c in DOMINANT)),
+            "{:.0%} of {}".format(dominant_share, total),
+        ),
+    ]
+    record_table("Figure 3 (DEX encryption by category)", "\n".join(lines))
+
+    assert total >= 1
+    # every packed app lands in a Figure 3 category...
+    assert set(counts) <= set(FIG3_CATEGORY_WEIGHTS)
+    # ...and at larger scales the three dominant categories lead.
+    if total >= 10:
+        assert dominant_share >= 0.4
+        top = max(counts, key=counts.get)
+        assert top in DOMINANT

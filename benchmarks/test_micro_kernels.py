@@ -1,0 +1,97 @@
+"""Micro-benchmarks of the hot kernels underlying every experiment.
+
+These pin the cost of the primitives so table-level regressions can be
+bisected: DEX (de)serialization, WL-hash signatures, smali round-trips,
+interpreter throughput, and taint-graph reachability.
+"""
+
+import random
+
+from repro.android.builders import MethodBuilder, class_builder
+from repro.android.bytecode import Cmp
+from repro.android.dex import DexFile
+from repro.runtime.device import Device
+from repro.runtime.instrumentation import FlowNode, Instrumentation
+from repro.runtime.vm import DalvikVM
+from repro.dynamic.download_tracker import DownloadTracker
+from repro.static_analysis.malware.acfg import binary_signatures
+from repro.static_analysis.malware.families import swiss_code_monkeys_dex
+from repro.static_analysis.smali_asm import assemble, disassemble
+
+
+def test_dex_serialization_kernel(benchmark):
+    dex = swiss_code_monkeys_dex(0)
+    data = dex.to_bytes()
+
+    def roundtrip():
+        return DexFile.from_bytes(data).to_bytes()
+
+    assert benchmark(roundtrip) == data
+
+
+def test_acfg_signature_kernel(benchmark):
+    dex = swiss_code_monkeys_dex(0)
+    signatures = benchmark(binary_signatures, dex)
+    assert len(signatures) == len(list(dex.iter_methods()))
+
+
+def test_smali_roundtrip_kernel(benchmark):
+    dex = swiss_code_monkeys_dex(0)
+    text = disassemble(dex)
+
+    def roundtrip():
+        return assemble(text)
+
+    assert benchmark(roundtrip).to_bytes() == dex.to_bytes()
+
+
+def test_interpreter_throughput(benchmark):
+    """Instructions/second on a tight arithmetic loop (10k iterations)."""
+    cls = class_builder("bench.Loop")
+    b = MethodBuilder("spin", "bench.Loop", is_static=True)
+    i = b.new_int(0)
+    total = b.new_int(0)
+    limit = b.new_int(10_000)
+    one = b.new_int(1)
+    b.label("head")
+    b.if_cmp(Cmp.GE, i, limit, "done")
+    from repro.android import bytecode as bc
+
+    b.emit(bc.binop("add", total, total, i))
+    b.emit(bc.binop("add", i, i, one))
+    b.goto("head")
+    b.label("done")
+    b.ret(total)
+    cls.add_method(b.build())
+
+    vm = DalvikVM(Device(), Instrumentation(), instruction_budget=10_000_000)
+    vm.load_dex(DexFile(classes=[cls]))
+
+    result = benchmark(vm.run_entry, "bench.Loop", "spin", [])
+    assert result == sum(range(10_000))
+
+
+def test_flow_graph_reachability_kernel(benchmark):
+    """is_remote() over a 2,000-edge flow graph."""
+    rng = random.Random(0)
+    tracker = DownloadTracker()
+    instrumentation = Instrumentation(block_file_ops=False)
+    tracker.attach(instrumentation)
+
+    url = FlowNode(key="URL@1", kind="URL", detail="http://src.example/a")
+    previous = url
+    for index in range(1_000):
+        node = FlowNode(key="S@{}".format(index), kind="InputStream")
+        instrumentation.emit_flow(previous, node, "InputStream->InputStream")
+        previous = node
+        # noise edges off the chain
+        instrumentation.emit_flow(
+            FlowNode(key="N@{}".format(index), kind="Buffer"),
+            FlowNode(key="M@{}".format(index), kind="OutputStream"),
+            "Buffer->OutputStream",
+        )
+    target = FlowNode(key="file:/data/final.jar", kind="File", detail="/data/final.jar")
+    instrumentation.emit_flow(previous, target, "OutputStream->File")
+
+    assert benchmark(tracker.is_remote, "/data/final.jar")
+    assert not tracker.is_remote("/data/other.jar")

@@ -1,0 +1,39 @@
+"""Table IV: responsible entity of DCL.
+
+Paper: DEX -- 3rd-party 99.92%, own 0.30%, both 0.22% (of 16,768 apps);
+Native -- 3rd-party 86.08%, own 16.58%, both 2.66% (of 13,748 apps).
+Shape: third-party dominates both sides; native has an order of magnitude
+more own-code loading than DEX.
+"""
+
+from benchmarks.paper_compare import fmt_compare, record_table
+
+PAPER = {
+    "dex": {"third": 0.9992, "own": 0.0030, "both": 0.0022},
+    "native": {"third": 0.8608, "own": 0.1658, "both": 0.0266},
+}
+
+
+def test_table04_entity(benchmark, report):
+    table = benchmark(report.entity_table)
+
+    lines = [report.render_entity_table(), "", "shape check vs paper:"]
+    for side in ("dex", "native"):
+        total = table[side]["apps"]
+        for bucket in ("third", "own", "both"):
+            lines.append(
+                fmt_compare(
+                    "{} {}".format(side.upper(), bucket),
+                    "{:.2%}".format(PAPER[side][bucket]),
+                    "{:.2%}".format(table[side][bucket] / total if total else 0.0),
+                )
+            )
+    record_table("Table IV (responsible entity)", "\n".join(lines))
+
+    dex, native = table["dex"], table["native"]
+    assert dex["third"] / dex["apps"] > 0.95           # paper: 99.92%
+    assert dex["own"] / dex["apps"] < 0.05
+    assert native["third"] / native["apps"] > 0.70     # paper: 86.08%
+    assert 0.05 < native["own"] / native["apps"] < 0.35
+    # own-code loading is far more common for native than for DEX.
+    assert native["own"] / native["apps"] > dex["own"] / dex["apps"]

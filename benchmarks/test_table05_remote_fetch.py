@@ -1,0 +1,54 @@
+"""Table V: apps executing remotely fetched binaries.
+
+Paper: 27 of 58,739 apps (all via Baidu advertisement libraries, e.g. two
+files in JAR and APK formats from http://mobads.baidu.com/ads/pa/).  Shape:
+a tiny population, every case attributed to the Baidu ad SDK's domain, and
+detected through the download tracker's URL -> File flow graph.
+"""
+
+from benchmarks.conftest import BENCH_APPS
+from benchmarks.paper_compare import fmt_compare, record_table
+
+PAPER_COUNT = 27
+PAPER_TOTAL = 58_739
+
+
+def test_table05_remote_fetch(benchmark, report):
+    rows = benchmark(report.remote_fetch_apps)
+
+    expected_scaled = max(1, round(PAPER_COUNT * BENCH_APPS / PAPER_TOTAL))
+    lines = [
+        report.render_remote_fetch(),
+        "",
+        "shape check vs paper:",
+        fmt_compare(
+            "apps loading remote code",
+            "{} / {}".format(PAPER_COUNT, PAPER_TOTAL),
+            "{} / {} (planted target {})".format(len(rows), BENCH_APPS, expected_scaled),
+        ),
+    ]
+    record_table("Table V (remote fetch)", "\n".join(lines))
+
+    assert len(rows) == expected_scaled
+    for package, urls in rows:
+        assert urls, package
+        assert all(url.startswith("http://mobads.baidu.com/ads/pa/") for url in urls)
+        # the paper's observed pattern: both a JAR and an APK are fetched.
+        assert any(url.endswith(".jar") for url in urls)
+        assert any(url.endswith(".apk") for url in urls)
+
+
+def test_download_tracker_flow_chain(benchmark, report):
+    """The Table I rule chain URL->InputStream->Buffer->OutputStream->File
+    is the witness for every remote verdict."""
+    remote_apps = [a for a in report.apps if a.remote_payloads()]
+    assert remote_apps
+    app = remote_apps[0]
+    payload = app.remote_payloads()[0]
+    tracker = app.dynamic.tracker
+
+    def witness():
+        return tracker.flow_path(payload.remote_sources[0], payload.path)
+
+    chain = benchmark(witness)
+    assert chain[0] == "URL" and chain[-1] == "File"

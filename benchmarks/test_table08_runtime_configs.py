@@ -1,0 +1,43 @@
+"""Table VIII: malicious code loaded under runtime-environment configs.
+
+Paper (over 91 malicious files): system time before release 72 (79.12%),
+airplane+WiFi-on 56 (61.54%), airplane+WiFi-off 53 (58.24%),
+location off 70 (76.92%).  Shape: every configuration suppresses *some*
+loads (all < 100%), WiFi-on never loads fewer than WiFi-off, and a
+noticeable fraction of files is time-gated (the Bouncer-evasion trick).
+"""
+
+from benchmarks.paper_compare import fmt_compare, record_table
+
+PAPER = {
+    "system-time-before-release": 0.7912,
+    "airplane-wifi-on": 0.6154,
+    "airplane-wifi-off": 0.5824,
+    "location-off": 0.7692,
+}
+
+
+def test_table08_runtime_configs(benchmark, report):
+    table = benchmark(report.runtime_config_table)
+
+    lines = [report.render_runtime_config_table(), "", "shape check vs paper:"]
+    for config, paper_rate in PAPER.items():
+        bucket = table[config]
+        measured = bucket["loaded"] / bucket["total"] if bucket["total"] else 0.0
+        lines.append(
+            fmt_compare(config, "{:.2%}".format(paper_rate), "{:.2%}".format(measured))
+        )
+    record_table("Table VIII (runtime configurations)", "\n".join(lines))
+
+    assert set(table) == set(PAPER)
+    total = report.malicious_file_count()
+    assert total >= 1
+    for config, bucket in table.items():
+        assert bucket["total"] == total
+        assert bucket["loaded"] <= total
+    # re-enabled WiFi can only help connectivity-gated loaders.
+    assert table["airplane-wifi-on"]["loaded"] >= table["airplane-wifi-off"]["loaded"]
+    if total >= 20:  # rates are meaningful only with enough planted files
+        for config, paper_rate in PAPER.items():
+            measured = table[config]["loaded"] / total
+            assert abs(measured - paper_rate) < 0.25, (config, measured)

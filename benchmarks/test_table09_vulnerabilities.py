@@ -1,0 +1,86 @@
+"""Table IX: apps vulnerable to code injection through risky DCL.
+
+Paper: 14 apps -- 7 loading DEX from pre-KitKat external storage (e.g.
+com.longtukorea.snmg caching a JAR under /mnt/sdcard/im_sdk/jar/) and 7
+loading native code from other apps' internal storage (6 of them trusting
+com.adobe.air's libCore.so).  Shape: both variants present, external-DEX
+cases confirmed as supporting OS < 4.4, other-app cases naming the trusted
+companion package.
+"""
+
+from benchmarks.conftest import BENCH_APPS
+from benchmarks.paper_compare import fmt_compare, record_table
+
+PAPER_TOTAL = 58_739
+PAPER_DEX_EXTERNAL = 7
+PAPER_NATIVE_OTHER = 7
+
+
+def test_table09_vulnerabilities(benchmark, report, corpus):
+    table = benchmark(report.vulnerability_table)
+
+    dex_external = table.get(("dex", "external-storage"), [])
+    native_other = table.get(("native", "other-app-internal-storage"), [])
+    expected_dex = max(1, round(PAPER_DEX_EXTERNAL * BENCH_APPS / PAPER_TOTAL))
+    expected_native = max(1, round(PAPER_NATIVE_OTHER * BENCH_APPS / PAPER_TOTAL))
+
+    lines = [
+        report.render_vulnerability_table(),
+        "",
+        "shape check vs paper:",
+        fmt_compare(
+            "DEX / external storage (<4.4)",
+            "{} apps".format(PAPER_DEX_EXTERNAL),
+            "{} apps (planted target {})".format(len(dex_external), expected_dex),
+        ),
+        fmt_compare(
+            "Native / other apps' internal storage",
+            "{} apps".format(PAPER_NATIVE_OTHER),
+            "{} apps (planted target {})".format(len(native_other), expected_native),
+        ),
+    ]
+    record_table("Table IX (code-injection vulnerabilities)", "\n".join(lines))
+
+    assert len(dex_external) == expected_dex
+    assert len(native_other) == expected_native
+
+    by_package = {record.package: record for record in corpus}
+    for package, _ in dex_external:
+        record = by_package[package]
+        # verified as supporting OS versions lower than 4.4 (paper note).
+        assert record.apk.manifest.supports_pre_kitkat()
+    for package, _ in native_other:
+        record = by_package[package]
+        assert record.blueprint.vuln_other_app in (
+            "com.adobe.air", "com.devicescape.offloader",
+        )
+
+    # no false positives: findings only on planted apps.
+    planted = {r.package for r in corpus if r.blueprint.vuln_kind}
+    found = {pkg for rows in table.values() for pkg, _ in rows}
+    assert found == planted
+
+
+def test_vulnerability_classifier_kernel(benchmark, corpus):
+    """Microbenchmark: full risky-load classification for one app."""
+    from repro.static_analysis.vulnerability import classify_loads
+    from repro.runtime.instrumentation import DexLoadEvent
+
+    record = next(r for r in corpus if r.blueprint.vuln_kind == "dex-external")
+    manifest = record.apk.manifest
+    events = [
+        DexLoadEvent(
+            dex_paths=("/mnt/sdcard/im_sdk/jar/cached.jar", "/data/data/{}/files/ok.jar".format(record.package)),
+            odex_dir=None,
+            loader_kind="DexClassLoader",
+            call_site=None,
+            stack=(),
+            app_package=record.package,
+            timestamp_ms=0,
+        )
+    ]
+
+    findings = benchmark(
+        classify_loads, record.package, manifest, events
+    )
+    assert len(findings) == 1

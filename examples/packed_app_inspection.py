@@ -1,0 +1,87 @@
+"""Inspecting a DEX-encryption hardened ("packed") application.
+
+Hardening services (Bangcle, Ijiami, 360, Alibaba) rewrite an app so that:
+
+- the real bytecode ships as an *encrypted* asset;
+- an injected Application subclass (the container, declared via
+  ``android:name``) runs first, loads a native decryptor over the JNI,
+  drops the decrypted DEX, and loads it with a class loader.
+
+This script builds such an app and walks DyDroid's three views of it:
+
+1. **static tooling is blind** -- baksmali sees only the container; the
+   declared activity has no bytecode; the payload asset is unparseable;
+2. **the obfuscation rules fire** -- all three packing conditions hold;
+3. **dynamic interception recovers the code** -- the container's load event
+   is hooked, and the intercepted file *is* the decrypted original
+   (DexHunter/AppSpear-style recovery for free).
+
+Run:  python examples/packed_app_inspection.py
+"""
+
+from repro.android.dex import DexFile, DexFormatError
+from repro.corpus.generator import CorpusGenerator
+from repro.dynamic.engine import AppExecutionEngine, EngineOptions
+from repro.static_analysis.decompiler import Decompiler
+from repro.static_analysis.obfuscation.detector import detect_dex_encryption
+
+
+def main() -> None:
+    # Pull a packed app out of the corpus generator (the same construction
+    # the Figure 3 measurement uses).
+    generator = CorpusGenerator(seed=400)
+    blueprints = generator.sample_blueprints(600)
+    packed = next(b for b in blueprints if b.is_packed)
+    record = generator.build_record(packed)
+    apk = record.apk
+    manifest = apk.manifest
+
+    print("package:           ", manifest.package)
+    print("category:          ", packed.category)
+    print("container class:   ", manifest.application_name)
+    print("declared activity: ", manifest.launcher_activity().name)
+    print()
+
+    print("== 1. What static tooling sees ==")
+    program = Decompiler().decompile(apk)
+    print("   classes recovered by the decompiler:", sorted(program.class_names()))
+    missing = manifest.component_names() - program.class_names()
+    print("   declared components with NO bytecode:", sorted(missing))
+    asset_path, asset_bytes = apk.packed_payload_entries()[0]
+    print("   suspicious asset:", asset_path, "({} bytes)".format(len(asset_bytes)))
+    try:
+        DexFile.from_bytes(asset_bytes)
+        raise AssertionError("should not parse")
+    except DexFormatError as exc:
+        print("   parsing it as DEX fails:", exc)
+    print()
+
+    print("== 2. The paper's three packing rules ==")
+    container = program.class_named(manifest.application_name)
+    print("   rule 1: container exists and instantiates a class loader ->", container is not None)
+    print("   rule 2: components missing + local bytecode store           -> True")
+    print("   rule 3: container loads the native decryptor over JNI       -> True")
+    print("   detector verdict: dex_encryption =", detect_dex_encryption(program))
+    assert detect_dex_encryption(program)
+    print()
+
+    print("== 3. Dynamic interception recovers the hidden code ==")
+    engine = AppExecutionEngine(
+        EngineOptions(remote_resources=record.remote_resources)
+    )
+    report = engine.run(apk)
+    print("   outcome:", report.outcome.value)
+    print("   native loads (the decryptor):", report.dcl.native_paths())
+    print("   dex loads (the dropped plaintext):", report.dcl.dex_paths())
+    recovered = next(p for p in report.intercepted if p.as_dex() is not None)
+    dex = recovered.as_dex()
+    print("   recovered classes:", [cls.name for cls in dex.classes])
+    print("   logcat:", report.logcat)
+    assert manifest.launcher_activity().name in {cls.name for cls in dex.classes}
+    print()
+    print("The intercepted file is the original app the packer was hiding --")
+    print("interception at the class-loader choke point defeats DEX encryption.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: measure a synthetic app market with DyDroid.
+
+Generates a 600-app corpus shaped like the paper's Google Play crawl, runs
+the full hybrid pipeline (decompile -> prefilter -> dynamic analysis ->
+static analysis of intercepted code), and prints every table of the
+evaluation section.
+
+Run:  python examples/quickstart.py [n_apps] [seed]
+"""
+
+import sys
+import time
+
+from repro import DyDroid, generate_corpus
+from repro.core.config import DyDroidConfig
+
+
+def main() -> None:
+    n_apps = int(sys.argv[1]) if len(sys.argv) > 1 else 600
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+
+    print("generating a {}-app market (seed {})...".format(n_apps, seed))
+    started = time.time()
+    corpus = generate_corpus(n_apps, seed=seed)
+    print("  done in {:.1f}s".format(time.time() - started))
+
+    print("training DroidNative and measuring...")
+    started = time.time()
+    dydroid = DyDroid(DyDroidConfig(train_samples_per_family=3))
+    report = dydroid.measure(corpus)
+    print("  done in {:.1f}s".format(time.time() - started))
+    print()
+    print(report.render_all())
+
+    print()
+    print("-" * 70)
+    candidates = len(report.dex_candidates()) + len(report.native_candidates())
+    print(
+        "{} apps analyzed; {} DCL candidates entered dynamic analysis; "
+        "{} apps loaded code at runtime.".format(
+            report.n_total,
+            candidates,
+            sum(1 for a in report.apps if a.dex_intercepted or a.native_intercepted),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e .` works on environments without the
+`wheel` package (PEP 660 editable installs need bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

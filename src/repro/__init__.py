@@ -1,0 +1,52 @@
+"""DyDroid reproduction: measuring dynamic code loading (DCL) in Android apps.
+
+This library reproduces the DSN 2017 paper *DyDroid: Measuring Dynamic Code
+Loading and Its Security Implications in Android Applications* as a
+self-contained Python system:
+
+- :mod:`repro.android` -- application artifacts (APK, mini-DEX, native libs);
+- :mod:`repro.runtime` -- the simulated device and Dalvik-style VM with
+  instrumentation at the paper's hook points;
+- :mod:`repro.dynamic` -- the App Execution Engine (Monkey fuzzing, DCL
+  logging, code interception, download tracking, provenance);
+- :mod:`repro.static_analysis` -- decompiler/prefilter/rewriter, DroidNative
+  malware detection, FlowDroid-style privacy analysis, obfuscation and
+  vulnerability analysis;
+- :mod:`repro.corpus` -- the synthetic app-market generator used in place of
+  the paper's 58,739 Google Play APKs;
+- :mod:`repro.core` -- the DyDroid pipeline and measurement reports.
+
+Quickstart::
+
+    from repro import DyDroid, generate_corpus
+
+    corpus = generate_corpus(n_apps=200, seed=7)
+    report = DyDroid().measure(corpus)
+    print(report.dynamic_summary())
+"""
+
+__version__ = "1.0.0"
+
+_LAZY_EXPORTS = {
+    "DyDroid": ("repro.core.pipeline", "DyDroid"),
+    "DyDroidConfig": ("repro.core.config", "DyDroidConfig"),
+    "MeasurementReport": ("repro.core.report", "MeasurementReport"),
+    "generate_corpus": ("repro.corpus.generator", "generate_corpus"),
+    "CorpusProfile": ("repro.corpus.profiles", "CorpusProfile"),
+}
+
+__all__ = sorted(_LAZY_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name):
+    """Lazy top-level exports keep `import repro.android` cheap."""
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError("module 'repro' has no attribute {!r}".format(name))
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

@@ -1,0 +1,54 @@
+"""Android application artifact model.
+
+This package defines the on-disk artifact formats of the simulated Android
+ecosystem that DyDroid analyzes:
+
+- :mod:`repro.android.bytecode` -- the mini-DEX register instruction set
+  shared by the Dalvik-style VM and every static analysis.
+- :mod:`repro.android.dex` -- DEX files (collections of classes), their
+  byte-level serialization, ODEX optimization, and XOR packing ("DEX
+  encryption") used by app-hardening vendors.
+- :mod:`repro.android.nativelib` -- pseudo-native ``.so`` libraries with a
+  block-structured pseudo-ISA that DroidNative can lift to MAIL.
+- :mod:`repro.android.manifest` -- the AndroidManifest model (package name,
+  components, permissions, sdk versions, ``android:name`` application class).
+- :mod:`repro.android.apk` -- the installation package bundling manifest,
+  DEX files, native libraries, assets, and resources.
+- :mod:`repro.android.builders` -- fluent construction helpers for bytecode.
+"""
+
+from repro.android.apk import Apk, ApkEntry
+from repro.android.bytecode import (
+    Cmp,
+    FieldRef,
+    Instruction,
+    MethodRef,
+    Op,
+)
+from repro.android.dex import DexClass, DexField, DexFile, DexMethod
+from repro.android.manifest import AndroidManifest, Component, ComponentKind
+from repro.android.nativelib import NativeBlock, NativeInsn, NativeLibrary, NativeOp
+from repro.android.builders import MethodBuilder, class_builder
+
+__all__ = [
+    "AndroidManifest",
+    "Apk",
+    "ApkEntry",
+    "Cmp",
+    "Component",
+    "ComponentKind",
+    "DexClass",
+    "DexField",
+    "DexFile",
+    "DexMethod",
+    "FieldRef",
+    "Instruction",
+    "MethodBuilder",
+    "MethodRef",
+    "NativeBlock",
+    "NativeInsn",
+    "NativeLibrary",
+    "NativeOp",
+    "Op",
+    "class_builder",
+]

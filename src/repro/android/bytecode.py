@@ -1,0 +1,208 @@
+"""The mini-DEX instruction set.
+
+Real Android apps compile Java to Dalvik bytecode, a register machine.  This
+module defines a faithful miniature of that ISA: enough register ops, control
+flow, field access, and method invocation for (a) a Dalvik-style interpreter
+to execute applications against the simulated framework, and (b) the static
+analyses (prefilter, FlowDroid-style taint tracking, MAIL lifting, lexical
+scanning) to operate on exactly the code the VM runs.
+
+Every instruction is a :class:`Instruction` with an :class:`Op` opcode and a
+small tuple of operands.  Method and field references are symbolic
+(:class:`MethodRef` / :class:`FieldRef`), mirroring how DEX refers to
+methods by (class, name, proto) triples.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+
+class Op(enum.Enum):
+    """Opcodes of the mini-DEX instruction set."""
+
+    NOP = "nop"
+    CONST = "const"                  # CONST dst, literal(int|str|None)
+    MOVE = "move"                    # MOVE dst, src
+    NEW_INSTANCE = "new-instance"    # NEW_INSTANCE dst, class_name
+    NEW_ARRAY = "new-array"          # NEW_ARRAY dst, size_reg
+    INVOKE = "invoke"                # INVOKE method_ref, (arg regs...)
+    MOVE_RESULT = "move-result"      # MOVE_RESULT dst
+    IGET = "iget"                    # IGET dst, obj, field_ref
+    IPUT = "iput"                    # IPUT src, obj, field_ref
+    SGET = "sget"                    # SGET dst, field_ref
+    SPUT = "sput"                    # SPUT src, field_ref
+    AGET = "aget"                    # AGET dst, array, index_reg
+    APUT = "aput"                    # APUT src, array, index_reg
+    IF = "if"                        # IF cmp, a, b, label
+    GOTO = "goto"                    # GOTO label
+    RETURN = "return"                # RETURN src
+    RETURN_VOID = "return-void"
+    THROW = "throw"                  # THROW src
+    BINOP = "binop"                  # BINOP op_name, dst, a, b
+    LABEL = "label"                  # pseudo-instruction marking a jump target
+    TRY_START = "try-start"          # TRY_START handler_label [exception_class]
+    TRY_END = "try-end"              # pop the innermost handler
+    MOVE_EXCEPTION = "move-exception"  # dst := the caught exception object
+
+
+class Cmp(enum.Enum):
+    """Comparison kinds for :attr:`Op.IF`."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    EQZ = "eqz"
+    NEZ = "nez"
+
+
+@dataclass(frozen=True)
+class MethodRef:
+    """Symbolic reference to a method, as stored in a DEX method table."""
+
+    class_name: str
+    name: str
+    arity: int = 0
+
+    def __str__(self) -> str:
+        return "{}.{}/{}".format(self.class_name, self.name, self.arity)
+
+    @property
+    def package(self) -> str:
+        """The Java package of the declaring class."""
+        head, _, _ = self.class_name.rpartition(".")
+        return head
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """Symbolic reference to a field."""
+
+    class_name: str
+    name: str
+
+    def __str__(self) -> str:
+        return "{}.{}".format(self.class_name, self.name)
+
+
+Operand = Union[int, str, None, Cmp, MethodRef, FieldRef, Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One mini-DEX instruction.
+
+    ``args`` layout by opcode is documented on :class:`Op`.  Instances are
+    immutable so instruction lists can be shared between the VM and static
+    analyses without defensive copying.
+    """
+
+    op: Op
+    args: Tuple[Operand, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(a) for a in self.args)
+        return "{} {}".format(self.op.value, rendered).strip()
+
+    # -- convenience predicates used by the static analyses -----------------
+
+    @property
+    def is_invoke(self) -> bool:
+        return self.op is Op.INVOKE
+
+    @property
+    def invoked(self) -> Optional[MethodRef]:
+        """The invoked method, or None when this is not an invoke."""
+        if self.op is Op.INVOKE:
+            return self.args[0]  # type: ignore[return-value]
+        return None
+
+    @property
+    def is_terminator(self) -> bool:
+        """True for instructions ending a basic block."""
+        return self.op in (Op.RETURN, Op.RETURN_VOID, Op.THROW, Op.GOTO, Op.IF)
+
+
+# -- instruction constructors ------------------------------------------------
+# These keep call sites terse and protect operand layouts in one place.
+
+
+def const(dst: int, literal: Union[int, str, None]) -> Instruction:
+    return Instruction(Op.CONST, (dst, literal))
+
+
+def move(dst: int, src: int) -> Instruction:
+    return Instruction(Op.MOVE, (dst, src))
+
+
+def new_instance(dst: int, class_name: str) -> Instruction:
+    return Instruction(Op.NEW_INSTANCE, (dst, class_name))
+
+
+def invoke(ref: MethodRef, *arg_regs: int) -> Instruction:
+    return Instruction(Op.INVOKE, (ref, tuple(arg_regs)))
+
+
+def move_result(dst: int) -> Instruction:
+    return Instruction(Op.MOVE_RESULT, (dst,))
+
+
+def iget(dst: int, obj: int, ref: FieldRef) -> Instruction:
+    return Instruction(Op.IGET, (dst, obj, ref))
+
+
+def iput(src: int, obj: int, ref: FieldRef) -> Instruction:
+    return Instruction(Op.IPUT, (src, obj, ref))
+
+
+def sget(dst: int, ref: FieldRef) -> Instruction:
+    return Instruction(Op.SGET, (dst, ref))
+
+
+def sput(src: int, ref: FieldRef) -> Instruction:
+    return Instruction(Op.SPUT, (src, ref))
+
+
+def if_cmp(cmp: Cmp, a: int, b: Optional[int], label: str) -> Instruction:
+    return Instruction(Op.IF, (cmp, a, b, label))
+
+
+def goto(label: str) -> Instruction:
+    return Instruction(Op.GOTO, (label,))
+
+
+def label(name: str) -> Instruction:
+    return Instruction(Op.LABEL, (name,))
+
+
+def ret(src: int) -> Instruction:
+    return Instruction(Op.RETURN, (src,))
+
+
+def ret_void() -> Instruction:
+    return Instruction(Op.RETURN_VOID)
+
+
+def throw(src: int) -> Instruction:
+    return Instruction(Op.THROW, (src,))
+
+
+def binop(name: str, dst: int, a: int, b: int) -> Instruction:
+    return Instruction(Op.BINOP, (name, dst, a, b))
+
+
+def try_start(handler_label: str, exception_class: str = "java.lang.Throwable") -> Instruction:
+    return Instruction(Op.TRY_START, (handler_label, exception_class))
+
+
+def try_end() -> Instruction:
+    return Instruction(Op.TRY_END)
+
+
+def move_exception(dst: int) -> Instruction:
+    return Instruction(Op.MOVE_EXCEPTION, (dst,))

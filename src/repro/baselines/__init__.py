@@ -1,0 +1,30 @@
+"""Baseline systems the paper compares against (Section VI).
+
+Implemented so the benches can contrast DyDroid's hybrid design with its
+related work on the same inputs:
+
+- :mod:`repro.baselines.riskranker` -- RiskRanker-style *static* DCL
+  analysis: flags risky apps from the decompiled IR and can analyze locally
+  packaged payloads, but "is not able to analyze code loaded from sources
+  other than local package, e.g. remote fetch";
+- :mod:`repro.baselines.crowdroid` -- Crowdroid-style low-level syscall
+  monitoring: sees coarse runtime behaviour but "cannot differentiate the
+  bytecode in the original application with that additionally loaded" and
+  never produces the loaded binary for offline analysis;
+- :mod:`repro.baselines.virustotal` -- a multi-engine signature scanner:
+  exact hashes + string signatures of known samples, which fresh DCL
+  variants evade (the paper's VirusTotal submission experiment).
+"""
+
+from repro.baselines.crowdroid import CrowdroidMonitor, SyscallVector
+from repro.baselines.riskranker import RiskRankerStatic, StaticRiskReport
+from repro.baselines.virustotal import ScanResult, VirusTotalScanner
+
+__all__ = [
+    "CrowdroidMonitor",
+    "RiskRankerStatic",
+    "ScanResult",
+    "StaticRiskReport",
+    "SyscallVector",
+    "VirusTotalScanner",
+]

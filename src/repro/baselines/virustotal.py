@@ -1,0 +1,114 @@
+"""A VirusTotal-style multi-engine signature scanner (baseline).
+
+The paper submitted the malicious samples it intercepted to VirusTotal
+"(a service that integrates various antivirus products) for scanning and it
+failed to detect them" -- because AV engines match signatures of *known*
+binaries while DCL delivers fresh variants.
+
+The reproduction models an ensemble of signature engines over a database of
+previously seen samples:
+
+- **hash engines** match exact payload digests;
+- **pattern engines** match byte substrings extracted from known samples
+  (classic AV string signatures).
+
+Variants produced by our family generators differ in literals and
+identifiers, so both engine classes miss them -- while DroidNative's
+structural ACFG matching catches them.  That contrast is the measurement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.android.dex import DexFile
+from repro.android.nativelib import NativeLibrary
+
+Binary = Union[DexFile, NativeLibrary]
+
+
+def _binary_bytes(binary: Binary) -> bytes:
+    return binary.to_bytes()
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """One ensemble verdict: which engines flagged the sample."""
+
+    sha256: str
+    detections: Tuple[str, ...]   # engine names that matched
+
+    @property
+    def is_detected(self) -> bool:
+        return bool(self.detections)
+
+    @property
+    def detection_ratio(self) -> str:
+        return "{}/{}".format(len(self.detections), VirusTotalScanner.N_ENGINES)
+
+
+class VirusTotalScanner:
+    """An ensemble of hash- and string-signature engines."""
+
+    #: the ensemble size reported in detection ratios (engines share the
+    #: two signature databases; ratios mimic the service's output format).
+    N_ENGINES = 8
+
+    def __init__(self, signature_length: int = 48) -> None:
+        self.signature_length = signature_length
+        self._known_hashes: Dict[str, str] = {}
+        self._string_signatures: Dict[bytes, str] = {}
+
+    # -- database maintenance ----------------------------------------------------
+
+    def submit_known_sample(self, label: str, binary: Binary) -> None:
+        """Add one confirmed-malicious sample to the engine databases."""
+        data = _binary_bytes(binary)
+        digest = hashlib.sha256(data).hexdigest()
+        self._known_hashes[digest] = label
+        signature = self._extract_signature(data)
+        if signature is not None:
+            self._string_signatures[signature] = label
+
+    def _extract_signature(self, data: bytes) -> Optional[bytes]:
+        """A distinguishing substring of the sample (string signature).
+
+        AV string signatures anchor on sample-specific artifacts -- C2
+        endpoints, embedded keys -- not on boilerplate every binary of the
+        format shares.  We anchor on the sample's first embedded URL; a
+        variant pointing at a different C2 therefore evades the signature,
+        exactly the weakness the paper's experiment demonstrates.
+        """
+        anchor = data.find(b"http://")
+        if anchor == -1:
+            anchor = data.find(b"https://")
+        if anchor == -1:
+            return None
+        return data[anchor: anchor + self.signature_length]
+
+    @property
+    def database_size(self) -> int:
+        return len(self._known_hashes)
+
+    # -- scanning ------------------------------------------------------------------
+
+    def scan(self, binary: Binary) -> ScanResult:
+        data = _binary_bytes(binary)
+        digest = hashlib.sha256(data).hexdigest()
+        detections: List[str] = []
+        if digest in self._known_hashes:
+            detections.extend(
+                "hash-engine-{}".format(i) for i in range(self.N_ENGINES // 2)
+            )
+        for signature, label in self._string_signatures.items():
+            if signature in data:
+                detections.extend(
+                    "pattern-engine-{}".format(i) for i in range(self.N_ENGINES // 2)
+                )
+                break
+        return ScanResult(sha256=digest, detections=tuple(detections))
+
+    def scan_all(self, binaries: Sequence[Binary]) -> List[ScanResult]:
+        return [self.scan(binary) for binary in binaries]

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>`` (or ``dydroid``).
+
+Commands:
+
+- ``measure``  -- generate a market, run the full pipeline, print tables;
+- ``corpus``   -- generate blueprints only and print ground-truth statistics;
+- ``analyze``  -- deep-dive one generated app (static + dynamic + verdicts);
+- ``families`` -- list the malware family corpus DroidNative trains on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections import Counter
+from typing import List, Optional
+
+from repro.core.config import DyDroidConfig
+from repro.core.pipeline import DyDroid
+from repro.corpus.generator import CorpusGenerator, generate_corpus
+
+TABLE_RENDERERS = {
+    "2": "render_dynamic_summary",
+    "3": "render_popularity",
+    "4": "render_entity_table",
+    "5": "render_remote_fetch",
+    "6": "render_obfuscation_table",
+    "fig3": "render_fig3",
+    "7": "render_malware_table",
+    "8": "render_runtime_config_table",
+    "9": "render_vulnerability_table",
+    "10": "render_privacy_table",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dydroid",
+        description="DyDroid reproduction: measure dynamic code loading in a simulated app market.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    measure = sub.add_parser("measure", help="run the full pipeline and print tables")
+    measure.add_argument("--apps", type=int, default=600, help="corpus size (paper: 58,739)")
+    measure.add_argument("--seed", type=int, default=7)
+    measure.add_argument(
+        "--table",
+        default="all",
+        choices=["all"] + sorted(TABLE_RENDERERS),
+        help="which table to print",
+    )
+    measure.add_argument("--train", type=int, default=3, help="DroidNative samples per family")
+    measure.add_argument("--no-replays", action="store_true", help="skip Table VIII replays")
+    measure.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    measure.add_argument(
+        "--corpus-dir",
+        help="measure a corpus previously saved with `corpus --export` instead of generating one",
+    )
+
+    corpus = sub.add_parser("corpus", help="print ground-truth corpus statistics")
+    corpus.add_argument("--apps", type=int, default=1000)
+    corpus.add_argument("--seed", type=int, default=7)
+    corpus.add_argument("--export", metavar="DIR", help="also save the built corpus to DIR")
+
+    analyze = sub.add_parser("analyze", help="deep-dive one generated app")
+    analyze.add_argument("--apps", type=int, default=600)
+    analyze.add_argument("--seed", type=int, default=7)
+    group = analyze.add_mutually_exclusive_group(required=True)
+    group.add_argument("--index", type=int, help="app index in the corpus")
+    group.add_argument(
+        "--role",
+        choices=["baidu", "malware", "packed", "vuln", "ads"],
+        help="pick the first app with this planted role",
+    )
+
+    sub.add_parser("families", help="list the trained malware families")
+    return parser
+
+
+def cmd_measure(args: argparse.Namespace) -> int:
+    started = time.time()
+    if args.corpus_dir:
+        from repro.corpus.storage import load_corpus
+
+        corpus = load_corpus(args.corpus_dir)
+    else:
+        corpus = generate_corpus(args.apps, seed=args.seed)
+    config = DyDroidConfig(
+        train_samples_per_family=args.train, run_replays=not args.no_replays
+    )
+    report = DyDroid(config).measure(corpus)
+    if args.json:
+        print(report.to_json())
+    elif args.table == "all":
+        print(report.render_all())
+    else:
+        print(getattr(report, TABLE_RENDERERS[args.table])())
+    print()
+    print(
+        "[{} apps measured in {:.1f}s]".format(report.n_total, time.time() - started),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    generator = CorpusGenerator(seed=args.seed)
+    blueprints = generator.sample_blueprints(args.apps)
+    n = len(blueprints)
+
+    def pct(count: int) -> str:
+        return "{} ({:.2%})".format(count, count / n)
+
+    print("corpus ground truth: {} apps, seed {}".format(n, args.seed))
+    print("  DEX DCL code:        ", pct(sum(b.has_dex_dcl_code for b in blueprints)))
+    print("  native code:         ", pct(sum(b.has_native_code for b in blueprints)))
+    print("  DEX DCL reachable:   ", pct(sum(b.dex_dcl_reachable for b in blueprints)))
+    print("  native reachable:    ", pct(sum(b.native_dcl_reachable for b in blueprints)))
+    print("  lexical obfuscation: ", pct(sum(b.lexical_obfuscated for b in blueprints)))
+    print("  reflection:          ", pct(sum(b.reflection for b in blueprints)))
+    print("  packed (DEX enc.):   ", pct(sum(b.is_packed for b in blueprints)))
+    print("  anti-decompilation:  ", pct(sum(b.anti_decompilation for b in blueprints)))
+    print("  remote fetch (Baidu):", pct(sum(b.is_baidu_remote for b in blueprints)))
+    print("  vulnerable:          ", pct(sum(1 for b in blueprints if b.vuln_kind)))
+    families = Counter(b.malware_family for b in blueprints if b.malware_family)
+    print("  malware carriers:    ", dict(families))
+    entities = Counter(b.dex_entity for b in blueprints if b.dex_entity)
+    print("  DEX entity mix:      ", dict(entities))
+    if args.export:
+        from repro.corpus.storage import save_corpus
+
+        records = [generator.build_record(blueprint) for blueprint in blueprints]
+        index = save_corpus(records, args.export)
+        print("  exported to:         ", index.parent)
+    return 0
+
+
+def _pick_record(args: argparse.Namespace):
+    generator = CorpusGenerator(seed=args.seed)
+    blueprints = generator.sample_blueprints(args.apps)
+    if args.index is not None:
+        if not 0 <= args.index < len(blueprints):
+            raise SystemExit("index out of range (corpus has {} apps)".format(len(blueprints)))
+        return generator.build_record(blueprints[args.index])
+    predicates = {
+        "baidu": lambda b: b.is_baidu_remote,
+        "malware": lambda b: b.malware_family is not None,
+        "packed": lambda b: b.is_packed,
+        "vuln": lambda b: b.vuln_kind is not None,
+        "ads": lambda b: b.uses_google_ads,
+    }
+    predicate = predicates[args.role]
+    for blueprint in blueprints:
+        if predicate(blueprint):
+            return generator.build_record(blueprint)
+    raise SystemExit("no app with role {!r} in this corpus".format(args.role))
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    record = _pick_record(args)
+    dydroid = DyDroid(DyDroidConfig(train_samples_per_family=3))
+    analysis = dydroid.analyze_app(record)
+
+    print("package:   ", analysis.package)
+    print("category:  ", analysis.metadata.category)
+    print("downloads: ", "{:,}".format(analysis.metadata.downloads))
+    if analysis.decompile_failed:
+        print("decompilation FAILED (anti-decompilation sample)")
+        return 0
+    print("prefilter:  dex={} native={}".format(
+        analysis.prefilter.has_dex_dcl, analysis.prefilter.has_native_dcl))
+    print("obfuscation:", ", ".join(analysis.obfuscation.techniques()) or "none")
+    if analysis.dynamic is None:
+        print("dynamic analysis: skipped (no DCL-related code)")
+        return 0
+    print("dynamic:    outcome={} events_run={}".format(
+        analysis.dynamic.outcome.value, analysis.dynamic.events_run))
+    for payload in analysis.payloads:
+        print("  payload", payload.path)
+        print("    kind={} entity={} provenance={}".format(
+            payload.kind.value, payload.entity.value, payload.provenance.value))
+        if payload.remote_sources:
+            print("    remote sources:", ", ".join(payload.remote_sources))
+        if payload.detection:
+            print("    MALWARE:", payload.detection)
+        for leak in payload.leaks:
+            print("    leak:", leak)
+    for finding in analysis.vulnerabilities:
+        print("  VULNERABLE: {} via {} ({})".format(
+            finding.category.value, finding.path, finding.code_kind))
+    for config, loaded in sorted(analysis.replay_loaded.items()):
+        print("  replay[{}]: {} file(s) loaded".format(config, len(loaded)))
+    return 0
+
+
+def cmd_families(_: argparse.Namespace) -> int:
+    from repro.static_analysis.malware.families import TABLE_VII_FAMILIES, all_families
+
+    for family in all_families():
+        marker = "  (Table VII)" if family in TABLE_VII_FAMILIES else ""
+        print(family + marker)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "measure": cmd_measure,
+        "corpus": cmd_corpus,
+        "analyze": cmd_analyze,
+        "families": cmd_families,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # output piped into head/less that exited early -- not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

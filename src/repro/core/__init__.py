@@ -1,0 +1,29 @@
+"""The DyDroid orchestrator and measurement reporting.
+
+- :mod:`repro.core.config` -- pipeline configuration;
+- :mod:`repro.core.pipeline` -- :class:`~repro.core.pipeline.DyDroid`, which
+  chains the paper's Figure 1 stages per app: decompile -> prefilter ->
+  dynamic analysis -> provenance/entity -> malware + privacy static
+  analysis -> vulnerability -> obfuscation, plus the Table VIII replays;
+- :mod:`repro.core.report` -- per-app results aggregated into every table
+  and figure of the evaluation section.
+"""
+
+from repro.core.config import DyDroidConfig
+from repro.core.pipeline import AppAnalysis, DyDroid
+from repro.core.report import MeasurementReport
+from repro.core.stats import (
+    category_concentration,
+    popularity_association,
+    rate_confidence_interval,
+)
+
+__all__ = [
+    "AppAnalysis",
+    "DyDroid",
+    "DyDroidConfig",
+    "MeasurementReport",
+    "category_concentration",
+    "popularity_association",
+    "rate_confidence_interval",
+]

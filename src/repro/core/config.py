@@ -1,0 +1,36 @@
+"""Pipeline configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.runtime.device import TABLE_VIII_CONFIGS, EnvironmentConfig
+
+
+@dataclass
+class DyDroidConfig:
+    """Knobs for one measurement run; defaults mirror the paper's setup."""
+
+    #: Monkey seed and per-app event budget.
+    monkey_seed: int = 0
+    monkey_budget: int = 25
+    #: per-entry-point instruction budget in the VM.
+    instruction_budget: int = 200_000
+    #: DroidNative ACFG match threshold (the paper uses 90%).
+    droidnative_threshold: float = 0.90
+    #: training samples generated per malware family (65 ~= the paper's
+    #: 1,240 samples over 19 families; benches default lower for speed).
+    train_samples_per_family: int = 4
+    #: training corpus seed.
+    training_seed: int = 0
+    #: mutual exclusion on File.delete/renameTo (ablation switch).
+    block_file_ops: bool = True
+    #: replay malware-flagged apps under these environments (Table VIII).
+    replay_configs: Tuple[EnvironmentConfig, ...] = TABLE_VIII_CONFIGS
+    #: whether to run the Table VIII replays at all.
+    run_replays: bool = True
+    #: run the FlowDroid-style privacy analysis on intercepted DEX.
+    run_privacy: bool = True
+    #: run DroidNative on intercepted payloads.
+    run_malware: bool = True

@@ -1,0 +1,166 @@
+"""The DyDroid orchestrator (Figure 1 of the paper).
+
+Per app: decompile -> prefilter -> (DCL candidates only) dynamic analysis
+with Monkey -> provenance/entity attribution -> static analysis of the
+intercepted binaries (DroidNative malware matching, FlowDroid-style privacy
+tracking) -> vulnerability classification -> obfuscation analysis.  Apps
+whose intercepted payloads are flagged malicious are replayed under the
+Table VIII environment configurations to expose trigger conditions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from typing import Dict, Optional, Sequence, Set
+
+from repro.core.config import DyDroidConfig
+from repro.core.report import AppAnalysis, MeasurementReport, PayloadVerdict
+from repro.corpus.generator import AppRecord
+from repro.dynamic.engine import AppExecutionEngine, DynamicReport, EngineOptions
+from repro.dynamic.interceptor import InterceptedPayload, PayloadKind
+from repro.dynamic.provenance import Entity, Provenance
+from repro.static_analysis.decompiler import DecompilationError, Decompiler
+from repro.static_analysis.malware.droidnative import Detection, DroidNative
+from repro.static_analysis.malware.families import training_corpus
+from repro.static_analysis.obfuscation.detector import analyze_obfuscation
+from repro.static_analysis.prefilter import prefilter
+from repro.static_analysis.privacy.flowdroid import analyze_dex
+from repro.static_analysis.smali import SmaliProgram
+from repro.static_analysis.vulnerability import classify_loads
+from repro.runtime.stacktrace import shares_app_package
+
+
+class DyDroid:
+    """The measurement system: analyze one app or a whole corpus."""
+
+    def __init__(self, config: Optional[DyDroidConfig] = None) -> None:
+        self.config = config or DyDroidConfig()
+        self.decompiler = Decompiler(strict=True)
+        self.droidnative = DroidNative(threshold=self.config.droidnative_threshold)
+        if self.config.run_malware:
+            self.droidnative.train_corpus(
+                training_corpus(
+                    samples_per_family=self.config.train_samples_per_family,
+                    seed=self.config.training_seed,
+                )
+            )
+        self._detection_cache: Dict[str, Optional[Detection]] = {}
+        self._privacy_cache: Dict[str, tuple] = {}
+
+    # -- per-app analysis ------------------------------------------------------------
+
+    def analyze_app(self, record: AppRecord) -> AppAnalysis:
+        analysis = AppAnalysis(package=record.package, metadata=record.metadata)
+
+        # 1. unpack/decompile (apktool/baksmali stage).
+        try:
+            program: Optional[SmaliProgram] = self.decompiler.decompile(record.apk)
+        except DecompilationError:
+            analysis.decompile_failed = True
+            analysis.obfuscation = analyze_obfuscation(record.apk, None)
+            return analysis
+
+        # 2. prefilter: does DCL-related code exist at all?
+        analysis.prefilter = prefilter(program)
+
+        # 3. dynamic analysis for candidates.
+        dynamic: Optional[DynamicReport] = None
+        if analysis.prefilter.has_any_dcl:
+            engine = AppExecutionEngine(self._engine_options(record))
+            dynamic = engine.run(record.apk)
+            analysis.dynamic = dynamic
+
+        # 4. obfuscation profile (native confirmed by the dynamic output).
+        native_confirmed = bool(dynamic and dynamic.dcl.native_events) if dynamic else False
+        analysis.obfuscation = analyze_obfuscation(
+            record.apk,
+            program,
+            dynamic_native_confirmed=native_confirmed
+            if analysis.prefilter.has_native_dcl
+            else None,
+        )
+
+        if dynamic is None or not dynamic.intercepted_any:
+            return analysis
+
+        # 5. provenance/entity + static analysis of every intercepted binary.
+        analysis.payloads = [
+            self._verdict_for(payload, record.package, dynamic) for payload in dynamic.intercepted
+        ]
+
+        # 6. code-injection vulnerability classification.
+        analysis.vulnerabilities = classify_loads(
+            package=record.package,
+            manifest=record.apk.manifest,
+            dex_events=dynamic.dcl.dex_events,
+            native_events=dynamic.dcl.native_events,
+            program=program,
+        )
+
+        # 7. Table VIII replays for malware-flagged apps.
+        if self.config.run_replays and any(p.is_malicious for p in analysis.payloads):
+            analysis.replay_loaded = self._replay(record)
+        return analysis
+
+    def _engine_options(self, record: AppRecord) -> EngineOptions:
+        return EngineOptions(
+            monkey_seed=self.config.monkey_seed,
+            monkey_budget=self.config.monkey_budget,
+            instruction_budget=self.config.instruction_budget,
+            block_file_ops=self.config.block_file_ops,
+            release_time_ms=record.release_time_ms,
+            companions=record.companions,
+            remote_resources=record.remote_resources,
+        )
+
+    def _verdict_for(
+        self, payload: InterceptedPayload, package: str, dynamic: DynamicReport
+    ) -> PayloadVerdict:
+        entity = Entity.UNKNOWN
+        if payload.call_site:
+            entity = (
+                Entity.OWN
+                if shares_app_package(payload.call_site, package)
+                else Entity.THIRD_PARTY
+            )
+        remote = dynamic.tracker.is_remote(payload.path)
+        verdict = PayloadVerdict(
+            path=payload.path,
+            kind=payload.kind,
+            entity=entity,
+            provenance=Provenance.REMOTE if remote else Provenance.LOCAL,
+            remote_sources=tuple(dynamic.tracker.remote_sources(payload.path)),
+        )
+        digest = hashlib.sha256(payload.data).hexdigest()
+
+        if self.config.run_malware and payload.kind in (PayloadKind.DEX, PayloadKind.NATIVE):
+            if digest not in self._detection_cache:
+                binary = payload.as_dex() or payload.as_native()
+                self._detection_cache[digest] = (
+                    self.droidnative.detect(binary) if binary is not None else None
+                )
+            verdict.detection = self._detection_cache[digest]
+
+        if self.config.run_privacy and payload.kind is PayloadKind.DEX:
+            if digest not in self._privacy_cache:
+                dex = payload.as_dex()
+                self._privacy_cache[digest] = tuple(analyze_dex(dex)) if dex else ()
+            verdict.leaks = self._privacy_cache[digest]
+        return verdict
+
+    def _replay(self, record: AppRecord) -> Dict[str, Set[str]]:
+        """Which paths load under each Table VIII environment config."""
+        engine = AppExecutionEngine(self._engine_options(record))
+        results = engine.replay_under_configs(
+            record.apk, self.config.replay_configs
+        )
+        return {
+            name: set(report.intercepted_paths()) for name, report in results.items()
+        }
+
+    # -- corpus-level measurement ----------------------------------------------------------
+
+    def measure(self, corpus: Sequence[AppRecord]) -> MeasurementReport:
+        """Analyze every app and aggregate the paper's tables."""
+        return MeasurementReport(apps=[self.analyze_app(record) for record in corpus])

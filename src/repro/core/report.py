@@ -1,0 +1,552 @@
+"""Per-app analysis results and their aggregation into the paper's tables.
+
+:class:`AppAnalysis` is everything DyDroid concluded about one app;
+:class:`MeasurementReport` aggregates a corpus worth of them and exposes
+one method per table/figure of the evaluation section (II-X plus Figure 3),
+each with a ``render_*`` twin producing the paper-style text block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.corpus.metadata import AppMetadata
+from repro.dynamic.engine import DynamicOutcome, DynamicReport
+from repro.dynamic.interceptor import PayloadKind
+from repro.dynamic.provenance import Entity, Provenance
+from repro.static_analysis.malware.droidnative import Detection
+from repro.static_analysis.obfuscation.detector import ObfuscationProfile
+from repro.static_analysis.prefilter import PrefilterResult
+from repro.static_analysis.privacy.flowdroid import PrivacyLeak
+from repro.static_analysis.privacy.sources import DATA_TYPE_CATEGORY, DATA_TYPES
+from repro.static_analysis.vulnerability import VulnerabilityFinding
+
+
+@dataclass
+class PayloadVerdict:
+    """Static-analysis outcome for one intercepted binary."""
+
+    path: str
+    kind: PayloadKind
+    entity: Entity
+    provenance: Provenance
+    remote_sources: Tuple[str, ...] = ()
+    detection: Optional[Detection] = None
+    leaks: Tuple[PrivacyLeak, ...] = ()
+
+    @property
+    def is_malicious(self) -> bool:
+        return self.detection is not None
+
+
+@dataclass
+class AppAnalysis:
+    """Everything DyDroid concluded about one app."""
+
+    package: str
+    metadata: AppMetadata
+    decompile_failed: bool = False
+    prefilter: Optional[PrefilterResult] = None
+    obfuscation: Optional[ObfuscationProfile] = None
+    dynamic: Optional[DynamicReport] = None
+    payloads: List[PayloadVerdict] = field(default_factory=list)
+    vulnerabilities: List[VulnerabilityFinding] = field(default_factory=list)
+    #: Table VIII: environment name -> malicious paths loaded in that replay.
+    replay_loaded: Dict[str, Set[str]] = field(default_factory=dict)
+
+    # -- derived views -----------------------------------------------------------
+
+    @property
+    def has_dex_dcl_code(self) -> bool:
+        return bool(self.prefilter and self.prefilter.has_dex_dcl)
+
+    @property
+    def has_native_dcl_code(self) -> bool:
+        return bool(self.prefilter and self.prefilter.has_native_dcl)
+
+    @property
+    def outcome(self) -> Optional[DynamicOutcome]:
+        return self.dynamic.outcome if self.dynamic else None
+
+    @property
+    def exercised(self) -> bool:
+        return self.outcome is DynamicOutcome.EXERCISED
+
+    @property
+    def dex_intercepted(self) -> bool:
+        return self.exercised and bool(self.dynamic and self.dynamic.dcl.dex_events)
+
+    @property
+    def native_intercepted(self) -> bool:
+        return self.exercised and bool(self.dynamic and self.dynamic.dcl.native_events)
+
+    def dex_entities(self) -> Set[Entity]:
+        return {
+            p.entity
+            for p in self.payloads
+            if p.kind in (PayloadKind.DEX, PayloadKind.ENCRYPTED, PayloadKind.UNKNOWN)
+            and p.entity is not Entity.UNKNOWN
+        }
+
+    def native_entities(self) -> Set[Entity]:
+        return {
+            p.entity
+            for p in self.payloads
+            if p.kind is PayloadKind.NATIVE and p.entity is not Entity.UNKNOWN
+        }
+
+    def remote_payloads(self) -> List[PayloadVerdict]:
+        return [p for p in self.payloads if p.provenance is Provenance.REMOTE]
+
+    def malicious_payloads(self) -> List[PayloadVerdict]:
+        return [p for p in self.payloads if p.is_malicious]
+
+    def leaked_types(self) -> Dict[str, Set[Entity]]:
+        """data type -> entities of the payloads leaking it."""
+        result: Dict[str, Set[Entity]] = {}
+        for payload in self.payloads:
+            for leak in payload.leaks:
+                result.setdefault(leak.data_type, set()).add(payload.entity)
+        return result
+
+
+def _pct(count: int, total: int) -> str:
+    return "{:.2%}".format(count / total) if total else "n/a"
+
+
+@dataclass
+class MeasurementReport:
+    """Aggregation over a measured corpus: every table, one method each."""
+
+    apps: List[AppAnalysis]
+
+    # -- corpus-level counts ------------------------------------------------------
+
+    @property
+    def n_total(self) -> int:
+        return len(self.apps)
+
+    def decompiled_apps(self) -> List[AppAnalysis]:
+        return [a for a in self.apps if not a.decompile_failed]
+
+    def dex_candidates(self) -> List[AppAnalysis]:
+        return [a for a in self.apps if a.has_dex_dcl_code]
+
+    def native_candidates(self) -> List[AppAnalysis]:
+        return [a for a in self.apps if a.has_native_dcl_code]
+
+    # -- Table II: dynamic analysis summary -------------------------------------------
+
+    def dynamic_summary(self) -> Dict[str, Dict[str, int]]:
+        summary: Dict[str, Dict[str, int]] = {}
+        for side, candidates in (
+            ("dex", self.dex_candidates()),
+            ("native", self.native_candidates()),
+        ):
+            rewriting = sum(
+                1 for a in candidates if a.outcome is DynamicOutcome.REWRITING_FAILURE
+            )
+            no_activity = sum(
+                1 for a in candidates if a.outcome is DynamicOutcome.NO_ACTIVITY
+            )
+            crash = sum(1 for a in candidates if a.outcome is DynamicOutcome.CRASH)
+            exercised = sum(1 for a in candidates if a.exercised)
+            intercepted = sum(
+                1
+                for a in candidates
+                if (a.dex_intercepted if side == "dex" else a.native_intercepted)
+            )
+            summary[side] = {
+                "candidates": len(candidates),
+                "failure": rewriting + no_activity + crash,
+                "rewriting_failure": rewriting,
+                "no_activity": no_activity,
+                "crash": crash,
+                "exercised": exercised,
+                "intercepted": intercepted,
+            }
+        return summary
+
+    def render_dynamic_summary(self) -> str:
+        summary = self.dynamic_summary()
+        lines = [
+            "TABLE II: dynamic analysis summary out of {} apps for bytecode and {} apps for native code".format(
+                summary["dex"]["candidates"], summary["native"]["candidates"]
+            ),
+            "{:<22}{:>18}{:>18}".format("", "DEX", "Native"),
+        ]
+        for label, key in (
+            ("Failure", "failure"),
+            ("Rewriting failure", "rewriting_failure"),
+            ("No activity", "no_activity"),
+            ("Crash", "crash"),
+            ("Exercised", "exercised"),
+            ("Intercepted", "intercepted"),
+        ):
+            row = "{:<22}".format(label)
+            for side in ("dex", "native"):
+                count = summary[side][key]
+                row += "{:>18}".format(
+                    "{} ({})".format(count, _pct(count, summary[side]["candidates"]))
+                )
+            lines.append(row)
+        return "\n".join(lines)
+
+    # -- Table III: popularity ------------------------------------------------------------
+
+    def popularity(self) -> Dict[str, Dict[str, float]]:
+        def stats(group: Sequence[AppAnalysis]) -> Dict[str, float]:
+            if not group:
+                return {"downloads": 0.0, "n_ratings": 0.0, "rating": 0.0}
+            return {
+                "downloads": sum(a.metadata.downloads for a in group) / len(group),
+                "n_ratings": sum(a.metadata.n_ratings for a in group) / len(group),
+                "rating": sum(a.metadata.avg_rating for a in group) / len(group),
+            }
+
+        dex = [a for a in self.apps if a.has_dex_dcl_code]
+        no_dex = [a for a in self.apps if not a.has_dex_dcl_code]
+        native = [a for a in self.apps if a.has_native_dcl_code]
+        no_native = [a for a in self.apps if not a.has_native_dcl_code]
+        return {
+            "DEX": stats(dex),
+            "Without DEX": stats(no_dex),
+            "Native": stats(native),
+            "Without Native": stats(no_native),
+        }
+
+    def render_popularity(self) -> str:
+        table = self.popularity()
+        lines = [
+            "TABLE III: DCL vs application popularity based on {} applications".format(self.n_total),
+            "{:<16}{:>14}{:>12}{:>9}".format("", "#Downloads", "#Ratings", "Rating"),
+        ]
+        for group in ("DEX", "Without DEX", "Native", "Without Native"):
+            stats = table[group]
+            lines.append(
+                "{:<16}{:>14,.0f}{:>12,.0f}{:>9.2f}".format(
+                    group, stats["downloads"], stats["n_ratings"], stats["rating"]
+                )
+            )
+        return "\n".join(lines)
+
+    # -- Table IV: responsible entity ----------------------------------------------------------
+
+    def entity_table(self) -> Dict[str, Dict[str, int]]:
+        result = {}
+        for side in ("dex", "native"):
+            apps = [
+                a
+                for a in self.apps
+                if (a.dex_intercepted if side == "dex" else a.native_intercepted)
+            ]
+            entity_sets = [
+                (a.dex_entities() if side == "dex" else a.native_entities()) for a in apps
+            ]
+            both = sum(1 for s in entity_sets if Entity.OWN in s and Entity.THIRD_PARTY in s)
+            third = sum(1 for s in entity_sets if Entity.THIRD_PARTY in s)
+            own = sum(1 for s in entity_sets if Entity.OWN in s)
+            result[side] = {
+                "apps": len(apps),
+                "third": third,
+                "own": own,
+                "both": both,
+            }
+        return result
+
+    def render_entity_table(self) -> str:
+        table = self.entity_table()
+        lines = [
+            "TABLE IV: responsible entity of DCL out of {} apps for bytecode and {} apps for native code".format(
+                table["dex"]["apps"], table["native"]["apps"]
+            ),
+            "{:<10}{:>22}{:>18}{:>24}".format("", "3rd-party (#Apps)", "Own (#Apps)", "3rd-party & Own (#Apps)"),
+        ]
+        for side, label in (("dex", "DEX"), ("native", "Native")):
+            row = table[side]
+            total = row["apps"]
+            lines.append(
+                "{:<10}{:>22}{:>18}{:>24}".format(
+                    label,
+                    "{} ({})".format(row["third"], _pct(row["third"], total)),
+                    "{} ({})".format(row["own"], _pct(row["own"], total)),
+                    "{} ({})".format(row["both"], _pct(row["both"], total)),
+                )
+            )
+        return "\n".join(lines)
+
+    # -- Table V: remote fetch ---------------------------------------------------------------------
+
+    def remote_fetch_apps(self) -> List[Tuple[str, Tuple[str, ...]]]:
+        """(package, remote source URLs) for apps executing remote code."""
+        rows = []
+        for app in self.apps:
+            remote = app.remote_payloads()
+            if remote:
+                urls: List[str] = []
+                for payload in remote:
+                    urls.extend(payload.remote_sources)
+                rows.append((app.package, tuple(sorted(set(urls)))))
+        return sorted(rows)
+
+    def render_remote_fetch(self) -> str:
+        rows = self.remote_fetch_apps()
+        lines = ["TABLE V: {} apps executing binaries downloaded from remote servers".format(len(rows))]
+        for package, urls in rows:
+            lines.append("  {}  <- {}".format(package, ", ".join(urls)))
+        return "\n".join(lines)
+
+    # -- Table VI: obfuscation ------------------------------------------------------------------------
+
+    def obfuscation_table(self) -> Dict[str, int]:
+        counts = {
+            "Lexical": 0,
+            "Reflection": 0,
+            "Native": 0,
+            "DEX encryption": 0,
+            "Anti-decompilation": 0,
+        }
+        for app in self.apps:
+            profile = app.obfuscation
+            if profile is None:
+                continue
+            counts["Lexical"] += profile.lexical
+            counts["Reflection"] += profile.reflection
+            counts["Native"] += profile.native
+            counts["DEX encryption"] += profile.dex_encryption
+            counts["Anti-decompilation"] += profile.anti_decompilation
+        return counts
+
+    def render_obfuscation_table(self) -> str:
+        counts = self.obfuscation_table()
+        lines = [
+            "TABLE VI: #apps using obfuscation techniques out of {} applications".format(self.n_total),
+            "{:<22}{:>16}".format("Technique", "#Apps (%)"),
+        ]
+        for technique, count in counts.items():
+            lines.append(
+                "{:<22}{:>16}".format(technique, "{} ({})".format(count, _pct(count, self.n_total)))
+            )
+        return "\n".join(lines)
+
+    # -- Figure 3: DEX encryption by category ----------------------------------------------------------
+
+    def dex_encryption_by_category(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for app in self.apps:
+            if app.obfuscation and app.obfuscation.dex_encryption:
+                counts[app.metadata.category] = counts.get(app.metadata.category, 0) + 1
+        return dict(sorted(counts.items(), key=lambda item: (-item[1], item[0])))
+
+    def packer_vendors(self) -> Dict[str, int]:
+        """Hardening-vendor attribution for the DEX-encryption apps."""
+        counts: Dict[str, int] = {}
+        for app in self.apps:
+            profile = app.obfuscation
+            if profile and profile.dex_encryption and profile.packer_vendor:
+                counts[profile.packer_vendor] = counts.get(profile.packer_vendor, 0) + 1
+        return dict(sorted(counts.items(), key=lambda item: (-item[1], item[0])))
+
+    def render_fig3(self) -> str:
+        counts = self.dex_encryption_by_category()
+        lines = ["FIGURE 3: #apps with DEX encryption vs application category"]
+        for category, count in counts.items():
+            lines.append("  {:<20}{:>4} {}".format(category, count, "#" * count))
+        return "\n".join(lines)
+
+    # -- Table VII: malware -----------------------------------------------------------------------------
+
+    def malware_table(self) -> Dict[str, Dict[str, object]]:
+        rows: Dict[str, Dict[str, object]] = {}
+        for app in self.apps:
+            for payload in app.malicious_payloads():
+                family = payload.detection.family
+                row = rows.setdefault(
+                    family,
+                    {"apps": set(), "files": 0, "kind": payload.kind.value, "sample": None},
+                )
+                row["apps"].add(app.package)
+                row["files"] += 1
+                best = row["sample"]
+                if best is None or app.metadata.downloads > best[1]:
+                    row["sample"] = (app.package, app.metadata.downloads)
+        return {
+            family: {
+                "n_apps": len(row["apps"]),
+                "n_files": row["files"],
+                "kind": row["kind"],
+                "sample_app": row["sample"][0] if row["sample"] else "",
+                "sample_downloads": row["sample"][1] if row["sample"] else 0,
+            }
+            for family, row in rows.items()
+        }
+
+    def render_malware_table(self) -> str:
+        table = self.malware_table()
+        total_apps = len(
+            {app.package for app in self.apps if app.malicious_payloads()}
+        )
+        total_files = sum(row["n_files"] for row in table.values())
+        lines = [
+            "TABLE VII: malware detected in DCL ({} apps, {} files)".format(total_apps, total_files),
+            "{:<10}{:<28}{:>7}  {}".format("", "Family", "#Apps", "Sample App (#Downloads)"),
+        ]
+        for family, row in sorted(table.items()):
+            lines.append(
+                "{:<10}{:<28}{:>7}  {} ({:,})".format(
+                    "DEX" if row["kind"] == "dex" else "Native",
+                    family,
+                    row["n_apps"],
+                    row["sample_app"],
+                    row["sample_downloads"],
+                )
+            )
+        return "\n".join(lines)
+
+    # -- Table VIII: runtime configurations ------------------------------------------------------------------
+
+    def malicious_file_count(self) -> int:
+        return sum(len(app.malicious_payloads()) for app in self.apps)
+
+    def runtime_config_table(self) -> Dict[str, Dict[str, int]]:
+        """config name -> {loaded, total} over all malicious files."""
+        totals: Dict[str, Dict[str, int]] = {}
+        for app in self.apps:
+            malicious = {p.path for p in app.malicious_payloads()}
+            if not malicious:
+                continue
+            for config, loaded_paths in app.replay_loaded.items():
+                bucket = totals.setdefault(config, {"loaded": 0, "total": 0})
+                bucket["total"] += len(malicious)
+                bucket["loaded"] += len(malicious & loaded_paths)
+        return totals
+
+    def render_runtime_config_table(self) -> str:
+        table = self.runtime_config_table()
+        lines = [
+            "TABLE VIII: malicious code loaded in various configurations over {} files".format(
+                self.malicious_file_count()
+            ),
+            "{:<34}{:>26}".format("Configuration", "#Files intercepted (%)"),
+        ]
+        for config, bucket in sorted(table.items()):
+            lines.append(
+                "{:<34}{:>26}".format(
+                    config,
+                    "{} ({})".format(bucket["loaded"], _pct(bucket["loaded"], bucket["total"])),
+                )
+            )
+        return "\n".join(lines)
+
+    # -- Table IX: vulnerabilities ----------------------------------------------------------------------------
+
+    def vulnerability_table(self) -> Dict[Tuple[str, str], List[Tuple[str, int]]]:
+        """(code kind, category) -> [(package, downloads)]."""
+        rows: Dict[Tuple[str, str], List[Tuple[str, int]]] = {}
+        for app in self.apps:
+            for finding in app.vulnerabilities:
+                key = (finding.code_kind, finding.category.value)
+                rows.setdefault(key, []).append((app.package, app.metadata.downloads))
+        return {key: sorted(set(value), key=lambda r: -r[1]) for key, value in rows.items()}
+
+    def render_vulnerability_table(self) -> str:
+        table = self.vulnerability_table()
+        n_apps = len({pkg for rows in table.values() for pkg, _ in rows})
+        lines = ["TABLE IX: {} vulnerable applications detected".format(n_apps)]
+        for (kind, category), rows in sorted(table.items()):
+            lines.append("  {} / {}: {} apps".format(kind.upper(), category, len(rows)))
+            for package, downloads in rows:
+                lines.append("    {} ({:,})".format(package, downloads))
+        return "\n".join(lines)
+
+    # -- Table X: privacy ----------------------------------------------------------------------------------------
+
+    def privacy_table(self) -> Dict[str, Dict[str, object]]:
+        """data type -> {category, n_apps, exclusively_third, pct}."""
+        table: Dict[str, Dict[str, object]] = {}
+        for data_type in DATA_TYPES:
+            apps_with = 0
+            exclusively_third = 0
+            for app in self.apps:
+                entities = app.leaked_types().get(data_type)
+                if not entities:
+                    continue
+                apps_with += 1
+                if entities == {Entity.THIRD_PARTY}:
+                    exclusively_third += 1
+            if apps_with:
+                table[data_type] = {
+                    "category": DATA_TYPE_CATEGORY.get(data_type, "?"),
+                    "n_apps": apps_with,
+                    "exclusively_third": exclusively_third,
+                }
+        return table
+
+    def render_privacy_table(self) -> str:
+        table = self.privacy_table()
+        n_base = sum(1 for a in self.apps if a.dex_intercepted)
+        lines = [
+            "TABLE X: privacy tracking in dynamically loaded code based on {} applications".format(n_base),
+            "{:<24}{:>6}{:>9}{:>28}".format("Data type", "Categ", "#Apps", "Exclusively 3rd-party (%)"),
+        ]
+        for data_type, row in table.items():
+            lines.append(
+                "{:<24}{:>6}{:>9}{:>28}".format(
+                    data_type,
+                    row["category"],
+                    row["n_apps"],
+                    "{} ({})".format(
+                        row["exclusively_third"], _pct(row["exclusively_third"], row["n_apps"])
+                    ),
+                )
+            )
+        return "\n".join(lines)
+
+    # -- machine-readable export -------------------------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Every table as plain data, for JSON export / downstream tooling."""
+        vulnerability = {
+            "{}/{}".format(kind, category): rows
+            for (kind, category), rows in self.vulnerability_table().items()
+        }
+        return {
+            "n_total": self.n_total,
+            "table2_dynamic_summary": self.dynamic_summary(),
+            "table3_popularity": self.popularity(),
+            "table4_entity": self.entity_table(),
+            "table5_remote_fetch": [
+                {"package": package, "urls": list(urls)}
+                for package, urls in self.remote_fetch_apps()
+            ],
+            "table6_obfuscation": self.obfuscation_table(),
+            "fig3_dex_encryption_by_category": self.dex_encryption_by_category(),
+            "table7_malware": self.malware_table(),
+            "table8_runtime_configs": self.runtime_config_table(),
+            "table9_vulnerabilities": vulnerability,
+            "table10_privacy": self.privacy_table(),
+        }
+
+    def to_json(self, indent: int = 1) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # -- everything --------------------------------------------------------------------------------------------------
+
+    def render_all(self) -> str:
+        return "\n\n".join(
+            [
+                self.render_dynamic_summary(),
+                self.render_popularity(),
+                self.render_entity_table(),
+                self.render_remote_fetch(),
+                self.render_obfuscation_table(),
+                self.render_fig3(),
+                self.render_malware_table(),
+                self.render_runtime_config_table(),
+                self.render_vulnerability_table(),
+                self.render_privacy_table(),
+            ]
+        )

@@ -1,0 +1,33 @@
+"""The synthetic app market standing in for the paper's Google Play crawl.
+
+The paper measured 58,739 apps crawled in November 2016.  This package
+generates a corpus of the same *shape* at any scale:
+
+- :mod:`repro.corpus.profiles` -- every rate in the generator, calibrated
+  against the paper's tables (Table II outcome rates, Table IV entity mix,
+  Table VI obfuscation adoption, Table VII/VIII/IX/X incident rates...);
+- :mod:`repro.corpus.names` -- identifier/package-name synthesis (readable
+  vs lexically obfuscated);
+- :mod:`repro.corpus.behaviors` -- bytecode templates: download-then-load,
+  asset-copy-then-load, environment-gated loading, packer containers,
+  privacy-leaking payloads, vulnerable loads;
+- :mod:`repro.corpus.sdks` -- third-party SDK models (Google-Ads-like,
+  Baidu-ads-like remote fetcher, analytics, packers);
+- :mod:`repro.corpus.metadata` -- categories and popularity sampling
+  (Table III);
+- :mod:`repro.corpus.generator` -- blueprints -> installable APKs plus the
+  per-app environment (remote resources, companion apps, ground truth).
+"""
+
+from repro.corpus.generator import AppRecord, CorpusGenerator, generate_corpus
+from repro.corpus.metadata import AppMetadata, CATEGORIES
+from repro.corpus.profiles import CorpusProfile
+
+__all__ = [
+    "AppMetadata",
+    "AppRecord",
+    "CATEGORIES",
+    "CorpusGenerator",
+    "CorpusProfile",
+    "generate_corpus",
+]

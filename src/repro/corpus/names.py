@@ -1,0 +1,85 @@
+"""Identifier and package-name synthesis.
+
+Readable apps get identifiers assembled from dictionary words (the same
+dictionary the lexical detector checks against, as a real app's vocabulary
+overlaps DBpedia's); lexically obfuscated apps get ProGuard-style
+(``a``, ``b``, ``aa``...) or Allatori-style (random consonant runs) names.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import List
+
+from repro.static_analysis.obfuscation.lexical import WORDS
+
+#: words used to mint readable identifiers -- deliberately the detector's
+#: own vocabulary, as a real app's vocabulary overlaps the dictionary.
+WORD_POOL = list(WORDS)
+
+TLDS = ("com", "net", "org", "io", "cn", "co")
+
+
+def readable_identifier(rng: random.Random, n_words: int = 2) -> str:
+    """camelCase identifier from dictionary words, e.g. ``loadBannerCache``."""
+    words = [rng.choice(WORD_POOL) for _ in range(max(1, n_words))]
+    return words[0] + "".join(word.capitalize() for word in words[1:])
+
+
+def readable_class_name(rng: random.Random) -> str:
+    """PascalCase class simple name."""
+    return readable_identifier(rng, rng.randint(2, 3)).capitalize()
+
+
+def proguard_identifier(index: int) -> str:
+    """ProGuard's enumeration: a, b, ..., z, aa, ab, ..."""
+    letters = string.ascii_lowercase
+    name = ""
+    index += 1
+    while index > 0:
+        index, remainder = divmod(index - 1, 26)
+        name = letters[remainder] + name
+    return name
+
+
+def allatori_identifier(rng: random.Random) -> str:
+    """Random consonant runs, the look of non-trivial renamers."""
+    consonants = "bcdfghjklmnpqrstvwxz"
+    return "".join(rng.choice(consonants) for _ in range(rng.randint(3, 6)))
+
+
+def obfuscated_identifier(rng: random.Random, index: int) -> str:
+    """A meaningless identifier in one of the two in-the-wild styles."""
+    if rng.random() < 0.7:
+        return proguard_identifier(index)
+    return allatori_identifier(rng)
+
+
+def package_name(rng: random.Random) -> str:
+    """A plausible application package, e.g. ``com.pixelcraft.weather``."""
+    vendor = rng.choice(WORD_POOL) + rng.choice(("", "soft", "labs", "apps", "mobi"))
+    product = rng.choice(WORD_POOL)
+    return "{}.{}.{}".format(rng.choice(TLDS), vendor, product)
+
+
+def class_names_for_app(
+    rng: random.Random, package: str, count: int, obfuscated: bool
+) -> List[str]:
+    """``count`` distinct class names under ``package``."""
+    names: List[str] = []
+    seen = set()
+    for index in range(count * 3):
+        if len(names) >= count:
+            break
+        if obfuscated:
+            simple = obfuscated_identifier(rng, index)
+        else:
+            simple = readable_class_name(rng)
+        if simple in seen:
+            continue
+        seen.add(simple)
+        names.append("{}.{}".format(package, simple))
+    while len(names) < count:  # pathological collision fallback
+        names.append("{}.C{}".format(package, len(names)))
+    return names

@@ -1,0 +1,206 @@
+"""Third-party SDK models.
+
+Over 85% of DCL in the wild is launched by SDKs (Table IV); these builders
+produce the SDK *stub class* compiled into the host app (its package is the
+vendor's namespace -- that package difference is exactly what entity
+attribution keys on) plus whatever the stub needs at runtime: packaged
+asset payloads, remote resources, native libraries.
+
+Every stub exposes ``static void start(Context)`` which the host activity
+calls from a lifecycle callback.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.android.builders import MethodBuilder, class_builder
+from repro.android.dex import DexClass
+from repro.android.nativelib import INTRINSIC_NOOP, NativeLibrary
+from repro.corpus import behaviors
+from repro.corpus.behaviors import BehaviorContext
+from repro.static_analysis.malware.families import benign_ad_payload_dex
+
+#: vendor namespaces for generic analytics/tracking SDKs.
+ANALYTICS_VENDORS = (
+    "com.umeng.analytics",
+    "com.flurry.sdk",
+    "com.mobvista.track",
+    "com.tapjoy.core",
+    "com.inmobi.signals",
+    "com.adjust.sdk",
+    "com.appsflyer.kit",
+    "cn.jpush.android",
+)
+
+#: vendor namespaces for third-party native engines.
+NATIVE_VENDORS = (
+    "com.unity3d.player",
+    "org.cocos2dx.lib",
+    "com.adobe.fre",
+    "com.qihoo.util",
+    "com.tencent.bugly",
+)
+
+GOOGLE_ADS_PACKAGE = "com.google.ads"
+BAIDU_ADS_PACKAGE = "com.baidu.mobads"
+BAIDU_REMOTE_BASE = "http://mobads.baidu.com/ads/pa"
+
+
+def _static_start(class_name: str) -> MethodBuilder:
+    return MethodBuilder("start", class_name, arity=1, is_static=True)
+
+
+@dataclass(frozen=True)
+class SdkStub:
+    """What a builder hands back to the generator."""
+
+    dex_class: DexClass
+    entry_class: str
+    entry_method: str = "start"
+    #: extra loadable classes shipped inside the host's classes.dex (rare).
+    extra_classes: Tuple[DexClass, ...] = ()
+
+
+def build_google_ads_sdk(ctx: BehaviorContext) -> SdkStub:
+    """The Google-Ads-like SDK: temp payload under cache/ad*, delete after.
+
+    This reproduces the paper's observed pattern
+    ``/data/data/AppPackageName/cache/ad*`` with intermediate files deleted
+    after the merge -- the case that forces delete-blocking interception.
+    """
+    payload = benign_ad_payload_dex(ctx.rng.randint(0, 2**31))
+    asset_name = "gads_payload.bin"
+    ctx.assets["assets/{}".format(asset_name)] = payload.to_bytes()
+    entry_class = payload.classes[0].name
+
+    stub_name = "{}.AdView".format(GOOGLE_ADS_PACKAGE)
+    cls = class_builder(stub_name)
+    b = _static_start(stub_name)
+    dest = "/data/data/{}/cache/ad{}.jar".format(ctx.package, ctx.rng.randint(1000, 9999))
+    behaviors.emit_asset_to_file(b, asset_name, dest)
+    behaviors.emit_dex_load(
+        b,
+        dest,
+        "/data/data/{}/cache/odex".format(ctx.package),
+        entry_class=entry_class,
+        delete_after=True,
+    )
+    b.ret_void()
+    cls.add_method(b.build())
+    return SdkStub(dex_class=cls, entry_class=stub_name)
+
+
+def build_baidu_remote_ads_sdk(ctx: BehaviorContext) -> SdkStub:
+    """The Baidu-ads-like SDK violating the Google Play content policy.
+
+    Downloads a JAR and an APK from ``mobads.baidu.com/ads/pa/`` at runtime
+    and executes them -- Table V's remote-fetch pattern.
+    """
+    jar_payload = behaviors.privacy_payload_dex(
+        ctx.rng, "{}.remote".format(BAIDU_ADS_PACKAGE), ["Settings", "IMEI"],
+        collector_url="http://mobads.baidu.com/ads/pa/track",
+    )
+    apk_payload = benign_ad_payload_dex(ctx.rng.randint(0, 2**31))
+    suffix = ctx.rng.randint(100, 999)
+    jar_url = "{}/__xadsdk__remote_final_{}.jar".format(BAIDU_REMOTE_BASE, suffix)
+    apk_url = "{}/__bdvgo_remote_{}.apk".format(BAIDU_REMOTE_BASE, suffix)
+    ctx.remote_resources[jar_url] = jar_payload.to_bytes()
+    ctx.remote_resources[apk_url] = apk_payload.to_bytes()
+
+    stub_name = "{}.AdManager".format(BAIDU_ADS_PACKAGE)
+    cls = class_builder(stub_name)
+    b = _static_start(stub_name)
+    files_dir = "/data/data/{}/files".format(ctx.package)
+    odex = "/data/data/{}/cache/odex".format(ctx.package)
+    jar_dest = "{}/__xadsdk__remote_final.jar".format(files_dir)
+    apk_dest = "{}/__bdvgo_remote.apk".format(files_dir)
+    behaviors.emit_download_to_file(b, jar_url, jar_dest)
+    behaviors.emit_dex_load(b, jar_dest, odex, entry_class=jar_payload.classes[0].name)
+    behaviors.emit_download_to_file(b, apk_url, apk_dest)
+    behaviors.emit_dex_load(b, apk_dest, odex, entry_class=None)
+    b.ret_void()
+    cls.add_method(b.build())
+    return SdkStub(dex_class=cls, entry_class=stub_name)
+
+
+def build_analytics_sdk(
+    ctx: BehaviorContext, leak_types: List[str], vendor: Optional[str] = None
+) -> SdkStub:
+    """A tracking SDK whose loaded payload reads ``leak_types`` (Table X)."""
+    vendor = vendor or ctx.rng.choice(ANALYTICS_VENDORS)
+    payload = behaviors.privacy_payload_dex(ctx.rng, "{}.loaded".format(vendor), leak_types)
+    asset_name = "{}_payload.bin".format(vendor.rsplit(".", 1)[-1])
+    ctx.assets["assets/{}".format(asset_name)] = payload.to_bytes()
+
+    stub_name = "{}.Tracker".format(vendor)
+    cls = class_builder(stub_name)
+    b = _static_start(stub_name)
+    dest = "/data/data/{}/files/{}.jar".format(ctx.package, vendor.rsplit(".", 1)[-1])
+    behaviors.emit_asset_to_file(b, asset_name, dest)
+    behaviors.emit_dex_load(
+        b,
+        dest,
+        "/data/data/{}/cache/odex".format(ctx.package),
+        entry_class=payload.classes[0].name,
+    )
+    b.ret_void()
+    cls.add_method(b.build())
+    return SdkStub(dex_class=cls, entry_class=stub_name)
+
+
+def benign_native_library(rng: random.Random, name: Optional[str] = None) -> NativeLibrary:
+    """A plain engine library: real CFG content, no-op intrinsic."""
+    from repro.android.nativelib import NativeBlock, NativeFunction, NativeInsn, NativeOp
+
+    base = rng.randint(0x1000, 0xFFFF)
+    init = NativeFunction(
+        "JNI_OnLoad",
+        [
+            NativeBlock(
+                "entry",
+                [
+                    NativeInsn(NativeOp.MOV, ("r0", base)),
+                    NativeInsn(NativeOp.BL, ("libc!malloc",)),
+                    NativeInsn(NativeOp.BL, ("libGLES!glInit",)),
+                    NativeInsn(NativeOp.RET),
+                ],
+            )
+        ],
+    )
+    render = NativeFunction(
+        "native_render",
+        [
+            NativeBlock(
+                "entry",
+                [
+                    NativeInsn(NativeOp.LDR, ("r1", base + 16)),
+                    NativeInsn(NativeOp.BL, ("libGLES!glDraw",)),
+                    NativeInsn(NativeOp.RET),
+                ],
+            )
+        ],
+    )
+    return NativeLibrary(
+        name=name or "libengine{}.so".format(rng.randint(0, 999)),
+        functions=[init, render],
+        intrinsics={"JNI_OnLoad": {"kind": INTRINSIC_NOOP}},
+    )
+
+
+def build_native_engine_sdk(ctx: BehaviorContext, vendor: Optional[str] = None) -> SdkStub:
+    """A third-party native engine: packages a .so, loads it at start."""
+    vendor = vendor or ctx.rng.choice(NATIVE_VENDORS)
+    library = benign_native_library(ctx.rng)
+    ctx.native_libs.append(library)
+    short = library.name[len("lib"):-len(".so")]
+
+    stub_name = "{}.Engine".format(vendor)
+    cls = class_builder(stub_name)
+    b = _static_start(stub_name)
+    behaviors.emit_native_load_library(b, short)
+    b.ret_void()
+    cls.add_method(b.build())
+    return SdkStub(dex_class=cls, entry_class=stub_name)

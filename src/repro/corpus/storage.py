@@ -1,0 +1,111 @@
+"""Persist a generated corpus to disk and load it back.
+
+A saved corpus is a directory of installable ``.apk`` files plus a
+``market.json`` carrying the store metadata, the ground-truth blueprints,
+and each app's runtime environment (remote resources, companion apps) --
+enough to re-run the measurement without the generator, share corpora
+between machines, or diff two corpus versions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.android.apk import Apk
+from repro.corpus.behaviors import EnvGates
+from repro.corpus.generator import AppBlueprint, AppRecord
+from repro.corpus.metadata import AppMetadata
+
+MARKET_INDEX = "market.json"
+FORMAT_VERSION = 1
+
+
+class CorpusFormatError(ValueError):
+    """The directory does not hold a valid saved corpus."""
+
+
+def _blueprint_to_dict(blueprint: AppBlueprint) -> dict:
+    payload = dataclasses.asdict(blueprint)
+    payload["leak_types"] = list(blueprint.leak_types)
+    return payload
+
+
+def _blueprint_from_dict(payload: dict) -> AppBlueprint:
+    payload = dict(payload)
+    payload["malware_gates"] = EnvGates(**payload["malware_gates"])
+    payload["leak_types"] = tuple(payload["leak_types"])
+    return AppBlueprint(**payload)
+
+
+def save_corpus(records: List[AppRecord], directory: Union[str, Path]) -> Path:
+    """Write the corpus; returns the index path."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    index = []
+    for position, record in enumerate(records):
+        apk_name = "{:05d}-{}.apk".format(position, record.package)
+        (root / apk_name).write_bytes(record.apk.to_bytes())
+        companions = []
+        for companion_index, companion in enumerate(record.companions):
+            name = "{:05d}-companion{}-{}.apk".format(
+                position, companion_index, companion.package
+            )
+            (root / name).write_bytes(companion.to_bytes())
+            companions.append(name)
+        index.append(
+            {
+                "apk": apk_name,
+                "metadata": dataclasses.asdict(record.metadata),
+                "blueprint": _blueprint_to_dict(record.blueprint),
+                "remote_resources": {
+                    url: data.hex() for url, data in record.remote_resources.items()
+                },
+                "companions": companions,
+            }
+        )
+    index_path = root / MARKET_INDEX
+    index_path.write_text(
+        json.dumps({"version": FORMAT_VERSION, "apps": index}, indent=1)
+    )
+    return index_path
+
+
+def load_corpus(directory: Union[str, Path]) -> List[AppRecord]:
+    """Read a corpus saved by :func:`save_corpus`."""
+    root = Path(directory)
+    index_path = root / MARKET_INDEX
+    if not index_path.exists():
+        raise CorpusFormatError("no {} in {}".format(MARKET_INDEX, root))
+    try:
+        payload = json.loads(index_path.read_text())
+        if payload.get("version") != FORMAT_VERSION:
+            raise CorpusFormatError(
+                "unsupported corpus version {!r}".format(payload.get("version"))
+            )
+        records = []
+        for entry in payload["apps"]:
+            apk = Apk.from_bytes((root / entry["apk"]).read_bytes())
+            companions = tuple(
+                Apk.from_bytes((root / name).read_bytes())
+                for name in entry["companions"]
+            )
+            records.append(
+                AppRecord(
+                    apk=apk,
+                    metadata=AppMetadata(**entry["metadata"]),
+                    blueprint=_blueprint_from_dict(entry["blueprint"]),
+                    remote_resources={
+                        url: bytes.fromhex(hexed)
+                        for url, hexed in entry["remote_resources"].items()
+                    },
+                    companions=companions,
+                )
+            )
+        return records
+    except CorpusFormatError:
+        raise
+    except (KeyError, TypeError, ValueError, OSError) as exc:
+        raise CorpusFormatError("corrupt corpus: {}".format(exc))

@@ -1,0 +1,43 @@
+"""Defenses for dynamic code loading.
+
+The paper's conclusion: "The security verification of DCL is needed from
+the app developer and OS vendors."  Its related work points at Grab'n Run
+(Falsina et al., ACSAC 2015) -- a drop-in library that verifies loaded code
+before execution.  This package implements both ends of that remedy inside
+the simulated ecosystem:
+
+- :mod:`repro.defense.secure_loader` -- a developer-side drop-in:
+  :class:`SecureDexClassLoader` verifies payload digests/signatures against
+  a pinned manifest before delegating to the real loader, closing the
+  Table IX code-injection hole;
+- :mod:`repro.defense.policy` -- an OS/market-side enforcement layer:
+  a provenance policy engine that watches DCL events + the download tracker
+  and blocks (or reports) loads violating the Google Play content policy
+  (remotely fetched code) or loading from foreign-writable locations.
+"""
+
+from repro.defense.policy import (
+    PolicyDecision,
+    PolicyEngine,
+    PolicyRule,
+    PolicyVerdict,
+    default_policy,
+)
+from repro.defense.secure_loader import (
+    CodeVerificationError,
+    PayloadManifest,
+    SecureDexClassLoader,
+    sign_payload,
+)
+
+__all__ = [
+    "CodeVerificationError",
+    "PayloadManifest",
+    "PolicyDecision",
+    "PolicyEngine",
+    "PolicyRule",
+    "PolicyVerdict",
+    "SecureDexClassLoader",
+    "default_policy",
+    "sign_payload",
+]

@@ -1,0 +1,146 @@
+"""OS/market-side DCL policy enforcement.
+
+The paper observes that "the existing Android ecosystem lacks a mechanism
+to enforce Google's policy" because the OS cannot tell where loaded code
+came from.  With DyDroid's instrumentation the missing signal exists; this
+module turns it into an enforcement layer: a set of declarative rules
+evaluated against each DCL event (plus the download tracker and the
+manifest), producing per-load verdicts that a hardened OS could act on.
+
+Built-in rules cover the paper's three security findings:
+
+- ``remote-code``    -- the Google Play content-policy violation (Table V);
+- ``foreign-writable`` -- Table IX's code-injection surface (external
+  storage pre-4.4, other apps' internal storage);
+- ``world-writable-file`` -- the loaded file itself is writable by others.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.android.manifest import AndroidManifest
+from repro.dynamic.download_tracker import DownloadTracker
+from repro.runtime.instrumentation import DexLoadEvent, NativeLoadEvent
+from repro.runtime.vfs import VirtualFilesystem, internal_owner, is_external
+
+LoadEvent = Union[DexLoadEvent, NativeLoadEvent]
+
+
+class PolicyVerdict(enum.Enum):
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """One rule's opinion on one loaded path."""
+
+    rule: str
+    verdict: PolicyVerdict
+    path: str
+    reason: str = ""
+
+
+@dataclass
+class PolicyContext:
+    """Everything rules may consult."""
+
+    app_package: str
+    manifest: AndroidManifest
+    tracker: Optional[DownloadTracker] = None
+    vfs: Optional[VirtualFilesystem] = None
+
+
+RuleFn = Callable[[PolicyContext, str], Optional[str]]
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """A named predicate: returns a denial reason for a path, or None."""
+
+    name: str
+    check: RuleFn
+
+    def evaluate(self, context: PolicyContext, path: str) -> PolicyDecision:
+        reason = self.check(context, path)
+        if reason is None:
+            return PolicyDecision(self.name, PolicyVerdict.ALLOW, path)
+        return PolicyDecision(self.name, PolicyVerdict.DENY, path, reason)
+
+
+# -- built-in rules ------------------------------------------------------------
+
+
+def _rule_remote_code(context: PolicyContext, path: str) -> Optional[str]:
+    if context.tracker is None:
+        return None
+    if context.tracker.is_remote(path):
+        sources = ", ".join(context.tracker.remote_sources(path))
+        return "code fetched remotely from {} (content-policy violation)".format(sources)
+    return None
+
+
+def _rule_foreign_writable(context: PolicyContext, path: str) -> Optional[str]:
+    if is_external(path) and context.manifest.supports_pre_kitkat():
+        return "loads from world-writable external storage on pre-4.4"
+    owner = internal_owner(path)
+    if owner is not None and owner != context.app_package:
+        return "loads from another app's private storage ({})".format(owner)
+    return None
+
+
+def _rule_world_writable_file(context: PolicyContext, path: str) -> Optional[str]:
+    if context.vfs is None:
+        return None
+    record = context.vfs.stat(path)
+    if record is not None and record.world_writable and internal_owner(path) == context.app_package:
+        return "payload file is world-writable"
+    return None
+
+
+def default_policy() -> List[PolicyRule]:
+    """The rules a DyDroid-informed OS would ship."""
+    return [
+        PolicyRule("remote-code", _rule_remote_code),
+        PolicyRule("foreign-writable", _rule_foreign_writable),
+        PolicyRule("world-writable-file", _rule_world_writable_file),
+    ]
+
+
+class PolicyEngine:
+    """Evaluates the rule set over a session's DCL events."""
+
+    def __init__(self, rules: Optional[Sequence[PolicyRule]] = None) -> None:
+        self.rules = list(rules) if rules is not None else default_policy()
+        self.decisions: List[PolicyDecision] = []
+
+    def evaluate_event(self, context: PolicyContext, event: LoadEvent) -> List[PolicyDecision]:
+        paths = event.dex_paths if isinstance(event, DexLoadEvent) else (event.lib_path,)
+        results: List[PolicyDecision] = []
+        for path in paths:
+            for rule in self.rules:
+                decision = rule.evaluate(context, path)
+                results.append(decision)
+        self.decisions.extend(results)
+        return results
+
+    def evaluate_session(
+        self,
+        context: PolicyContext,
+        dex_events: Sequence[DexLoadEvent] = (),
+        native_events: Sequence[NativeLoadEvent] = (),
+    ) -> List[PolicyDecision]:
+        for event in list(dex_events) + list(native_events):
+            self.evaluate_event(context, event)
+        return self.denials()
+
+    def denials(self) -> List[PolicyDecision]:
+        return [d for d in self.decisions if d.verdict is PolicyVerdict.DENY]
+
+    def would_block(self, path: str) -> bool:
+        return any(
+            d.path == path and d.verdict is PolicyVerdict.DENY for d in self.decisions
+        )

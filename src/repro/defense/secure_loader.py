@@ -1,0 +1,118 @@
+"""A Grab'n-Run-style secure class loader (developer-side defense).
+
+The Table IX vulnerability exists because ``DexClassLoader`` executes
+whatever bytes sit at ``dexPath`` -- the OS performs no integrity check, and
+developers rarely add one.  :class:`SecureDexClassLoader` is the drop-in
+fix: the developer ships a :class:`PayloadManifest` pinning, per logical
+payload name, the SHA-256 digest (and signing key) of every version they
+ever released; at load time the loader re-reads the file, verifies digest
+and signature, and only then constructs the real loader.
+
+The signature scheme is HMAC-like (keyed SHA-256) rather than real
+asymmetric crypto -- the property that matters for the reproduction is that
+an attacker who can *write the file* cannot also *forge the signature*,
+which keyed hashing models exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.runtime.objects import VMException, VMObject
+from repro.runtime.vm import DalvikVM
+
+
+class CodeVerificationError(Exception):
+    """The payload failed digest or signature verification."""
+
+
+def payload_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def sign_payload(data: bytes, signing_key: bytes) -> str:
+    """The developer's release-time signature over the payload bytes."""
+    return hmac.new(signing_key, data, hashlib.sha256).hexdigest()
+
+
+@dataclass
+class PayloadManifest:
+    """The developer's pinned expectations for dynamic payloads."""
+
+    signing_key: bytes
+    #: logical payload name -> set of allowed digests (released versions).
+    allowed_digests: Dict[str, List[str]] = field(default_factory=dict)
+    #: logical payload name -> signature per digest.
+    signatures: Dict[str, str] = field(default_factory=dict)
+
+    def pin(self, name: str, data: bytes) -> None:
+        """Record one released payload version."""
+        digest = payload_digest(data)
+        self.allowed_digests.setdefault(name, []).append(digest)
+        self.signatures[digest] = sign_payload(data, self.signing_key)
+
+    def verify(self, name: str, data: bytes) -> None:
+        """Raise :class:`CodeVerificationError` unless ``data`` is pinned."""
+        digest = payload_digest(data)
+        if digest not in self.allowed_digests.get(name, []):
+            raise CodeVerificationError(
+                "payload {!r}: digest {} not pinned".format(name, digest[:16])
+            )
+        expected = self.signatures.get(digest)
+        actual = sign_payload(data, self.signing_key)
+        if expected is None or not hmac.compare_digest(expected, actual):
+            raise CodeVerificationError(
+                "payload {!r}: signature mismatch".format(name)
+            )
+
+
+class SecureDexClassLoader:
+    """Verify-then-load: the safe replacement for raw ``DexClassLoader``.
+
+    Usage mirrors the unsafe idiom::
+
+        loader = SecureDexClassLoader(manifest, vm)
+        cls = loader.load_class("plugin", dex_path, odex_dir, "com.x.Entry")
+
+    On verification failure nothing is loaded and the VM raises a
+    ``SecurityException`` into the app, matching Grab'n Run's contract.
+    """
+
+    def __init__(self, manifest: PayloadManifest, vm: DalvikVM) -> None:
+        self.manifest = manifest
+        self.vm = vm
+        self.verified_loads: List[str] = []
+        self.rejected_loads: List[str] = []
+
+    def load_class(
+        self,
+        payload_name: str,
+        dex_path: str,
+        odex_dir: str,
+        class_name: str,
+    ) -> VMObject:
+        """Verify the file at ``dex_path`` and load ``class_name`` from it."""
+        try:
+            data = self.vm.device.vfs.read(dex_path)
+        except FileNotFoundError:
+            raise VMException("java.io.FileNotFoundException", dex_path)
+        try:
+            self.manifest.verify(payload_name, data)
+        except CodeVerificationError as exc:
+            self.rejected_loads.append(dex_path)
+            raise VMException("java.lang.SecurityException", str(exc))
+        self.verified_loads.append(dex_path)
+
+        from repro.android.bytecode import MethodRef
+
+        loader = VMObject("dalvik.system.DexClassLoader")
+        self.vm.invoke(
+            MethodRef("dalvik.system.DexClassLoader", "<init>", 5),
+            [loader, dex_path, odex_dir, None, None],
+        )
+        return self.vm.invoke(
+            MethodRef("java.lang.ClassLoader", "loadClass", 2), [loader, class_name]
+        )

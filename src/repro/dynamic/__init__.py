@@ -1,0 +1,44 @@
+"""The App Execution Engine and its dynamic-analysis components.
+
+- :mod:`repro.dynamic.monkey` -- the UI event fuzzer (Monkey stand-in);
+- :mod:`repro.dynamic.dcl_logger` -- collects DCL events off the hook bus;
+- :mod:`repro.dynamic.interceptor` -- dumps loaded binaries and keeps them
+  protected from delete/rename until dumped;
+- :mod:`repro.dynamic.download_tracker` -- the URL -> File flow graph
+  (Table I rules) answering "was this file fetched remotely?";
+- :mod:`repro.dynamic.provenance` -- local/remote provenance plus
+  own/third-party entity attribution from stack-trace call sites;
+- :mod:`repro.dynamic.engine` -- orchestrates one app's dynamic analysis:
+  rewrite, install, fuzz, collect, and replay under Table VIII environment
+  configurations.
+"""
+
+from repro.dynamic.dcl_logger import DclLogger
+from repro.dynamic.download_tracker import DownloadTracker
+from repro.dynamic.engine import (
+    AppExecutionEngine,
+    DynamicOutcome,
+    DynamicReport,
+    EngineOptions,
+)
+from repro.dynamic.interceptor import CodeInterceptor, InterceptedPayload, PayloadKind
+from repro.dynamic.monkey import Monkey, MonkeyEvent
+from repro.dynamic.provenance import Entity, Provenance, entity_of, provenance_of
+
+__all__ = [
+    "AppExecutionEngine",
+    "CodeInterceptor",
+    "DclLogger",
+    "DownloadTracker",
+    "DynamicOutcome",
+    "DynamicReport",
+    "EngineOptions",
+    "Entity",
+    "InterceptedPayload",
+    "Monkey",
+    "MonkeyEvent",
+    "PayloadKind",
+    "Provenance",
+    "entity_of",
+    "provenance_of",
+]

@@ -1,0 +1,67 @@
+"""The DCL logger: collects load events off the instrumentation bus.
+
+Records, per the paper: (1) the path(s) of the loaded file, (2) the
+optimized-DEX output directory, (3) the call-site class from the Java stack
+trace.  System binaries never reach this logger (the hooks skip
+``/system/...``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.runtime.instrumentation import (
+    DexLoadEvent,
+    Instrumentation,
+    NativeLoadEvent,
+)
+
+
+@dataclass
+class DclLogger:
+    """Accumulates the DCL events of one dynamic-analysis session."""
+
+    dex_events: List[DexLoadEvent] = field(default_factory=list)
+    native_events: List[NativeLoadEvent] = field(default_factory=list)
+
+    def attach(self, instrumentation: Instrumentation) -> "DclLogger":
+        instrumentation.on_dex_load(self.dex_events.append)
+        instrumentation.on_native_load(self.native_events.append)
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def has_dex_dcl(self) -> bool:
+        return bool(self.dex_events)
+
+    @property
+    def has_native_dcl(self) -> bool:
+        return bool(self.native_events)
+
+    def dex_paths(self) -> List[str]:
+        """Distinct bytecode paths loaded, in first-seen order."""
+        seen: Set[str] = set()
+        ordered: List[str] = []
+        for event in self.dex_events:
+            for path in event.dex_paths:
+                if path not in seen:
+                    seen.add(path)
+                    ordered.append(path)
+        return ordered
+
+    def native_paths(self) -> List[str]:
+        seen: Set[str] = set()
+        ordered: List[str] = []
+        for event in self.native_events:
+            if event.lib_path not in seen:
+                seen.add(event.lib_path)
+                ordered.append(event.lib_path)
+        return ordered
+
+    def call_sites(self) -> List[str]:
+        """Distinct call-site classes across all events."""
+        sites = {e.call_site for e in self.dex_events if e.call_site}
+        sites |= {e.call_site for e in self.native_events if e.call_site}
+        return sorted(sites)

@@ -1,0 +1,100 @@
+"""The download tracker: a taint flow graph from URLs to files (Table I).
+
+The instrumented IO layer emits edges whenever data moves between the
+modeled node kinds::
+
+    URL -> InputStream -> Buffer -> OutputStream -> File
+    File -> File (copy/rename)      File -> InputStream (re-read)
+
+Nodes are keyed "type @ hash code" for objects and by path for files.  A
+loaded file is *remotely fetched* when the graph contains a path from any
+URL node to that file's node -- that is the whole provenance question the
+Android OS itself cannot answer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import networkx as nx
+
+from repro.runtime.instrumentation import FlowEdge, FlowNode, Instrumentation
+from repro.runtime.vfs import normalize
+
+
+class DownloadTracker:
+    """Builds and queries the URL -> File flow graph of one session."""
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+        self.edges: List[FlowEdge] = []
+
+    def attach(self, instrumentation: Instrumentation) -> "DownloadTracker":
+        instrumentation.on_flow_edge(self.add_edge)
+        return self
+
+    # -- construction -----------------------------------------------------------
+
+    def add_edge(self, edge: FlowEdge) -> None:
+        self.edges.append(edge)
+        self._ensure_node(edge.src)
+        self._ensure_node(edge.dst)
+        self.graph.add_edge(edge.src.key, edge.dst.key, rule=edge.rule)
+
+    def _ensure_node(self, node: FlowNode) -> None:
+        if node.key not in self.graph:
+            self.graph.add_node(node.key, kind=node.kind, detail=node.detail)
+
+    # -- queries ------------------------------------------------------------------
+
+    def url_nodes(self) -> List[str]:
+        return [
+            key
+            for key, attrs in self.graph.nodes(data=True)
+            if attrs.get("kind") == "URL"
+        ]
+
+    def file_key(self, path: str) -> str:
+        return "file:" + normalize(path)
+
+    def is_remote(self, path: str) -> bool:
+        """True when ``path``'s contents are reachable from any URL."""
+        target = self.file_key(path)
+        if target not in self.graph:
+            return False
+        return any(
+            nx.has_path(self.graph, url_key, target) for url_key in self.url_nodes()
+        )
+
+    def remote_sources(self, path: str) -> List[str]:
+        """The URL specs that flowed into ``path``, sorted."""
+        target = self.file_key(path)
+        if target not in self.graph:
+            return []
+        sources = []
+        for url_key in self.url_nodes():
+            if nx.has_path(self.graph, url_key, target):
+                sources.append(self.graph.nodes[url_key].get("detail", url_key))
+        return sorted(set(sources))
+
+    def downloaded_files(self) -> List[str]:
+        """All file paths reachable from some URL (the download closure)."""
+        reachable = set()
+        for url_key in self.url_nodes():
+            reachable.update(nx.descendants(self.graph, url_key))
+        return sorted(
+            self.graph.nodes[key]["detail"]
+            for key in reachable
+            if self.graph.nodes[key].get("kind") == "File"
+        )
+
+    def flow_path(self, url_spec: str, path: str) -> Optional[List[str]]:
+        """One witness node-kind chain from a URL to a file, for reporting."""
+        target = self.file_key(path)
+        for url_key in self.url_nodes():
+            if self.graph.nodes[url_key].get("detail") != url_spec:
+                continue
+            if target in self.graph and nx.has_path(self.graph, url_key, target):
+                keys = nx.shortest_path(self.graph, url_key, target)
+                return [self.graph.nodes[k]["kind"] for k in keys]
+        return None

@@ -1,0 +1,343 @@
+"""The App Execution Engine.
+
+For each candidate app the engine reproduces the paper's per-app session:
+
+1. **rewrite** -- ensure ``WRITE_EXTERNAL_STORAGE`` (repack failures are the
+   "Rewriting failure" outcome);
+2. **provision** -- fresh device, fresh VM, instrumentation hook bus with
+   the DCL logger, code interceptor, and download tracker attached; install
+   companion apps (the ecosystem the app interacts with, e.g.
+   ``com.adobe.air`` whose private library other apps load) and host the
+   app's remote resources on the simulated network;
+3. **launch** -- run the Application container class first (packers decrypt
+   and load here), then drive every Activity through its lifecycle and a
+   seeded Monkey event schedule (apps without activities are "No activity");
+4. **survive** -- uncaught app exceptions end the session as "Crash";
+   storage exhaustion triggers the automatic cleanup-and-retry the paper
+   describes; runaway loops are bounded by the instruction budget;
+5. **collect** -- the :class:`DynamicReport` with everything downstream
+   analyses need.
+
+``replay_under_configs`` reruns one app under the Table VIII environment
+configurations (system time before release, airplane mode with/without
+WiFi, location off) to expose logic-bomb trigger conditions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.android.apk import Apk
+from repro.android.manifest import ComponentKind
+from repro.dynamic.dcl_logger import DclLogger
+from repro.dynamic.download_tracker import DownloadTracker
+from repro.dynamic.interceptor import CodeInterceptor, InterceptedPayload
+from repro.dynamic.monkey import Monkey, MonkeyEvent, discover_handlers
+from repro.runtime.device import (
+    BASELINE_CONFIG,
+    Device,
+    DeviceConfig,
+    EnvironmentConfig,
+)
+from repro.runtime.instrumentation import Instrumentation
+from repro.runtime.objects import VMException, VMObject
+from repro.runtime.vm import BudgetExceededError, DalvikVM
+from repro.static_analysis.rewriter import RepackagingError, ensure_external_write
+
+
+class DynamicOutcome(enum.Enum):
+    """Table II outcome buckets."""
+
+    REWRITING_FAILURE = "rewriting-failure"
+    NO_ACTIVITY = "no-activity"
+    CRASH = "crash"
+    EXERCISED = "exercised"
+
+
+@dataclass
+class EngineOptions:
+    """Per-session knobs (all deterministic given the seed)."""
+
+    monkey_seed: int = 0
+    monkey_budget: int = 25
+    instruction_budget: int = 200_000
+    block_file_ops: bool = True          # ablation: interception mutual exclusion
+    mirror_dumps_to_sdcard: bool = False
+    environment: EnvironmentConfig = BASELINE_CONFIG
+    release_time_ms: int = 0
+    device_config: Optional[DeviceConfig] = None
+    #: extension beyond the paper: also drive Service components through
+    #: their lifecycle, recovering apps Monkey alone cannot exercise (the
+    #: paper counts activity-less apps as "No activity" failures; we do too
+    #: unless this is enabled).
+    exercise_services: bool = False
+    #: other APKs installed on the device before the analyzed app.
+    companions: Tuple[Apk, ...] = ()
+    #: URL -> payload bytes hosted on the simulated network.
+    remote_resources: Dict[str, bytes] = field(default_factory=dict)
+
+
+@dataclass
+class DynamicReport:
+    """Everything one dynamic-analysis session produced."""
+
+    package: str
+    outcome: DynamicOutcome
+    environment: str
+    rewritten: bool = False
+    events_run: int = 0
+    crash_reason: Optional[str] = None
+    dcl: DclLogger = field(default_factory=DclLogger)
+    intercepted: List[InterceptedPayload] = field(default_factory=list)
+    tracker: DownloadTracker = field(default_factory=DownloadTracker)
+    logcat: List[str] = field(default_factory=list)
+    exfiltrated: List[Tuple[str, int]] = field(default_factory=list)
+    storage_cleanups: int = 0
+    #: intercepted paths still present on the device when the session ended
+    #: (with delete-blocking off, temp ad payloads drop out of this list).
+    surviving_paths: List[str] = field(default_factory=list)
+    #: fuzzing code coverage over the app's own packaged methods (the
+    #: paper's discussion: "using a fuzzing tool ... may have a code
+    #: coverage problem").
+    methods_total: int = 0
+    methods_executed: int = 0
+
+    @property
+    def method_coverage(self) -> float:
+        return self.methods_executed / self.methods_total if self.methods_total else 0.0
+
+    @property
+    def intercepted_any(self) -> bool:
+        return bool(self.intercepted)
+
+    def intercepted_paths(self) -> List[str]:
+        return [payload.path for payload in self.intercepted]
+
+
+class AppExecutionEngine:
+    """Runs dynamic analysis sessions, one fresh device per app."""
+
+    def __init__(self, options: Optional[EngineOptions] = None) -> None:
+        self.options = options or EngineOptions()
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self, apk: Apk, options: Optional[EngineOptions] = None) -> DynamicReport:
+        """One full session for one app."""
+        opts = options or self.options
+        package = apk.package
+
+        try:
+            prepared, rewritten = ensure_external_write(apk)
+        except RepackagingError:
+            return DynamicReport(
+                package=package,
+                outcome=DynamicOutcome.REWRITING_FAILURE,
+                environment=opts.environment.name,
+            )
+
+        device, vm, logger, interceptor, tracker = self._provision(prepared, opts)
+        report = DynamicReport(
+            package=package,
+            outcome=DynamicOutcome.EXERCISED,
+            environment=opts.environment.name,
+            rewritten=rewritten,
+            dcl=logger,
+            tracker=tracker,
+        )
+
+        self._run_application_container(vm, prepared, report, opts)
+        if report.outcome is DynamicOutcome.CRASH:
+            self._finalize(report, device, interceptor, vm=vm, apk=prepared)
+            return report
+
+        activities = self._resolvable_activities(vm, prepared)
+        services = self._resolvable_services(vm, prepared) if opts.exercise_services else []
+        if not activities and not services and prepared.manifest.application_name is None:
+            report.outcome = DynamicOutcome.NO_ACTIVITY
+            self._finalize(report, device, interceptor, vm=vm, apk=prepared)
+            return report
+
+        monkey = Monkey(seed=opts.monkey_seed, event_budget=opts.monkey_budget)
+        handlers = {
+            name: discover_handlers(vm.class_space[name]) for name in activities
+        }
+        schedule = monkey.plan(activities, handlers)
+        self._drive(vm, schedule, report, opts)
+        if report.outcome is not DynamicOutcome.CRASH and services:
+            self._drive_services(vm, services, report, opts)
+        self._finalize(report, device, interceptor, vm=vm, apk=prepared)
+        return report
+
+    def replay_under_configs(
+        self,
+        apk: Apk,
+        configs: Sequence[EnvironmentConfig],
+        options: Optional[EngineOptions] = None,
+    ) -> Dict[str, DynamicReport]:
+        """Rerun one app under each environment configuration (Table VIII)."""
+        from dataclasses import replace
+
+        opts = options or self.options
+        results = {}
+        for env in configs:
+            results[env.name] = self.run(apk, replace(opts, environment=env))
+        return results
+
+    # -- session plumbing ----------------------------------------------------------
+
+    def _provision(
+        self, apk: Apk, opts: EngineOptions
+    ) -> Tuple[Device, DalvikVM, DclLogger, CodeInterceptor, DownloadTracker]:
+        device = Device(config=opts.device_config or DeviceConfig())
+        device.apply_environment(opts.environment, release_time_ms=opts.release_time_ms or None)
+        for url, payload in opts.remote_resources.items():
+            device.network.host_resource(url, payload)
+
+        instrumentation = Instrumentation(block_file_ops=opts.block_file_ops)
+        logger = DclLogger().attach(instrumentation)
+        tracker = DownloadTracker().attach(instrumentation)
+        interceptor = CodeInterceptor(
+            device=device, mirror_to_sdcard=opts.mirror_dumps_to_sdcard
+        ).attach(instrumentation)
+
+        vm = DalvikVM(
+            device, instrumentation, instruction_budget=opts.instruction_budget
+        )
+        for companion in opts.companions:
+            device.install(companion)
+        vm.install_app(apk, release_time_ms=opts.release_time_ms)
+        return device, vm, logger, interceptor, tracker
+
+    def _run_application_container(
+        self, vm: DalvikVM, apk: Apk, report: DynamicReport, opts: EngineOptions
+    ) -> None:
+        """Instantiate the <application android:name=...> class, if any."""
+        container = apk.manifest.application_name
+        if container is None or container not in vm.class_space:
+            return
+        instance = VMObject(container)
+        for callback in ("<init>", "attachBaseContext", "onCreate"):
+            if vm.resolve_app_method(container, callback) is None:
+                continue
+            if not self._invoke_guarded(vm, container, callback, instance, report, opts):
+                report.outcome = DynamicOutcome.CRASH
+                return
+            report.events_run += 1
+
+    def _resolvable_activities(self, vm: DalvikVM, apk: Apk) -> List[str]:
+        """Declared activities whose bytecode actually exists."""
+        return [
+            component.name
+            for component in apk.manifest.components
+            if component.kind is ComponentKind.ACTIVITY
+            and component.name in vm.class_space
+        ]
+
+    def _resolvable_services(self, vm: DalvikVM, apk: Apk) -> List[str]:
+        return [
+            component.name
+            for component in apk.manifest.components
+            if component.kind is ComponentKind.SERVICE
+            and component.name in vm.class_space
+        ]
+
+    def _drive_services(
+        self, vm: DalvikVM, services: List[str], report: DynamicReport, opts: EngineOptions
+    ) -> None:
+        """Start each declared service: onCreate -> onStartCommand/onStart."""
+        for service_name in services:
+            instance = VMObject(service_name)
+            for callback in ("onCreate", "onStartCommand", "onStart"):
+                if vm.resolve_app_method(service_name, callback) is None:
+                    continue
+                if not self._invoke_guarded(vm, service_name, callback, instance, report, opts):
+                    report.outcome = DynamicOutcome.CRASH
+                    return
+                report.events_run += 1
+
+    def _drive(
+        self,
+        vm: DalvikVM,
+        schedule: Sequence[MonkeyEvent],
+        report: DynamicReport,
+        opts: EngineOptions,
+    ) -> None:
+        instances: Dict[str, VMObject] = {}
+        for event in schedule:
+            instance = instances.get(event.activity)
+            if instance is None:
+                instance = VMObject(event.activity)
+                instances[event.activity] = instance
+            if vm.resolve_app_method(event.activity, event.callback) is None:
+                continue
+            if not self._invoke_guarded(
+                vm, event.activity, event.callback, instance, report, opts
+            ):
+                report.outcome = DynamicOutcome.CRASH
+                return
+            report.events_run += 1
+
+    def _invoke_guarded(
+        self,
+        vm: DalvikVM,
+        class_name: str,
+        method_name: str,
+        instance: VMObject,
+        report: DynamicReport,
+        opts: EngineOptions,
+        retried: bool = False,
+    ) -> bool:
+        """Invoke one entry point; True when the session may continue."""
+        try:
+            vm.run_entry(class_name, method_name, [instance])
+            return True
+        except BudgetExceededError:
+            # A looping handler: the watchdog kills the event, not the app.
+            return True
+        except VMException as exc:
+            if "ENOSPC" in exc.message and not retried:
+                # The paper's automatic exception handling: free device
+                # storage (our dump mirror is the main consumer) and retry.
+                self._free_storage(vm)
+                report.storage_cleanups += 1
+                return self._invoke_guarded(
+                    vm, class_name, method_name, instance, report, opts, retried=True
+                )
+            report.crash_reason = str(exc)
+            return False
+
+    @staticmethod
+    def _free_storage(vm: DalvikVM) -> None:
+        doomed = [
+            path for path in vm.device.vfs.files if path.startswith("/mnt/sdcard/dydroid/")
+        ]
+        for path in doomed:
+            vm.device.vfs.delete(path)
+
+    @staticmethod
+    def _finalize(
+        report: DynamicReport,
+        device: Device,
+        interceptor: CodeInterceptor,
+        vm: Optional[DalvikVM] = None,
+        apk: Optional[Apk] = None,
+    ) -> None:
+        if vm is not None and apk is not None:
+            own_methods = {
+                (method.class_name, method.name)
+                for dex in apk.dex_files()
+                for method in dex.iter_methods()
+            }
+            report.methods_total = len(own_methods)
+            report.methods_executed = len(own_methods & vm.executed_methods)
+        report.intercepted = list(interceptor.payloads)
+        report.logcat = list(device.logcat)
+        report.exfiltrated = list(device.network.exfil_log)
+        report.surviving_paths = [
+            payload.path
+            for payload in interceptor.payloads
+            if device.vfs.exists(payload.path)
+        ]

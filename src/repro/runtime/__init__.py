@@ -1,0 +1,45 @@
+"""The simulated device and Dalvik-style runtime.
+
+The paper ran apps on a Samsung Galaxy Nexus with an instrumented Android
+4.3.1 image.  This package is that substrate in Python:
+
+- :mod:`repro.runtime.vfs` -- virtual filesystem with internal/external
+  storage semantics and the pre-/post-KitKat external-storage write rules;
+- :mod:`repro.runtime.network` -- the simulated internet (remote servers,
+  URL fetch, connectivity state);
+- :mod:`repro.runtime.device` -- device state: clock, settings, telephony
+  identifiers, accounts, installed packages, content providers, app installs;
+- :mod:`repro.runtime.objects` -- the VM object model;
+- :mod:`repro.runtime.stacktrace` -- Java-style stack trace elements and the
+  call-site extraction DyDroid uses for entity attribution;
+- :mod:`repro.runtime.instrumentation` -- the hook bus at the paper's hook
+  points (class loader ctors, JNI load*, File delete/rename, URL/stream IO);
+- :mod:`repro.runtime.vm` -- the register-machine interpreter;
+- :mod:`repro.runtime.frameworkapi` -- Android/Java framework API semantics;
+- :mod:`repro.runtime.classloader` -- DexClassLoader / PathClassLoader;
+- :mod:`repro.runtime.jni` -- System/Runtime load(), loadLibrary(), load0().
+"""
+
+from repro.runtime.device import Device, DeviceConfig
+from repro.runtime.instrumentation import Instrumentation
+from repro.runtime.objects import NULL, VMException, VMObject
+from repro.runtime.stacktrace import StackTraceElement, call_site_class
+from repro.runtime.vfs import FileRecord, StorageFullError, VirtualFilesystem
+from repro.runtime.vm import DalvikVM, ExecutionContext, ExecutionError
+
+__all__ = [
+    "DalvikVM",
+    "Device",
+    "DeviceConfig",
+    "ExecutionContext",
+    "ExecutionError",
+    "FileRecord",
+    "Instrumentation",
+    "NULL",
+    "StackTraceElement",
+    "StorageFullError",
+    "VMException",
+    "VMObject",
+    "VirtualFilesystem",
+    "call_site_class",
+]

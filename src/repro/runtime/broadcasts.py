@@ -1,0 +1,101 @@
+"""Ordered broadcasts: the delivery substrate SMS-blocker malware abuses.
+
+Android delivers events like ``SMS_RECEIVED`` as *ordered broadcasts*:
+receivers run by descending priority and any of them may call
+``abortBroadcast()`` to stop the chain -- the classic premium-SMS-trojan
+trick (the Swiss-code-monkeys family "block[s] text message response").
+
+Receivers come from two places, as on Android:
+
+- **manifest-declared** ``<receiver>`` components, registered at install;
+- **runtime-registered** via ``Context.registerReceiver``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.runtime.objects import VMObject
+
+SMS_RECEIVED_ACTION = "android.provider.Telephony.SMS_RECEIVED"
+
+
+@dataclass
+class Registration:
+    """One registered receiver."""
+
+    package: str
+    class_name: str
+    action: str
+    priority: int = 0
+    #: runtime registrations carry the live receiver object.
+    instance: Optional[VMObject] = None
+
+
+@dataclass
+class BroadcastRecord:
+    """Outcome of one delivery, for tests and reports."""
+
+    action: str
+    receivers_run: List[str] = field(default_factory=list)
+    aborted_by: Optional[str] = None
+
+    @property
+    def aborted(self) -> bool:
+        return self.aborted_by is not None
+
+
+class BroadcastManager:
+    """Registration table plus ordered delivery through a VM."""
+
+    def __init__(self) -> None:
+        self.registrations: List[Registration] = []
+        self.history: List[BroadcastRecord] = []
+
+    def register(
+        self,
+        package: str,
+        class_name: str,
+        action: str,
+        priority: int = 0,
+        instance: Optional[VMObject] = None,
+    ) -> Registration:
+        registration = Registration(
+            package=package,
+            class_name=class_name,
+            action=action,
+            priority=priority,
+            instance=instance,
+        )
+        self.registrations.append(registration)
+        return registration
+
+    def receivers_for(self, action: str) -> List[Registration]:
+        matching = [r for r in self.registrations if r.action == action]
+        return sorted(matching, key=lambda r: -r.priority)
+
+    def deliver(self, vm, action: str, extras: Optional[dict] = None) -> BroadcastRecord:
+        """Run the ordered chain; returns what happened."""
+        from repro.android.bytecode import MethodRef
+
+        record = BroadcastRecord(action=action)
+        intent = VMObject(
+            "android.content.Intent",
+            payload={"action": action, "extras": dict(extras or {}), "aborted_by": None},
+        )
+        for registration in self.receivers_for(action):
+            if vm.resolve_app_method(registration.class_name, "onReceive") is None:
+                continue
+            receiver = registration.instance or VMObject(registration.class_name)
+            receiver.fields["_current_intent"] = intent
+            vm.invoke(
+                MethodRef(registration.class_name, "onReceive", 3),
+                [receiver, receiver, intent],
+            )
+            record.receivers_run.append(registration.class_name)
+            if intent.payload["aborted_by"] is not None:
+                record.aborted_by = intent.payload["aborted_by"]
+                break
+        self.history.append(record)
+        return record

@@ -1,0 +1,754 @@
+"""Framework API semantics (java.* / android.*) with instrumentation.
+
+This module is the simulated framework image the apps run against.  Each
+implementation receives ``(vm, args)`` where ``args[0]`` is the receiver for
+instance methods.  The paper's hook points are implemented exactly where it
+placed them:
+
+- ``URL.<init>`` records URL creation; ``URLConnection.getInputStream()``
+  emits the URL -> InputStream flow edge (Table I, row 1);
+- stream constructors and ``read()``/``write()`` emit the
+  InputStream/Buffer/OutputStream/File flow edges (Table I, rows 2-5);
+- ``File.delete()`` / ``File.renameTo()`` consult the interception queue and
+  silently no-op for protected payload files; rename emits File -> File;
+- the class loaders and JNI entry points (installed from
+  :mod:`repro.runtime.classloader` and :mod:`repro.runtime.jni`) log DCL
+  events with a captured stack trace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.android.apk import Apk
+from repro.runtime.instrumentation import FlowNode
+from repro.runtime.objects import NULL, VMException, VMObject, object_key
+from repro.runtime import vfs as vfs_mod
+from repro.runtime.vfs import AccessDeniedError, StorageFullError
+
+# Flow-rule labels matching Table I.
+RULE_URL_TO_STREAM = "URL->InputStream"
+RULE_STREAM_TO_STREAM = "InputStream->InputStream"
+RULE_STREAM_TO_BUFFER = "InputStream->Buffer"
+RULE_BUFFER_TO_OUT = "Buffer->OutputStream"
+RULE_OUT_TO_OUT = "OutputStream->OutputStream"
+RULE_OUT_TO_FILE = "OutputStream->File"
+RULE_FILE_TO_FILE = "File->File"
+RULE_FILE_TO_STREAM = "File->InputStream"
+
+
+def install(vm: "DalvikVM") -> None:  # noqa: F821 - circular type reference
+    """Register the full framework surface onto a fresh VM."""
+    _install_supers(vm)
+    _install_lang(vm)
+    _install_io(vm)
+    _install_net(vm)
+    _install_android(vm)
+    _install_providers(vm)
+
+    # Class loaders and JNI live in their own modules but are part of the
+    # framework image.
+    from repro.runtime import classloader, jni
+
+    classloader.install(vm)
+    jni.install(vm)
+
+
+# ---------------------------------------------------------------------------
+# helpers shared by the implementations
+
+
+def file_node(path: str) -> FlowNode:
+    """Files are keyed by path -- two objects naming one path are one file."""
+    return FlowNode(key="file:" + path, kind="File", detail=path)
+
+
+def obj_node(obj: VMObject, kind: str, detail: str = "") -> FlowNode:
+    return FlowNode(key=object_key(obj), kind=kind, detail=detail)
+
+
+def require_context(vm) -> "ExecutionContext":  # noqa: F821
+    if vm.context is None:
+        raise VMException("java.lang.IllegalStateException", "no app context")
+    return vm.context
+
+
+def vm_write_file(vm, path: str, data: bytes, append: bool = False) -> None:
+    """Write on behalf of the current app, enforcing storage rules."""
+    ctx = require_context(vm)
+    try:
+        if append and vm.device.vfs.exists(path):
+            data = vm.device.vfs.read(path) + data
+        vm.device.vfs.write(
+            path,
+            data,
+            owner=ctx.package,
+            has_external_permission=ctx.has_external_write,
+            api_level=vm.device.config.api_level,
+            created_at_ms=vm.device.now_ms(),
+        )
+    except AccessDeniedError as exc:
+        raise VMException("java.io.IOException", "EACCES: {}".format(exc))
+    except StorageFullError as exc:
+        raise VMException("java.io.IOException", "ENOSPC: {}".format(exc))
+
+
+def vm_read_file(vm, path: str) -> bytes:
+    try:
+        return vm.device.vfs.read(path)
+    except FileNotFoundError:
+        raise VMException("java.io.FileNotFoundException", path)
+
+
+def _as_path(value: Any) -> str:
+    """Accept either a String path or a java.io.File object."""
+    if isinstance(value, VMObject) and value.class_name == "java.io.File":
+        return value.payload
+    if isinstance(value, str):
+        return vfs_mod.normalize(value)
+    raise VMException("java.lang.NullPointerException", "path")
+
+
+# ---------------------------------------------------------------------------
+# inheritance table
+
+
+def _install_supers(vm) -> None:
+    supers = {
+        "java.io.FileInputStream": "java.io.InputStream",
+        "java.io.BufferedInputStream": "java.io.InputStream",
+        "java.io.DataInputStream": "java.io.InputStream",
+        "java.io.ByteArrayInputStream": "java.io.InputStream",
+        "java.io.FileOutputStream": "java.io.OutputStream",
+        "java.io.BufferedOutputStream": "java.io.OutputStream",
+        "java.io.ByteArrayOutputStream": "java.io.OutputStream",
+        "java.io.InputStreamReader": "java.io.Reader",
+        "java.io.BufferedReader": "java.io.Reader",
+        "java.io.FileWriter": "java.io.Writer",
+        "java.net.HttpURLConnection": "java.net.URLConnection",
+        "java.net.HttpsURLConnection": "java.net.HttpURLConnection",
+        "java.net.FtpURLConnection": "java.net.URLConnection",
+        "dalvik.system.DexClassLoader": "dalvik.system.BaseDexClassLoader",
+        "dalvik.system.PathClassLoader": "dalvik.system.BaseDexClassLoader",
+        "dalvik.system.BaseDexClassLoader": "java.lang.ClassLoader",
+        "android.app.Activity": "android.content.Context",
+        "android.app.Application": "android.content.Context",
+        "android.app.Service": "android.content.Context",
+    }
+    for cls, sup in supers.items():
+        vm.register_framework_super(cls, sup)
+
+
+# ---------------------------------------------------------------------------
+# java.lang
+
+
+def _install_lang(vm) -> None:
+    reg = vm.register_api
+
+    reg("java.lang.Object", "<init>", lambda vm_, a: None)
+    reg("java.lang.Object", "hashCode", lambda vm_, a: a[0].hash_code() if isinstance(a[0], VMObject) else 0)
+    reg("java.lang.Object", "getClass", _object_get_class)
+    reg("java.lang.System", "currentTimeMillis", lambda vm_, a: vm_.device.now_ms())
+    reg("java.lang.Thread", "sleep", lambda vm_, a: None)
+    reg("java.lang.String", "concat", lambda vm_, a: "{}{}".format(a[0] or "", a[1] or ""))
+    reg("java.lang.String", "equals", lambda vm_, a: 1 if a[0] == a[1] else 0)
+    reg("java.lang.String", "length", lambda vm_, a: len(a[0] or ""))
+    reg("java.lang.String", "valueOf", lambda vm_, a: str(a[0]))
+    reg("java.lang.StringBuilder", "<init>", lambda vm_, a: _sb_init(a[0]))
+    reg("java.lang.StringBuilder", "append", _sb_append)
+    reg("java.lang.StringBuilder", "toString", lambda vm_, a: a[0].payload)
+    reg("java.lang.Runtime", "getRuntime", lambda vm_, a: VMObject("java.lang.Runtime"))
+    reg("java.lang.Class", "forName", _class_for_name)
+    reg("java.lang.Class", "newInstance", _class_new_instance)
+    reg("java.lang.Class", "getMethod", _class_get_method)
+    reg("java.lang.Class", "getName", lambda vm_, a: a[0].payload)
+    reg("java.lang.reflect.Method", "invoke", _method_invoke)
+    reg("java.lang.RuntimeException", "<init>", lambda vm_, a: None)
+    reg("java.lang.Exception", "<init>", lambda vm_, a: None)
+
+
+def _sb_init(sb: VMObject) -> None:
+    sb.payload = ""
+
+
+def _sb_append(vm, args: List[Any]) -> VMObject:
+    sb = args[0]
+    sb.payload = (sb.payload or "") + ("" if args[1] is None else str(args[1]))
+    return sb
+
+
+def _object_get_class(vm, args: List[Any]) -> VMObject:
+    receiver = args[0]
+    name = receiver.class_name if isinstance(receiver, VMObject) else "java.lang.Object"
+    return VMObject("java.lang.Class", payload=name)
+
+
+def _class_for_name(vm, args: List[Any]) -> VMObject:
+    name = args[0]
+    if name in vm.class_space or vm.is_framework_class(name):
+        return VMObject("java.lang.Class", payload=name)
+    raise VMException("java.lang.ClassNotFoundException", str(name))
+
+
+def _class_new_instance(vm, args: List[Any]) -> VMObject:
+    name = args[0].payload
+    instance = VMObject(name)
+    if vm.resolve_app_method(name, "<init>") is not None:
+        from repro.android.bytecode import MethodRef
+
+        vm.invoke(MethodRef(name, "<init>", 1), [instance])
+    return instance
+
+
+def _class_get_method(vm, args: List[Any]) -> VMObject:
+    cls, name = args[0], args[1]
+    return VMObject("java.lang.reflect.Method", payload=(cls.payload, name))
+
+
+def _method_invoke(vm, args: List[Any]) -> Any:
+    from repro.android.bytecode import MethodRef
+
+    method_obj, receiver = args[0], args[1]
+    class_name, method_name = method_obj.payload
+    call_args = [receiver] + list(args[2:]) if receiver is not None else list(args[2:])
+    return vm.invoke(MethodRef(class_name, method_name, len(call_args)), call_args)
+
+
+# ---------------------------------------------------------------------------
+# java.io
+
+
+def _install_io(vm) -> None:
+    reg = vm.register_api
+
+    reg("java.io.File", "<init>", _file_init)
+    reg("java.io.File", "getAbsolutePath", lambda vm_, a: a[0].payload)
+    reg("java.io.File", "getPath", lambda vm_, a: a[0].payload)
+    reg("java.io.File", "exists", lambda vm_, a: 1 if vm_.device.vfs.exists(a[0].payload) else 0)
+    reg("java.io.File", "length", _file_length)
+    reg("java.io.File", "delete", _file_delete)
+    reg("java.io.File", "renameTo", _file_rename_to)
+    reg("java.io.File", "mkdirs", lambda vm_, a: 1)
+    reg("java.io.FileInputStream", "<init>", _file_input_stream_init)
+    reg("java.io.ByteArrayInputStream", "<init>", _byte_array_input_stream_init)
+    reg("java.io.BufferedInputStream", "<init>", _wrap_input_stream)
+    reg("java.io.DataInputStream", "<init>", _wrap_input_stream)
+    reg("java.io.InputStream", "read", _input_stream_read)
+    reg("java.io.InputStream", "close", lambda vm_, a: None)
+    reg("java.io.InputStream", "available", _input_stream_available)
+    reg("java.io.FileOutputStream", "<init>", _file_output_stream_init)
+    reg("java.io.BufferedOutputStream", "<init>", _wrap_output_stream)
+    reg("java.io.OutputStream", "write", _output_stream_write)
+    reg("java.io.OutputStream", "flush", lambda vm_, a: None)
+    reg("java.io.OutputStream", "close", lambda vm_, a: None)
+
+
+def _file_init(vm, args: List[Any]) -> None:
+    obj = args[0]
+    if len(args) == 3:  # new File(dir, name)
+        parent = _as_path(args[1])
+        obj.payload = vfs_mod.normalize("{}/{}".format(parent, args[2]))
+    else:
+        obj.payload = _as_path(args[1])
+
+
+def _file_length(vm, args: List[Any]) -> int:
+    record = vm.device.vfs.stat(args[0].payload)
+    return record.size if record else 0
+
+
+def _file_delete(vm, args: List[Any]) -> int:
+    path = args[0].payload
+    ctx = require_context(vm)
+    if vm.instrumentation.intercept_file_op("delete", path, ctx.package):
+        # Silently "succeed" so the app never notices interception.
+        return 1
+    if not vm.device.vfs.may_write(path, ctx.package, ctx.has_external_write, vm.device.config.api_level):
+        return 0
+    return 1 if vm.device.vfs.delete(path) else 0
+
+
+def _file_rename_to(vm, args: List[Any]) -> int:
+    src = args[0].payload
+    dst = _as_path(args[1])
+    ctx = require_context(vm)
+    if vm.instrumentation.intercept_file_op("rename", src, ctx.package):
+        return 1
+    if not vm.device.vfs.may_write(dst, ctx.package, ctx.has_external_write, vm.device.config.api_level):
+        return 0
+    moved = vm.device.vfs.rename(src, dst)
+    if moved:
+        vm.instrumentation.emit_flow(file_node(src), file_node(dst), RULE_FILE_TO_FILE)
+    return 1 if moved else 0
+
+
+def _file_input_stream_init(vm, args: List[Any]) -> None:
+    stream, path = args[0], _as_path(args[1])
+    data = vm_read_file(vm, path)
+    stream.payload = {"data": data, "pos": 0, "origin": ("file", path)}
+    vm.instrumentation.emit_flow(
+        file_node(path), obj_node(stream, "InputStream", path), RULE_FILE_TO_STREAM
+    )
+
+
+def _byte_array_input_stream_init(vm, args: List[Any]) -> None:
+    stream, buffer = args[0], args[1]
+    data = bytes(buffer.payload) if isinstance(buffer, VMObject) else b""
+    stream.payload = {"data": data, "pos": 0, "origin": ("memory", "")}
+    if isinstance(buffer, VMObject):
+        vm.instrumentation.emit_flow(
+            obj_node(buffer, "Buffer"), obj_node(stream, "InputStream"), RULE_STREAM_TO_STREAM
+        )
+
+
+def _wrap_input_stream(vm, args: List[Any]) -> None:
+    wrapper, inner = args[0], args[1]
+    if not isinstance(inner, VMObject) or inner.payload is None:
+        raise VMException("java.lang.NullPointerException", "stream")
+    wrapper.payload = inner.payload  # share the cursor like real wrappers do
+    vm.instrumentation.emit_flow(
+        obj_node(inner, "InputStream"), obj_node(wrapper, "InputStream"), RULE_STREAM_TO_STREAM
+    )
+
+
+def _input_stream_read(vm, args: List[Any]) -> int:
+    stream = args[0]
+    state = stream.payload
+    if state is None:
+        raise VMException("java.io.IOException", "stream closed")
+    data, pos = state["data"], state["pos"]
+    if len(args) < 2 or not isinstance(args[1], VMObject):
+        # single-byte read()
+        if pos >= len(data):
+            return -1
+        state["pos"] = pos + 1
+        return data[pos]
+    buffer = args[1]
+    chunk = data[pos: pos + max(len(buffer.payload), 1)]
+    if not chunk:
+        return -1
+    buffer.payload[: len(chunk)] = chunk
+    if len(buffer.payload) < len(chunk):
+        buffer.payload.extend(chunk[len(buffer.payload):])
+    state["pos"] = pos + len(chunk)
+    buffer.fields["_filled"] = len(chunk)
+    vm.instrumentation.emit_flow(
+        obj_node(stream, "InputStream"), obj_node(buffer, "Buffer"), RULE_STREAM_TO_BUFFER
+    )
+    return len(chunk)
+
+
+def _input_stream_available(vm, args: List[Any]) -> int:
+    state = args[0].payload or {"data": b"", "pos": 0}
+    return max(len(state["data"]) - state["pos"], 0)
+
+
+def _file_output_stream_init(vm, args: List[Any]) -> None:
+    stream, path = args[0], _as_path(args[1])
+    append = bool(args[2]) if len(args) > 2 else False
+    ctx = require_context(vm)
+    # Opening for write checks permissions eagerly, like open(2) would.
+    if not vm.device.vfs.may_write(path, ctx.package, ctx.has_external_write, vm.device.config.api_level):
+        raise VMException("java.io.IOException", "EACCES: {}".format(path))
+    if not append:
+        vm_write_file(vm, path, b"")
+    stream.payload = {"kind": "file", "path": path}
+
+
+def _wrap_output_stream(vm, args: List[Any]) -> None:
+    wrapper, inner = args[0], args[1]
+    if not isinstance(inner, VMObject) or inner.payload is None:
+        raise VMException("java.lang.NullPointerException", "stream")
+    wrapper.payload = inner.payload
+    vm.instrumentation.emit_flow(
+        obj_node(inner, "OutputStream"), obj_node(wrapper, "OutputStream"), RULE_OUT_TO_OUT
+    )
+
+
+def _output_stream_write(vm, args: List[Any]) -> None:
+    stream, buffer = args[0], args[1]
+    state = stream.payload
+    if state is None:
+        raise VMException("java.io.IOException", "stream closed")
+    if isinstance(buffer, VMObject):
+        filled = buffer.fields.get("_filled", len(buffer.payload))
+        data = bytes(buffer.payload[:filled])
+        vm.instrumentation.emit_flow(
+            obj_node(buffer, "Buffer"), obj_node(stream, "OutputStream"), RULE_BUFFER_TO_OUT
+        )
+    elif isinstance(buffer, int):
+        data = bytes([buffer & 0xFF])
+    else:
+        data = b""
+    if state["kind"] == "file":
+        path = state["path"]
+        vm_write_file(vm, path, data, append=True)
+        vm.instrumentation.emit_flow(
+            obj_node(stream, "OutputStream"), file_node(path), RULE_OUT_TO_FILE
+        )
+    elif state["kind"] == "net":
+        vm.device.network.exfil_log.append((state["url"], len(data)))
+
+
+# ---------------------------------------------------------------------------
+# java.net
+
+
+def _install_net(vm) -> None:
+    reg = vm.register_api
+
+    reg("java.net.URL", "<init>", _url_init)
+    reg("java.net.URL", "toString", lambda vm_, a: a[0].payload)
+    reg("java.net.URL", "openConnection", _url_open_connection)
+    reg("java.net.URL", "openStream", _url_open_stream)
+    reg("java.net.URLConnection", "connect", lambda vm_, a: None)
+    reg("java.net.URLConnection", "getInputStream", _connection_get_input_stream)
+    reg("java.net.URLConnection", "getOutputStream", _connection_get_output_stream)
+    reg("java.net.URLConnection", "setRequestMethod", lambda vm_, a: None)
+    reg("java.net.URLConnection", "getResponseCode", lambda vm_, a: 200)
+    reg("java.net.URLConnection", "disconnect", lambda vm_, a: None)
+
+
+def _url_init(vm, args: List[Any]) -> None:
+    obj, spec = args[0], args[1]
+    if not isinstance(spec, str) or "://" not in spec:
+        raise VMException("java.net.MalformedURLException", str(spec))
+    obj.payload = spec
+
+
+def _url_open_connection(vm, args: List[Any]) -> VMObject:
+    url = args[0]
+    scheme = url.payload.split("://", 1)[0]
+    class_name = {
+        "http": "java.net.HttpURLConnection",
+        "https": "java.net.HttpsURLConnection",
+        "ftp": "java.net.FtpURLConnection",
+    }.get(scheme, "java.net.URLConnection")
+    return VMObject(class_name, payload={"url_obj": url})
+
+
+def _connection_get_input_stream(vm, args: List[Any]) -> VMObject:
+    connection = args[0]
+    url_obj: VMObject = connection.payload["url_obj"]
+    spec = url_obj.payload
+    try:
+        data = vm.device.network.fetch(spec, online=vm.device.is_online())
+    except IOError as exc:
+        raise VMException("java.io.IOException", str(exc))
+    stream = VMObject(
+        "java.io.InputStream",
+        payload={"data": data, "pos": 0, "origin": ("url", spec)},
+    )
+    vm.instrumentation.emit_flow(
+        obj_node(url_obj, "URL", spec), obj_node(stream, "InputStream"), RULE_URL_TO_STREAM
+    )
+    return stream
+
+
+def _url_open_stream(vm, args: List[Any]) -> VMObject:
+    connection = _url_open_connection(vm, args)
+    return _connection_get_input_stream(vm, [connection])
+
+
+def _connection_get_output_stream(vm, args: List[Any]) -> VMObject:
+    connection = args[0]
+    url_obj: VMObject = connection.payload["url_obj"]
+    return VMObject("java.io.OutputStream", payload={"kind": "net", "url": url_obj.payload})
+
+
+# ---------------------------------------------------------------------------
+# android.*
+
+
+def _install_android(vm) -> None:
+    reg = vm.register_api
+
+    for lifecycle in ("onCreate", "onStart", "onResume", "onPause", "onStop", "onDestroy", "<init>"):
+        reg("android.app.Activity", lifecycle, lambda vm_, a: None)
+        reg("android.app.Application", lifecycle, lambda vm_, a: None)
+    reg("android.content.Context", "getPackageName", lambda vm_, a: require_context(vm_).package)
+    reg("android.content.Context", "getFilesDir", _context_files_dir)
+    reg("android.content.Context", "getCacheDir", _context_cache_dir)
+    reg("android.content.Context", "getSystemService", _context_get_system_service)
+    reg("android.content.Context", "getPackageManager", lambda vm_, a: VMObject("android.content.pm.PackageManager"))
+    reg("android.content.Context", "getContentResolver", lambda vm_, a: VMObject("android.content.ContentResolver"))
+    reg("android.content.Context", "getAssets", _context_get_assets)
+    reg("android.content.Context", "createPackageContext", _create_package_context)
+    reg("android.content.Context", "getClassLoader", _context_get_class_loader)
+    reg("android.content.Context", "registerReceiver", _register_receiver)
+    reg("android.content.Context", "getSharedPreferences", _get_shared_preferences)
+    reg("android.content.SharedPreferences", "getString", _prefs_get_string)
+    reg("android.content.SharedPreferences", "edit", lambda vm_, a: a[0])
+    reg("android.content.SharedPreferences", "putString", _prefs_put_string)
+    reg("android.content.SharedPreferences", "commit", lambda vm_, a: 1)
+    reg("android.content.SharedPreferences", "apply", lambda vm_, a: None)
+    reg("android.content.BroadcastReceiver", "abortBroadcast", _abort_broadcast)
+    reg("android.content.Intent", "getAction", lambda vm_, a: a[0].payload.get("action") if isinstance(a[0].payload, dict) else None)
+    reg("android.content.Intent", "getStringExtra", _intent_get_string_extra)
+    reg("android.content.res.AssetManager", "open", _asset_manager_open)
+    reg("android.os.Environment", "getExternalStorageDirectory", lambda vm_, a: _env_external(vm_))
+    reg("android.util.Log", "d", _log)
+    reg("android.util.Log", "e", _log)
+    reg("android.util.Log", "i", _log)
+    reg("android.util.Log", "v", _log)
+    reg("android.util.Log", "w", _log)
+
+    reg("android.telephony.TelephonyManager", "getDeviceId", lambda vm_, a: vm_.device.config.imei)
+    reg("android.telephony.TelephonyManager", "getSubscriberId", lambda vm_, a: vm_.device.config.imsi)
+    reg("android.telephony.TelephonyManager", "getSimSerialNumber", lambda vm_, a: vm_.device.config.iccid)
+    reg("android.telephony.TelephonyManager", "getLine1Number", lambda vm_, a: vm_.device.config.line1_number)
+    reg("android.telephony.SmsManager", "getDefault", lambda vm_, a: VMObject("android.telephony.SmsManager"))
+    reg("android.telephony.SmsManager", "sendTextMessage", _send_text_message)
+
+    reg("android.net.ConnectivityManager", "getActiveNetworkInfo", _get_active_network_info)
+    reg("android.net.NetworkInfo", "isConnected", lambda vm_, a: 1)
+
+    reg("android.location.LocationManager", "isProviderEnabled", lambda vm_, a: 1 if vm_.device.config.location_enabled else 0)
+    reg("android.location.LocationManager", "getLastKnownLocation", _get_last_known_location)
+    reg("android.location.Location", "getLatitude", lambda vm_, a: 37)
+    reg("android.location.Location", "getLongitude", lambda vm_, a: -122)
+
+    reg("android.accounts.AccountManager", "get", lambda vm_, a: VMObject("android.accounts.AccountManager"))
+    reg("android.accounts.AccountManager", "getAccounts", _get_accounts)
+
+    reg("android.content.pm.PackageManager", "getInstalledApplications", _get_installed)
+    reg("android.content.pm.PackageManager", "getInstalledPackages", _get_installed)
+
+    reg("android.content.ContentResolver", "query", _content_resolver_query)
+    reg("android.database.Cursor", "moveToNext", _cursor_move_to_next)
+    reg("android.database.Cursor", "getString", _cursor_get_string)
+    reg("android.database.Cursor", "close", lambda vm_, a: None)
+
+    reg("android.provider.Settings$System", "getString", _settings_get_string)
+    reg("android.provider.Settings$Secure", "getString", _settings_get_string)
+
+
+def _context_files_dir(vm, args: List[Any]) -> VMObject:
+    path = "{}/files".format(require_context(vm).data_dir)
+    return VMObject("java.io.File", payload=path)
+
+
+def _context_cache_dir(vm, args: List[Any]) -> VMObject:
+    path = "{}/cache".format(require_context(vm).data_dir)
+    return VMObject("java.io.File", payload=path)
+
+
+_SERVICE_CLASSES = {
+    "phone": "android.telephony.TelephonyManager",
+    "connectivity": "android.net.ConnectivityManager",
+    "location": "android.location.LocationManager",
+    "account": "android.accounts.AccountManager",
+}
+
+
+def _context_get_system_service(vm, args: List[Any]) -> Optional[VMObject]:
+    name = args[1]
+    class_name = _SERVICE_CLASSES.get(name)
+    return VMObject(class_name) if class_name else NULL
+
+
+def _context_get_assets(vm, args: List[Any]) -> VMObject:
+    return VMObject("android.content.res.AssetManager", payload=require_context(vm).apk)
+
+
+def _create_package_context(vm, args: List[Any]) -> VMObject:
+    """``createPackageContext(pkg, CONTEXT_INCLUDE_CODE)``: a foreign
+    context whose class loader exposes another app's bytecode (Section II:
+    "an application can even use package contexts to retrieve the classes
+    contained in another application")."""
+    target = args[1]
+    if target not in vm.device.installed:
+        raise VMException(
+            "android.content.pm.PackageManager$NameNotFoundException", str(target)
+        )
+    return VMObject("android.content.Context", payload={"package": target})
+
+
+def _context_get_class_loader(vm, args: List[Any]) -> VMObject:
+    """The context's class loader; for a foreign package context this
+    constructs a PathClassLoader over the other app's APK -- a DCL event."""
+    from repro.android.bytecode import MethodRef
+    from repro.runtime.vfs import apk_install_path
+
+    context = args[0]
+    if not (isinstance(context.payload, dict) and "package" in context.payload):
+        # The app's own loader already exists -- returning it is not DCL.
+        return VMObject("java.lang.ClassLoader", payload={"kind": "app"})
+    target = context.payload["package"]
+    loader = VMObject("dalvik.system.PathClassLoader")
+    vm.invoke(
+        MethodRef("dalvik.system.PathClassLoader", "<init>", 3),
+        [loader, apk_install_path(target), NULL],
+    )
+    return loader
+
+
+def _asset_manager_open(vm, args: List[Any]) -> VMObject:
+    manager, name = args[0], args[1]
+    apk: Apk = manager.payload
+    entry = "assets/{}".format(name)
+    data = apk.entries.get(entry)
+    if data is None:
+        raise VMException("java.io.FileNotFoundException", entry)
+    return VMObject(
+        "java.io.InputStream", payload={"data": data, "pos": 0, "origin": ("asset", entry)}
+    )
+
+
+def _env_external(vm) -> VMObject:
+    return VMObject("java.io.File", payload=vfs_mod.EXTERNAL_ROOT)
+
+
+def _prefs_path(vm, name: str) -> str:
+    return "{}/shared_prefs/{}.xml".format(require_context(vm).data_dir, name)
+
+
+def _get_shared_preferences(vm, args: List[Any]) -> VMObject:
+    """SharedPreferences backed by a real file under shared_prefs/."""
+    import json as _json
+
+    name = args[1] if len(args) > 1 and isinstance(args[1], str) else "default"
+    path = _prefs_path(vm, name)
+    try:
+        data = _json.loads(vm.device.vfs.read(path).decode("utf-8"))
+    except (FileNotFoundError, ValueError):
+        data = {}
+    return VMObject(
+        "android.content.SharedPreferences", payload={"path": path, "data": data}
+    )
+
+
+def _prefs_get_string(vm, args: List[Any]) -> Any:
+    prefs, key = args[0], args[1]
+    default = args[2] if len(args) > 2 else None
+    return prefs.payload["data"].get(key, default)
+
+
+def _prefs_put_string(vm, args: List[Any]) -> VMObject:
+    import json as _json
+
+    prefs, key, value = args[0], args[1], args[2]
+    prefs.payload["data"][key] = value
+    vm_write_file(
+        vm, prefs.payload["path"], _json.dumps(prefs.payload["data"]).encode("utf-8")
+    )
+    return prefs
+
+
+def _register_receiver(vm, args: List[Any]) -> None:
+    """registerReceiver(receiver, action[, priority]) -- runtime receiver."""
+    receiver = args[1]
+    action = args[2] if len(args) > 2 else None
+    priority = args[3] if len(args) > 3 and isinstance(args[3], int) else 0
+    if not isinstance(receiver, VMObject) or not isinstance(action, str):
+        raise VMException("java.lang.IllegalArgumentException", "registerReceiver")
+    ctx = require_context(vm)
+    vm.device.broadcasts.register(
+        package=ctx.package,
+        class_name=receiver.class_name,
+        action=action,
+        priority=priority,
+        instance=receiver,
+    )
+
+
+def _abort_broadcast(vm, args: List[Any]) -> None:
+    receiver = args[0]
+    intent = receiver.fields.get("_current_intent") if isinstance(receiver, VMObject) else None
+    if intent is None or not isinstance(intent.payload, dict):
+        raise VMException(
+            "java.lang.IllegalStateException", "abortBroadcast outside ordered broadcast"
+        )
+    intent.payload["aborted_by"] = receiver.class_name
+
+
+def _intent_get_string_extra(vm, args: List[Any]) -> Optional[str]:
+    intent, key = args[0], args[1]
+    if isinstance(intent.payload, dict):
+        return intent.payload.get("extras", {}).get(key)
+    return None
+
+
+def _log(vm, args: List[Any]) -> int:
+    vm.device.logcat.append("{}: {}".format(args[0], args[1]))
+    return 0
+
+
+def _send_text_message(vm, args: List[Any]) -> None:
+    # sendTextMessage(dest, serviceCenter, text, sentIntent, deliveryIntent)
+    destination = args[1] if len(args) > 1 else ""
+    body = args[3] if len(args) > 3 else ""
+    vm.device.sms_sent.append((destination, body))
+
+
+def _get_active_network_info(vm, args: List[Any]) -> Optional[VMObject]:
+    if vm.device.is_online():
+        return VMObject("android.net.NetworkInfo")
+    return NULL
+
+
+def _get_last_known_location(vm, args: List[Any]) -> Optional[VMObject]:
+    if vm.device.config.location_enabled:
+        return VMObject("android.location.Location")
+    return NULL
+
+
+def _get_accounts(vm, args: List[Any]) -> VMObject:
+    return VMObject("android.accounts.Account[]", payload=list(vm.device.config.accounts))
+
+
+def _get_installed(vm, args: List[Any]) -> VMObject:
+    return VMObject("java.util.List", payload=vm.device.installed_packages())
+
+
+# ---------------------------------------------------------------------------
+# content providers
+
+
+#: URI constants exposed as static fields (SGET) on provider classes.
+PROVIDER_URIS = {
+    ("android.provider.ContactsContract$Contacts", "CONTENT_URI"): "content://contacts",
+    ("android.provider.CalendarContract$Events", "CONTENT_URI"): "content://calendar",
+    ("android.provider.CallLog$Calls", "CONTENT_URI"): "content://call_log",
+    ("android.provider.Browser", "BOOKMARKS_URI"): "content://browser",
+    ("android.provider.MediaStore$Audio", "CONTENT_URI"): "content://media.audio",
+    ("android.provider.MediaStore$Images", "CONTENT_URI"): "content://media.images",
+    ("android.provider.MediaStore$Video", "CONTENT_URI"): "content://media.video",
+    ("android.provider.Telephony$Mms", "CONTENT_URI"): "content://mms",
+    ("android.provider.Telephony$Sms", "CONTENT_URI"): "content://sms",
+    ("android.provider.Settings$System", "CONTENT_URI"): "content://settings",
+}
+
+
+def _install_providers(vm) -> None:
+    for (class_name, field_name), uri in PROVIDER_URIS.items():
+        vm.register_static_field(class_name, field_name, uri)
+
+
+def _content_resolver_query(vm, args: List[Any]) -> VMObject:
+    uri = args[1]
+    authority = (uri or "").replace("content://", "")
+    rows = list(vm.device.provider_data.get(authority, []))
+    if authority == "settings":
+        rows = ["{}={}".format(k, v) for k, v in sorted(vm.device.settings.items())]
+    return VMObject("android.database.Cursor", payload={"rows": rows, "pos": -1})
+
+
+def _cursor_move_to_next(vm, args: List[Any]) -> int:
+    state = args[0].payload
+    state["pos"] += 1
+    return 1 if state["pos"] < len(state["rows"]) else 0
+
+
+def _cursor_get_string(vm, args: List[Any]) -> str:
+    state = args[0].payload
+    if 0 <= state["pos"] < len(state["rows"]):
+        return state["rows"][state["pos"]]
+    raise VMException("android.database.CursorIndexOutOfBoundsException", str(state["pos"]))
+
+
+def _settings_get_string(vm, args: List[Any]) -> Optional[str]:
+    # static: getString(resolver, name)
+    name = args[1] if len(args) > 1 else None
+    return vm.device.settings.get(name)

@@ -1,0 +1,158 @@
+"""JNI native loading -- ``System``/``Runtime`` ``load*`` choke points.
+
+Native DCL funnels through ``System.loadLibrary`` / ``System.load`` /
+``Runtime.load0`` (the API Android 7.1 added; the paper notes one extra hook
+adapts DyDroid to ART).  The hooks mirror :mod:`repro.runtime.classloader`:
+resolve the library, skip ``/system/lib``, emit a :class:`NativeLoadEvent`
+with the captured stack trace, then "execute" the library by running its
+declared intrinsics (see :mod:`repro.android.nativelib`), which is how
+packer stubs decrypt payloads and Chathook-style malware misbehaves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.android.dex import DexFile, DexFormatError
+from repro.android.nativelib import (
+    INTRINSIC_ANTI_DEBUG,
+    INTRINSIC_DECRYPT_AND_LOAD,
+    INTRINSIC_EXFILTRATE,
+    INTRINSIC_NOOP,
+    INTRINSIC_PTRACE_HOOK,
+    NativeFormatError,
+    NativeLibrary,
+)
+from repro.runtime.instrumentation import NativeLoadEvent
+from repro.runtime.objects import VMException
+from repro.runtime.stacktrace import call_site_class
+from repro.runtime.vfs import SYSTEM_LIB_DIR, internal_dir, is_system, normalize
+
+
+def install(vm) -> None:
+    vm.register_api("java.lang.System", "loadLibrary", lambda vm_, a: _load_library(vm_, a[0]))
+    vm.register_api("java.lang.System", "load", lambda vm_, a: _load_path(vm_, a[0], api="load"))
+    vm.register_api("java.lang.Runtime", "loadLibrary", lambda vm_, a: _load_library(vm_, a[1]))
+    vm.register_api("java.lang.Runtime", "load", lambda vm_, a: _load_path(vm_, a[1], api="load"))
+    vm.register_api("java.lang.Runtime", "load0", lambda vm_, a: _load_path(vm_, a[1], api="load0"))
+
+
+def map_library_name(name: str) -> str:
+    """``System.mapLibraryName``: bare name -> platform file name."""
+    if name.endswith(".so"):
+        return name
+    if name.startswith("lib"):
+        return name + ".so"
+    return "lib{}.so".format(name)
+
+
+def _load_library(vm, name: Any) -> None:
+    if not isinstance(name, str) or not name:
+        raise VMException("java.lang.NullPointerException", "libName")
+    file_name = map_library_name(name)
+    path = _resolve_library(vm, file_name)
+    if path is None:
+        raise VMException("java.lang.UnsatisfiedLinkError", file_name)
+    _load_path(vm, path, api="loadLibrary")
+
+
+def _resolve_library(vm, file_name: str) -> Optional[str]:
+    """Search the app's native dir, then the system library dir."""
+    search_dirs = []
+    if vm.context is not None:
+        search_dirs.append("{}/lib".format(internal_dir(vm.context.package)))
+    search_dirs.append(SYSTEM_LIB_DIR)
+    for directory in search_dirs:
+        candidate = "{}/{}".format(directory, file_name)
+        if vm.device.vfs.exists(candidate):
+            return candidate
+    return None
+
+
+def _load_path(vm, path: Any, api: str) -> None:
+    if not isinstance(path, str) or not path:
+        raise VMException("java.lang.NullPointerException", "path")
+    path = normalize(path)
+    if not vm.device.vfs.exists(path):
+        raise VMException("java.lang.UnsatisfiedLinkError", path)
+
+    if not is_system(path):
+        ctx = vm.context
+        vm.instrumentation.emit_native_load(
+            NativeLoadEvent(
+                lib_path=path,
+                api=api,
+                call_site=call_site_class(vm.stack_trace()),
+                stack=vm.stack_trace(),
+                app_package=ctx.package if ctx else "",
+                timestamp_ms=vm.device.now_ms(),
+            )
+        )
+    else:
+        return  # system libraries: trusted, no event, no intrinsic execution
+
+    try:
+        library = NativeLibrary.from_bytes(vm.device.vfs.read(path))
+    except NativeFormatError:
+        raise VMException("java.lang.UnsatisfiedLinkError", "bad ELF: {}".format(path))
+    _run_intrinsic(vm, library, "JNI_OnLoad")
+
+
+def _run_intrinsic(vm, library: NativeLibrary, fn_name: str) -> None:
+    spec = library.intrinsics.get(fn_name)
+    if spec is None:
+        return
+    kind = spec.get("kind", INTRINSIC_NOOP)
+    if kind == INTRINSIC_NOOP:
+        return
+    if kind == INTRINSIC_DECRYPT_AND_LOAD:
+        _intrinsic_decrypt(vm, spec)
+    elif kind == INTRINSIC_PTRACE_HOOK:
+        _intrinsic_ptrace_hook(vm, spec)
+    elif kind == INTRINSIC_ANTI_DEBUG:
+        vm.device.logcat.append(
+            "native: ptrace(PTRACE_TRACEME) loop across {} processes".format(
+                spec.get("processes", 3)
+            )
+        )
+    elif kind == INTRINSIC_EXFILTRATE:
+        url = spec.get("url", "http://collect.example.com/upload")
+        vm.device.network.exfil_log.append((url, int(spec.get("n_bytes", 64))))
+
+
+def _intrinsic_decrypt(vm, spec: dict) -> None:
+    """The packer stub: read the encrypted asset, decrypt, drop plain DEX."""
+    source = spec.get("source", "")
+    dest = spec.get("dest", "")
+    key = bytes.fromhex(spec.get("key_hex", "00"))
+    if source.startswith("asset:"):
+        if vm.context is None:
+            return
+        entry = "assets/{}".format(source[len("asset:"):])
+        data = vm.context.apk.entries.get(entry)
+        if data is None:
+            raise VMException("java.io.FileNotFoundException", entry)
+    else:
+        try:
+            data = vm.device.vfs.read(normalize(source))
+        except FileNotFoundError:
+            raise VMException("java.io.FileNotFoundException", source)
+    try:
+        plain = DexFile.decrypt(data, key)
+    except DexFormatError:
+        raise VMException("java.lang.RuntimeException", "payload decryption failed")
+    from repro.runtime.frameworkapi import vm_write_file
+
+    vm_write_file(vm, normalize(dest), plain.to_bytes())
+
+
+def _intrinsic_ptrace_hook(vm, spec: dict) -> None:
+    """Chathook-style malware: root, ptrace-attach to chat apps, leak history."""
+    targets = spec.get("targets", ["com.tencent.mobileqq", "com.tencent.mm"])
+    url = spec.get("url", "http://collector.example.net/chat")
+    vm.device.logcat.append("native: su; ptrace attach to {}".format(",".join(targets)))
+    for target in targets:
+        if target in vm.device.installed:
+            vm.device.network.exfil_log.append(
+                ("{}?victim={}".format(url, target), 1024)
+            )

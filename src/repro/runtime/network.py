@@ -1,0 +1,84 @@
+"""The simulated internet.
+
+Remote servers host payloads (DEX/JAR/APK/native binaries, ad content...)
+addressed by URL.  Server resources may be static bytes or Python callables,
+which lets examples model *server-side logic* -- e.g. the paper's ``App_L``
+experiment, where the server decides whether to reveal the link to the
+malicious payload (delivery disabled during market review).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+from urllib.parse import urlparse
+
+Resource = Union[bytes, Callable[["RemoteServer", str], Optional[bytes]]]
+
+
+class NetworkUnavailableError(IOError):
+    """No connectivity (airplane mode without WiFi)."""
+
+
+class HttpNotFoundError(IOError):
+    """The server has no such resource (HTTP 404)."""
+
+
+@dataclass
+class RemoteServer:
+    """One host on the simulated internet."""
+
+    host: str
+    resources: Dict[str, Resource] = field(default_factory=dict)
+    #: free-form switchboard for server-side logic (e.g. {"serve_malware": False}).
+    flags: Dict[str, object] = field(default_factory=dict)
+
+    def put(self, path: str, resource: Resource) -> None:
+        self.resources[path] = resource
+
+    def get(self, path: str) -> Optional[bytes]:
+        resource = self.resources.get(path)
+        if resource is None:
+            return None
+        if callable(resource):
+            return resource(self, path)
+        return resource
+
+
+@dataclass
+class Network:
+    """Host registry plus a fetch log used by tests and examples."""
+
+    servers: Dict[str, RemoteServer] = field(default_factory=dict)
+    fetch_log: List[Tuple[str, bool]] = field(default_factory=list)
+    #: outbound uploads apps attempted: (url, n_bytes).
+    exfil_log: List[Tuple[str, int]] = field(default_factory=list)
+
+    def server(self, host: str) -> RemoteServer:
+        """Get-or-create the server for a host."""
+        if host not in self.servers:
+            self.servers[host] = RemoteServer(host=host)
+        return self.servers[host]
+
+    def host_resource(self, url: str, payload: Resource) -> None:
+        """Convenience: host ``payload`` at a full URL."""
+        parsed = urlparse(url)
+        self.server(parsed.netloc).put(parsed.path, payload)
+
+    def fetch(self, url: str, online: bool = True) -> bytes:
+        """Resolve a URL to payload bytes.
+
+        Raises :class:`NetworkUnavailableError` when offline and
+        :class:`HttpNotFoundError` for unknown hosts/paths -- both surface in
+        the VM as ``java.io.IOException``.
+        """
+        if not online:
+            self.fetch_log.append((url, False))
+            raise NetworkUnavailableError("network unreachable: {}".format(url))
+        parsed = urlparse(url)
+        server = self.servers.get(parsed.netloc)
+        data = server.get(parsed.path) if server is not None else None
+        self.fetch_log.append((url, data is not None))
+        if data is None:
+            raise HttpNotFoundError("404: {}".format(url))
+        return data

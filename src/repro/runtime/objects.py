@@ -1,0 +1,79 @@
+"""The VM object model.
+
+Values in the interpreter are Python ints, strings, ``None`` (Java null), or
+:class:`VMObject` instances.  Framework objects (streams, URLs, class
+loaders...) are VMObjects whose ``payload`` holds the Python-side state the
+framework API implementations need; app objects use ``fields``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict
+
+#: Java null as seen by bytecode.
+NULL = None
+
+_identity_counter = itertools.count(1)
+
+
+class VMObject:
+    """A heap object: class name, instance fields, framework payload."""
+
+    __slots__ = ("class_name", "fields", "payload", "identity")
+
+    def __init__(self, class_name: str, payload: Any = None) -> None:
+        self.class_name = class_name
+        self.fields: Dict[str, Any] = {}
+        self.payload = payload
+        #: stable per-object id, the stand-in for Object.hashCode() that the
+        #: download tracker uses to key flow-graph nodes.
+        self.identity = next(_identity_counter)
+
+    def hash_code(self) -> int:
+        return self.identity
+
+    def __repr__(self) -> str:
+        return "<{}@{}>".format(self.class_name, self.identity)
+
+
+class VMException(Exception):
+    """A Java exception propagating through interpreted frames."""
+
+    def __init__(self, class_name: str, message: str = "") -> None:
+        super().__init__("{}: {}".format(class_name, message))
+        self.class_name = class_name
+        self.message = message
+
+
+def as_bool(value: Any) -> bool:
+    """Java booleans are ints in DEX; normalize truthiness."""
+    if value is None:
+        return False
+    if isinstance(value, VMObject):
+        return True
+    return bool(value)
+
+
+def type_name(value: Any) -> str:
+    """The Java-ish type name of a VM value, for flow-graph node labels."""
+    if value is None:
+        return "null"
+    if isinstance(value, VMObject):
+        return value.class_name
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, str):
+        return "java.lang.String"
+    if isinstance(value, (bytes, bytearray)):
+        return "byte[]"
+    return type(value).__name__
+
+
+def object_key(value: Any) -> str:
+    """Stable "type@hashcode" key for flow-graph nodes (paper section III-B)."""
+    if isinstance(value, VMObject):
+        return "{}@{}".format(value.class_name, value.identity)
+    return "{}@{}".format(type_name(value), id(value))

@@ -1,0 +1,69 @@
+"""Java-style stack traces and DyDroid's call-site extraction.
+
+The paper (Fig. 2) determines *who* launched a DCL event by reading the Java
+stack trace captured when the class loader is constructed: the top-most
+element that is not framework code is the call-site class, and its package
+is compared against the application package to attribute the event to the
+developer or a third-party SDK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+#: Package prefixes owned by the OS / core libraries.  Frames from these are
+#: skipped when locating the call site, exactly as DyDroid skips the
+#: framework frames between the app and the hooked constructor.
+FRAMEWORK_PREFIXES = (
+    "java.",
+    "javax.",
+    "android.",
+    "dalvik.",
+    "libcore.",
+    "com.android.internal.",
+)
+
+
+@dataclass(frozen=True)
+class StackTraceElement:
+    """One frame: declaring class and method, innermost-first ordering."""
+
+    class_name: str
+    method_name: str
+
+    def __str__(self) -> str:
+        return "{}.{}".format(self.class_name, self.method_name)
+
+    @property
+    def is_framework(self) -> bool:
+        return self.class_name.startswith(FRAMEWORK_PREFIXES)
+
+
+def call_site_class(stack: Sequence[StackTraceElement]) -> Optional[str]:
+    """The class responsible for a hooked call.
+
+    ``stack`` is innermost-first (index 0 is the hooked framework method
+    itself).  Returns the first non-framework class walking outward, or None
+    when the whole stack is framework code (e.g. the system resolving its own
+    libraries).
+    """
+    for frame in stack:
+        if not frame.is_framework:
+            return frame.class_name
+    return None
+
+
+def shares_app_package(class_name: str, app_package: str) -> bool:
+    """Whether ``class_name`` belongs to the application's own namespace.
+
+    Java packages are hierarchical: ``com.example.app.ui.Widget`` belongs to
+    an app packaged as ``com.example.app``.  Third-party SDK classes live
+    under their own vendor namespaces.
+    """
+    return class_name == app_package or class_name.startswith(app_package + ".")
+
+
+def render(stack: Iterable[StackTraceElement]) -> List[str]:
+    """Human-readable stack trace lines, innermost first."""
+    return ["  at {}".format(frame) for frame in stack]

@@ -1,0 +1,231 @@
+"""Virtual filesystem with Android storage semantics.
+
+Three storage areas matter to DyDroid:
+
+- **internal storage** ``/data/data/<package>/...`` -- private per app; only
+  the owning app may create/modify files there (other apps *can read* files
+  the owner exposed, which is how the "load from another app's internal
+  storage" pattern works);
+- **external storage** ``/mnt/sdcard/...`` -- world-writable before Android
+  4.4; afterwards writing requires ``WRITE_EXTERNAL_STORAGE``;
+- **system** ``/system/...`` -- read-only, vendor-provided (system libraries
+  are out of DyDroid's scope).
+
+The filesystem enforces a byte quota; the App Execution Engine treats
+:class:`StorageFullError` as one of the exceptions it must survive
+automatically ("various types of exceptions are automatically handled, such
+as device storage running out").
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+INTERNAL_ROOT = "/data/data"
+APP_INSTALL_ROOT = "/data/app"
+EXTERNAL_ROOT = "/mnt/sdcard"
+SYSTEM_ROOT = "/system"
+SYSTEM_LIB_DIR = "/system/lib"
+
+#: Owner string for files created by the OS itself.
+SYSTEM_OWNER = "system"
+
+
+class StorageFullError(OSError):
+    """Device storage ran out."""
+
+
+class AccessDeniedError(PermissionError):
+    """A write was attempted outside the caller's storage rights."""
+
+
+def normalize(path: str) -> str:
+    """Collapse ``..``/``.`` and duplicate slashes into a canonical path."""
+    if not path.startswith("/"):
+        path = "/" + path
+    return posixpath.normpath(path)
+
+
+def internal_dir(package: str) -> str:
+    return "{}/{}".format(INTERNAL_ROOT, package)
+
+
+def apk_install_path(package: str) -> str:
+    return "{}/{}-1.apk".format(APP_INSTALL_ROOT, package)
+
+
+def internal_owner(path: str) -> Optional[str]:
+    """The package owning an internal-storage path, or None."""
+    path = normalize(path)
+    prefix = INTERNAL_ROOT + "/"
+    if not path.startswith(prefix):
+        return None
+    remainder = path[len(prefix):]
+    package, _, _ = remainder.partition("/")
+    return package or None
+
+
+def is_external(path: str) -> bool:
+    return normalize(path).startswith(EXTERNAL_ROOT + "/")
+
+
+def is_system(path: str) -> bool:
+    return normalize(path).startswith(SYSTEM_ROOT + "/")
+
+
+@dataclass
+class FileRecord:
+    """A file: bytes plus ownership/visibility metadata."""
+
+    path: str
+    data: bytes
+    owner: str = SYSTEM_OWNER
+    world_readable: bool = True
+    world_writable: bool = False
+    created_at_ms: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class VirtualFilesystem:
+    """All files on the device, with permission-checked mutation."""
+
+    quota_bytes: int = 64 * 1024 * 1024
+    files: Dict[str, FileRecord] = field(default_factory=dict)
+    #: coarse IO counters -- the "syscall trace" low-level monitors
+    #: (Crowdroid-style baselines) observe.
+    op_counts: Dict[str, int] = field(
+        default_factory=lambda: {"read": 0, "write": 0, "delete": 0, "rename": 0}
+    )
+
+    # -- queries ---------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return normalize(path) in self.files
+
+    def stat(self, path: str) -> Optional[FileRecord]:
+        return self.files.get(normalize(path))
+
+    def read(self, path: str) -> bytes:
+        record = self.files.get(normalize(path))
+        self.op_counts["read"] += 1
+        if record is None:
+            raise FileNotFoundError(path)
+        return record.data
+
+    def listdir(self, prefix: str) -> List[str]:
+        """Paths under a directory prefix, sorted."""
+        prefix = normalize(prefix).rstrip("/") + "/"
+        return sorted(p for p in self.files if p.startswith(prefix))
+
+    def used_bytes(self) -> int:
+        return sum(record.size for record in self.files.values())
+
+    def __iter__(self) -> Iterator[FileRecord]:
+        for path in sorted(self.files):
+            yield self.files[path]
+
+    # -- permission model --------------------------------------------------------
+
+    def may_write(
+        self,
+        path: str,
+        writer: str,
+        has_external_permission: bool = True,
+        api_level: int = 18,
+    ) -> bool:
+        """Android's write rules for the three storage areas."""
+        path = normalize(path)
+        if writer == SYSTEM_OWNER:
+            return True
+        if is_system(path):
+            return False
+        owner = internal_owner(path)
+        if owner is not None:
+            if owner == writer:
+                return True
+            existing = self.files.get(path)
+            return existing is not None and existing.world_writable
+        if is_external(path):
+            if api_level < 19:
+                return True
+            return has_external_permission
+        if path.startswith(APP_INSTALL_ROOT + "/"):
+            return False
+        # Everything else (e.g. /cache, /tmp) is treated as shared scratch.
+        return True
+
+    # -- mutation ------------------------------------------------------------------
+
+    def write(
+        self,
+        path: str,
+        data: bytes,
+        owner: str = SYSTEM_OWNER,
+        world_readable: bool = True,
+        world_writable: bool = False,
+        has_external_permission: bool = True,
+        api_level: int = 18,
+        created_at_ms: int = 0,
+    ) -> FileRecord:
+        path = normalize(path)
+        if not self.may_write(path, owner, has_external_permission, api_level):
+            raise AccessDeniedError("{} may not write {}".format(owner, path))
+        existing = self.files.get(path)
+        existing_size = existing.size if existing else 0
+        if self.used_bytes() - existing_size + len(data) > self.quota_bytes:
+            raise StorageFullError("device storage full writing {}".format(path))
+        if is_external(path):
+            # Files on the FAT-formatted sdcard carry no unix permissions.
+            world_readable = True
+            world_writable = True
+        record = FileRecord(
+            path=path,
+            data=data,
+            owner=owner,
+            world_readable=world_readable,
+            world_writable=world_writable,
+            created_at_ms=created_at_ms,
+        )
+        self.files[path] = record
+        self.op_counts["write"] += 1
+        return record
+
+    def append(self, path: str, data: bytes, **kwargs: object) -> FileRecord:
+        existing = self.files.get(normalize(path))
+        combined = (existing.data if existing else b"") + data
+        return self.write(path, combined, **kwargs)  # type: ignore[arg-type]
+
+    def delete(self, path: str) -> bool:
+        """Remove a file; True when it existed."""
+        self.op_counts["delete"] += 1
+        return self.files.pop(normalize(path), None) is not None
+
+    def rename(self, src: str, dst: str) -> bool:
+        """Move a file; True on success."""
+        src, dst = normalize(src), normalize(dst)
+        self.op_counts["rename"] += 1
+        record = self.files.pop(src, None)
+        if record is None:
+            return False
+        self.files[dst] = FileRecord(
+            path=dst,
+            data=record.data,
+            owner=record.owner,
+            world_readable=record.world_readable,
+            world_writable=record.world_writable,
+            created_at_ms=record.created_at_ms,
+        )
+        return True
+
+    def wipe_owner(self, owner: str) -> int:
+        """Delete every file owned by ``owner``; returns count removed."""
+        doomed = [p for p, r in self.files.items() if r.owner == owner]
+        for path in doomed:
+            del self.files[path]
+        return len(doomed)

@@ -1,0 +1,44 @@
+"""Static analyses: the host-side half of DyDroid.
+
+- :mod:`repro.static_analysis.smali` / :mod:`~repro.static_analysis.decompiler`
+  -- baksmali/apktool stand-ins: APK -> smali-like IR, with the real tools'
+  failure modes (anti-decompilation, packed resources).
+- :mod:`repro.static_analysis.prefilter` -- the cheap DCL-API existence scan
+  that decides which apps enter dynamic analysis.
+- :mod:`repro.static_analysis.rewriter` -- adds ``WRITE_EXTERNAL_STORAGE``
+  and repacks; anti-repackaging apps fail here (Table II "Rewriting failure").
+- :mod:`repro.static_analysis.vulnerability` -- risky-DCL classification
+  (external storage pre-4.4, other apps' internal storage).
+- :mod:`repro.static_analysis.malware` -- DroidNative: MAIL lifting, ACFG
+  construction, trained subgraph matching at the 90% threshold.
+- :mod:`repro.static_analysis.privacy` -- FlowDroid-style source->sink taint
+  analysis over intercepted DEX with arbitrary entry points.
+- :mod:`repro.static_analysis.obfuscation` -- packing/lexical/reflection/
+  native/anti-decompilation detection.
+"""
+
+from repro.static_analysis.decompiler import (
+    DecompilationError,
+    Decompiler,
+)
+from repro.static_analysis.prefilter import PrefilterResult, prefilter
+from repro.static_analysis.rewriter import RepackagingError, ensure_external_write
+from repro.static_analysis.smali import SmaliProgram
+from repro.static_analysis.vulnerability import (
+    RiskyLoadCategory,
+    VulnerabilityFinding,
+    classify_loads,
+)
+
+__all__ = [
+    "DecompilationError",
+    "Decompiler",
+    "PrefilterResult",
+    "RepackagingError",
+    "RiskyLoadCategory",
+    "SmaliProgram",
+    "VulnerabilityFinding",
+    "classify_loads",
+    "ensure_external_write",
+    "prefilter",
+]

@@ -1,0 +1,35 @@
+"""Obfuscation analysis (Section III-D, Table VI, Figure 3).
+
+Five techniques are detected, mirroring the paper:
+
+- **DEX encryption (packing)** -- the three-rule detector for apps hardened
+  with bytecode encryption + DCL (Bangcle/Ijiami/360/Alibaba pattern);
+- **lexical obfuscation** -- identifiers that are not dictionary words
+  (ProGuard/Allatori output);
+- **reflection** -- ``java.lang.reflect`` usage;
+- **native code** -- confirmed against the dynamic analysis when available,
+  else by packaged ``.so`` presence;
+- **anti-decompilation** -- the decompiler crashed on the app.
+"""
+
+from repro.static_analysis.obfuscation.detector import (
+    ObfuscationProfile,
+    analyze_obfuscation,
+    detect_dex_encryption,
+    detect_reflection,
+)
+from repro.static_analysis.obfuscation.lexical import (
+    identifier_is_meaningful,
+    lexical_obfuscation_ratio,
+    is_lexically_obfuscated,
+)
+
+__all__ = [
+    "ObfuscationProfile",
+    "analyze_obfuscation",
+    "detect_dex_encryption",
+    "detect_reflection",
+    "identifier_is_meaningful",
+    "is_lexically_obfuscated",
+    "lexical_obfuscation_ratio",
+]

@@ -1,0 +1,155 @@
+"""Lexical-obfuscation detection.
+
+The paper parses identifiers out of the IR and checks them against a
+language database built from DBpedia; identifiers that correspond to no
+actual words mean the app was lexically obfuscated (ProGuard's ``a``/``b``
+renaming, Allatori's schemes, ...).  DBpedia is not available offline, so
+the dictionary here is an embedded list of English words common in software
+identifiers -- the same membership test at smaller scale.
+
+An identifier is *meaningful* when most of its camelCase/underscore tokens
+are dictionary words (or well-known short programming prefixes); an app is
+*lexically obfuscated* when the share of meaningful identifiers falls below
+:data:`MEANINGFUL_APP_THRESHOLD`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Tuple
+
+#: minimum share of meaningful identifiers for an app to count as readable.
+MEANINGFUL_APP_THRESHOLD = 0.5
+
+#: minimum share of dictionary tokens for one identifier to be meaningful.
+MEANINGFUL_TOKEN_SHARE = 0.5
+
+#: short tokens accepted without dictionary lookup (idiomatic prefixes).
+SHORT_TOKENS = frozenset(
+    "on get set is to id ui db io os up in out new old add del min max run".split()
+)
+
+_WORDS = """
+about access account action activity adapter address admin agent alarm album alert
+algorithm alias align alpha amount analytics anchor android angle animation answer
+api app append apply archive area argument array arrow article asset assign async
+attach attribute audio author auto avatar back backup badge balance band banner bar
+base basic batch battery beacon bean begin bell best beta bind bitmap block blue
+bluetooth board body book bookmark boolean boot border bottom bound box brand
+bridge bright broadcast browser brush buffer build builder bundle business button
+bytes cache calc calculator calendar call callback camera cancel candidate canvas
+capacity caption capture card care carousel cart case cast catalog category cell
+center certificate chain challenge change channel chapter char chart chat check
+checkout child choice chunk circle city class classic clean clear click client
+clip clock clone close cloud cluster code codec collection color column combo
+command comment commit common compare compass complete component compress compute
+config confirm connect connection console constant contact container content
+context control convert cookie coordinate copy core corner count counter country
+coupon cover craft crash create credit crop cross crypto currency current cursor
+curve custom customer cycle daily dark dash data database date day dead debug
+decimal decode decorator default delay delegate delete delivery demo density
+deposit depth design desktop destination detail detect device dialog dictionary
+diff digest digit dimension direction directory disable discount disk dismiss
+dispatch display distance document domain done double down download draft drag
+draw drawer drive driver drop duration east edge edit editor effect element email
+empty enable encode encrypt end engine enter entity entry enum episode equal
+error event exact example exception exchange exclude execute exit expand expense
+expire export extra face factory fail fallback family fast favorite feature feed
+feedback fetch field file fill filter final find finish fire first fit fix flag
+flash flat flight flip float floor flow focus folder font food foot force forecast
+foreground form format forward found fragment frame free frequency fresh friend
+front full function fuzz gallery game gap garbage gate gateway general generate
+geometry gesture gift global goal gold good graph graphic gravity gray green grid
+group guard guess guest guide handle handler hard hash head header health heart
+heavy height hello help hidden hide high hint history hit hold holder home hook
+horizontal host hot hour house icon image import inbox include index info init
+inject inner input insert inside install instance int integer intent interface
+internal interval invalid invite invoice item job join journal json jump keep
+kernel key keyboard keyword kind label lab lang language large last latitude
+launch launcher layer layout lazy leader leaf league left legacy length lens
+letter level library license life light like limit line link list listener live
+load loader local location lock log login logo long longitude look loop low
+machine macro magic mail main manager manifest map margin mark market mask master
+match material math matrix measure media medium member memory menu merge message
+meta meter method metric middle migrate mile mini minute mirror mission mix mobile
+mode model modify module moment money monitor month more motion mount mouse move
+movie multi music mute name native nav navigation nearby neck need nest net
+network news next night node noise normal north note notification notify null
+number object observer offer offline offset old once online only opacity open
+operation option orange order origin other outer output outside overlay owner
+pack package packet pad page pager paint pair panel paper param parent parse part
+partial partner party pass password paste patch path pattern pause pay payment
+peak pen pending people percent perform permission person phase phone photo
+picker picture piece pin ping pipe pixel place plan play player playlist plugin
+point policy poll pool pop popup port portrait position post power prefer prefix
+preload present preset press preview price primary print priority privacy private
+process product profile program progress project promo prompt proof property
+protocol provider proxy public publish pull purchase push puzzle quality quantity
+query question queue quick quiet quiz quote radio random range rank rate rating
+ratio reach read reader ready real reason receipt receive receiver recent record
+recover rect recycle red redirect reduce refresh region register relation release
+reload remote remove render repeat replace reply report request require reset
+resize resolve resource response rest restore result resume retry return review
+reward right ring road role roll room root rotate round route router row rule
+safe sale sample save scale scan scene schedule schema scheme score screen script
+scroll search season second secret section secure security seek segment select
+self sell send sender sensor sequence serial series server service session share
+sheet shell shift ship shop short show shuffle side sign signal signature silver
+simple single site size skill skin sky sleep slice slide slider slot slow small
+smart snap social socket soft solid solution song sort sound source south space
+span speak special speed spell spin split sport spot stack staff stage stamp star
+start state static station status step stick stock stop storage store story
+stream street string strip strong style submit subscribe success suffix suggest
+summary sun support surface survey swap sweep swipe switch symbol sync system tab
+table tag take talk tap target task team tech template temp term test text theme
+thread threshold thumb ticket tile time timer timestamp title toast toggle token
+tool top total touch tour trace track trade traffic train transaction transfer
+transform transit translate transparent trash travel tree trend trial trigger
+trim trip true trust turn tutorial type under undo unit unlock unread update
+upgrade upload upper usage user util valid value variant vector vendor verify
+version vertical vibrate video view viewer visible visit voice volume wait walk
+wallet wallpaper warm warning watch water wave weak weather web week weight
+welcome west wheel white wide widget width wifi win window wipe wish word work
+worker world wrap write writer yellow zero zone zoom
+""".split()
+
+DICTIONARY = frozenset(_WORDS) | SHORT_TOKENS
+
+#: public view of the word list (the corpus generator mints readable
+#: identifiers from the same vocabulary).
+WORDS = tuple(sorted(set(_WORDS)))
+
+_TOKEN_SPLIT = re.compile(
+    r"[A-Z]+(?![a-z])|[A-Z][a-z]+|[a-z]+|[0-9]+"
+)
+
+
+def split_identifier(identifier: str) -> Tuple[str, ...]:
+    """camelCase / snake_case / ALLCAPS -> lowercase tokens."""
+    return tuple(token.lower() for token in _TOKEN_SPLIT.findall(identifier))
+
+
+def identifier_is_meaningful(identifier: str) -> bool:
+    """Whether an identifier reads as real words."""
+    tokens = [token for token in split_identifier(identifier) if not token.isdigit()]
+    if not tokens:
+        return False
+    recognized = 0
+    for token in tokens:
+        if token in DICTIONARY or (len(token) <= 2 and token in SHORT_TOKENS):
+            recognized += 1
+    return recognized / len(tokens) >= MEANINGFUL_TOKEN_SHARE
+
+
+def lexical_obfuscation_ratio(identifiers: Iterable[str]) -> float:
+    """Share of identifiers that are meaningful (1.0 = fully readable)."""
+    names = [name for name in identifiers if name]
+    if not names:
+        return 1.0
+    meaningful = sum(1 for name in names if identifier_is_meaningful(name))
+    return meaningful / len(names)
+
+
+def is_lexically_obfuscated(identifiers: Iterable[str]) -> bool:
+    """The app-level verdict used in Table VI."""
+    return lexical_obfuscation_ratio(identifiers) < MEANINGFUL_APP_THRESHOLD

@@ -1,0 +1,70 @@
+"""The DCL prefilter (Section III-A).
+
+Before paying for dynamic analysis, DyDroid checks the decompiled IR for the
+*existence* (not reachability) of DCL-related code: class-loader creation
+for bytecode DCL, JNI ``load``/``loadLibrary``/``load0`` for native DCL.
+Apps without either never enter the App Execution Engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.android.bytecode import MethodRef
+from repro.static_analysis.smali import SmaliProgram
+
+#: Constructing either loader is the bytecode-DCL signature.
+DEX_LOADER_CLASSES = (
+    "dalvik.system.DexClassLoader",
+    "dalvik.system.PathClassLoader",
+)
+
+#: The JNI native-loading surface (load0 is the ART-era addition).
+NATIVE_LOAD_METHODS = (
+    ("java.lang.System", "loadLibrary"),
+    ("java.lang.System", "load"),
+    ("java.lang.Runtime", "loadLibrary"),
+    ("java.lang.Runtime", "load"),
+    ("java.lang.Runtime", "load0"),
+)
+
+
+@dataclass
+class PrefilterResult:
+    """Which DCL mechanisms an app's code *mentions*, and where."""
+
+    has_dex_dcl: bool = False
+    has_native_dcl: bool = False
+    #: classes containing DCL call sites, for debugging/entity sanity checks.
+    dex_call_site_classes: List[str] = field(default_factory=list)
+    native_call_site_classes: List[str] = field(default_factory=list)
+
+    @property
+    def has_any_dcl(self) -> bool:
+        return self.has_dex_dcl or self.has_native_dcl
+
+
+def prefilter(program: SmaliProgram) -> PrefilterResult:
+    """Scan the IR for DCL-related API references."""
+    result = PrefilterResult()
+    dex_sites: Set[str] = set()
+    native_sites: Set[str] = set()
+    native_keys = set(NATIVE_LOAD_METHODS)
+
+    for method in program.methods():
+        for ref in method.invoked_refs():
+            if _is_loader_ctor(ref):
+                result.has_dex_dcl = True
+                dex_sites.add(method.class_name)
+            elif (ref.class_name, ref.name) in native_keys:
+                result.has_native_dcl = True
+                native_sites.add(method.class_name)
+
+    result.dex_call_site_classes = sorted(dex_sites)
+    result.native_call_site_classes = sorted(native_sites)
+    return result
+
+
+def _is_loader_ctor(ref: MethodRef) -> bool:
+    return ref.name == "<init>" and ref.class_name in DEX_LOADER_CLASSES

@@ -1,0 +1,41 @@
+"""Privacy-tracking analysis of intercepted DEX code (FlowDroid-style).
+
+The paper runs a modified FlowDroid over the dynamically loaded bytecode:
+because loaded code has no manifest or layout resources, *every* public
+method is a potential entry point.  Sources are the 18 privacy data types of
+Table X (5 categories: location, phone identity, user identity, usage
+pattern, content providers); sinks follow the SuSi catalogue (network,
+SMS, log, file, IPC).
+
+- :mod:`repro.static_analysis.privacy.sources` -- the source catalogue;
+- :mod:`repro.static_analysis.privacy.sinks` -- the sink catalogue;
+- :mod:`repro.static_analysis.privacy.flowdroid` -- the inter-procedural
+  taint engine and its :class:`PrivacyLeak` findings.
+"""
+
+from repro.static_analysis.privacy.flowdroid import (
+    FlowDroid,
+    PrivacyLeak,
+    analyze_dex,
+)
+from repro.static_analysis.privacy.sinks import SINKS, is_sink
+from repro.static_analysis.privacy.sources import (
+    DATA_TYPES,
+    PRIVACY_CATEGORIES,
+    PrivacySource,
+    api_source_for,
+    uri_source_for,
+)
+
+__all__ = [
+    "DATA_TYPES",
+    "FlowDroid",
+    "PRIVACY_CATEGORIES",
+    "PrivacyLeak",
+    "PrivacySource",
+    "SINKS",
+    "analyze_dex",
+    "api_source_for",
+    "is_sink",
+    "uri_source_for",
+]

@@ -1,0 +1,349 @@
+"""The inter-procedural taint engine over intercepted DEX code.
+
+FlowDroid proper needs a manifest and layout resources to find entry
+points; the paper's modification drops that dependency because dynamically
+loaded code has arbitrary entry points.  We implement the same idea
+directly: **every method is analyzed**, and flows are summarized
+inter-procedurally to a fixpoint:
+
+- taint elements are either concrete :class:`PrivacySource` descriptors or
+  symbolic :class:`ParamTaint` markers ("whatever the caller passes in
+  parameter *i*");
+- each method gets a summary: the taint of its return value and the sinks
+  its parameters reach; call sites substitute concrete argument taints for
+  the symbolic markers;
+- field stores are a flow-insensitive global map (object-insensitive, the
+  usual large-scale compromise);
+- register transfer is kill-free and iterated to a small per-method
+  fixpoint, which makes joins at branch targets trivial and conservative.
+
+The engine also tracks string/URI constants through registers so
+``ContentResolver.query(CONTENT_URI)`` resolves to the queried provider,
+mirroring the paper's "look up the URI mapped with each privacy-sensitive
+content provider".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from repro.android.bytecode import FieldRef, Instruction, MethodRef, Op
+from repro.android.dex import DexFile, DexMethod
+from repro.static_analysis.privacy.sinks import SinkSpec, is_sink
+from repro.static_analysis.privacy.sources import (
+    PrivacySource,
+    api_source_for,
+    uri_source_for,
+)
+
+#: provider CONTENT_URI static fields, kept in sync with the runtime image.
+from repro.runtime.frameworkapi import PROVIDER_URIS
+
+MAX_METHOD_PASSES = 4
+MAX_GLOBAL_ROUNDS = 10
+
+
+@dataclass(frozen=True)
+class ParamTaint:
+    """Symbolic taint: flows from the method's parameter ``index``."""
+
+    index: int
+
+
+Taint = Union[PrivacySource, ParamTaint]
+TaintSet = FrozenSet[Taint]
+EMPTY: TaintSet = frozenset()
+
+
+@dataclass(frozen=True)
+class PrivacyLeak:
+    """One confirmed source -> sink flow inside loaded code."""
+
+    data_type: str
+    category: str
+    sink_class: str
+    sink_method: str
+    channel: str
+    in_method: str                # "cls.method" where the sink call sits
+
+    def __str__(self) -> str:
+        return "{} -> {}.{} [{}] in {}".format(
+            self.data_type, self.sink_class, self.sink_method, self.channel, self.in_method
+        )
+
+
+@dataclass
+class MethodSummary:
+    """What a method does with taint, independent of its callers."""
+
+    return_taint: Set[Taint] = field(default_factory=set)
+    #: sinks reached by symbolic/concrete taints inside this method:
+    #: (taint, sink_class, sink_method, channel)
+    sink_hits: Set[Tuple[Taint, str, str, str]] = field(default_factory=set)
+
+
+#: framework calls that pass taint from one argument to another
+#: (class, method) -> list of (from_position, to_position).
+ARG_TO_ARG_PROPAGATION: Dict[Tuple[str, str], List[Tuple[int, int]]] = {
+    ("java.io.InputStream", "read"): [(0, 1)],       # stream taints buffer
+    ("java.io.OutputStream", "write"): [],           # handled as sink
+}
+
+
+class FlowDroid:
+    """Taint analysis over one DEX file."""
+
+    def __init__(self, dex: DexFile) -> None:
+        self.dex = dex
+        self._methods: Dict[Tuple[str, str, int], DexMethod] = {}
+        for method in dex.iter_methods():
+            self._methods[(method.class_name, method.name, method.arity)] = method
+        self.summaries: Dict[Tuple[str, str, int], MethodSummary] = {
+            key: MethodSummary() for key in self._methods
+        }
+        self.field_taint: Dict[Tuple[str, str], Set[Taint]] = {}
+        self.leaks: Set[PrivacyLeak] = set()
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self) -> List[PrivacyLeak]:
+        """Iterate method analyses to a global fixpoint; return leaks."""
+        for _ in range(MAX_GLOBAL_ROUNDS):
+            changed = False
+            for key, method in self._methods.items():
+                if self._analyze_method(key, method):
+                    changed = True
+            if not changed:
+                break
+        self._resolve_symbolic_leaks()
+        return sorted(
+            self.leaks, key=lambda l: (l.data_type, l.sink_class, l.sink_method, l.in_method)
+        )
+
+    # -- per-method analysis ----------------------------------------------------------
+
+    def _analyze_method(self, key: Tuple[str, str, int], method: DexMethod) -> bool:
+        """One pass over a method; True when its summary or fields grew."""
+        summary = self.summaries[key]
+        before = (len(summary.return_taint), len(summary.sink_hits), self._field_size())
+
+        taints: Dict[int, Set[Taint]] = {
+            index: {ParamTaint(index)} for index in range(method.arity)
+        }
+        strings: Dict[int, Optional[str]] = {}
+        pending_taint: Set[Taint] = set()
+        pending_string: Optional[str] = None
+
+        for _ in range(MAX_METHOD_PASSES):
+            dirty = False
+            for insn in method.instructions:
+                d, pending_taint, pending_string = self._transfer(
+                    insn, taints, strings, pending_taint, pending_string, summary, method
+                )
+                dirty = dirty or d
+            if not dirty:
+                break
+
+        after = (len(summary.return_taint), len(summary.sink_hits), self._field_size())
+        return after != before
+
+    def _field_size(self) -> int:
+        return sum(len(v) for v in self.field_taint.values())
+
+    def _transfer(
+        self,
+        insn: Instruction,
+        taints: Dict[int, Set[Taint]],
+        strings: Dict[int, Optional[str]],
+        pending_taint: Set[Taint],
+        pending_string: Optional[str],
+        summary: MethodSummary,
+        method: DexMethod,
+    ) -> Tuple[bool, Set[Taint], Optional[str]]:
+        op = insn.op
+        dirty = False
+
+        def get(register: int) -> Set[Taint]:
+            return taints.setdefault(register, set())
+
+        def merge(register: int, new: Set[Taint]) -> None:
+            nonlocal dirty
+            bucket = taints.setdefault(register, set())
+            if not new.issubset(bucket):
+                bucket.update(new)
+                dirty = True
+
+        if op is Op.CONST:
+            dst, literal = insn.args
+            if isinstance(literal, str) and strings.get(dst) != literal:
+                strings[dst] = literal
+                dirty = True
+        elif op is Op.MOVE:
+            dst, src = insn.args
+            merge(dst, get(src))
+            if strings.get(src) is not None and strings.get(dst) != strings.get(src):
+                strings[dst] = strings.get(src)
+                dirty = True
+        elif op is Op.INVOKE:
+            ref, arg_regs = insn.args
+            pending_taint, pending_string = self._transfer_invoke(
+                ref, arg_regs, taints, strings, summary, method, merge, get
+            )
+        elif op is Op.MOVE_RESULT:
+            (dst,) = insn.args
+            merge(dst, pending_taint)
+            if pending_string is not None and strings.get(dst) != pending_string:
+                strings[dst] = pending_string
+                dirty = True
+        elif op is Op.IGET:
+            dst, obj, ref = insn.args
+            merge(dst, self.field_taint.get((ref.class_name, ref.name), set()) | get(obj))
+        elif op is Op.IPUT:
+            src, obj, ref = insn.args
+            dirty = self._taint_field(ref, get(src)) or dirty
+        elif op is Op.SGET:
+            dst, ref = insn.args
+            uri = PROVIDER_URIS.get((ref.class_name, ref.name))
+            if uri is not None and strings.get(dst) != uri:
+                strings[dst] = uri
+                dirty = True
+            merge(dst, self.field_taint.get((ref.class_name, ref.name), set()))
+        elif op is Op.SPUT:
+            src, ref = insn.args
+            dirty = self._taint_field(ref, get(src)) or dirty
+        elif op is Op.AGET:
+            dst, arr, _ = insn.args
+            merge(dst, get(arr))
+        elif op is Op.APUT:
+            src, arr, _ = insn.args
+            merge(arr, get(src))
+        elif op is Op.BINOP:
+            _, dst, a, b = insn.args
+            merge(dst, get(a) | get(b))
+        elif op is Op.RETURN:
+            (src,) = insn.args
+            if not get(src).issubset(summary.return_taint):
+                summary.return_taint.update(get(src))
+                dirty = True
+        # IF/GOTO/LABEL/NOP/RETURN_VOID/THROW/NEW_*: no taint transfer
+        return dirty, pending_taint, pending_string
+
+    def _taint_field(self, ref: FieldRef, taint: Set[Taint]) -> bool:
+        if not taint:
+            return False
+        bucket = self.field_taint.setdefault((ref.class_name, ref.name), set())
+        if taint.issubset(bucket):
+            return False
+        bucket.update(taint)
+        return True
+
+    # -- invoke handling -------------------------------------------------------------
+
+    def _transfer_invoke(
+        self,
+        ref: MethodRef,
+        arg_regs: Tuple[int, ...],
+        taints: Dict[int, Set[Taint]],
+        strings: Dict[int, Optional[str]],
+        summary: MethodSummary,
+        method: DexMethod,
+        merge,
+        get,
+    ) -> Tuple[Set[Taint], Optional[str]]:
+        arg_taints = [get(register) for register in arg_regs]
+        result: Set[Taint] = set()
+        result_string: Optional[str] = None
+
+        # 1. sinks: any tainted value reaching a data argument.
+        sink = is_sink(ref.class_name, ref.name)
+        if sink is not None:
+            for position, taint in enumerate(arg_taints):
+                if not sink.leaks_at(position):
+                    continue
+                for element in taint:
+                    self._record_hit(element, ref, sink, summary, method)
+
+        # 2. sources: the return value is born tainted.
+        source = api_source_for(ref.class_name, ref.name)
+        if source is not None:
+            result.add(source)
+
+        # 3. content-provider queries: resolve the URI argument.
+        if (ref.class_name, ref.name) == ("android.content.ContentResolver", "query"):
+            uri = strings.get(arg_regs[1]) if len(arg_regs) > 1 else None
+            uri_source = uri_source_for(uri)
+            if uri_source is not None:
+                result.add(uri_source)
+
+        # 4. app-internal calls: apply the callee summary.
+        callee_key = (ref.class_name, ref.name, ref.arity)
+        callee = self.summaries.get(callee_key)
+        if callee is not None:
+            for element in callee.return_taint:
+                if isinstance(element, ParamTaint):
+                    if element.index < len(arg_taints):
+                        result.update(arg_taints[element.index])
+                else:
+                    result.add(element)
+            for element, sink_class, sink_method, channel in callee.sink_hits:
+                if isinstance(element, ParamTaint) and element.index < len(arg_taints):
+                    for actual in arg_taints[element.index]:
+                        self._record_hit_raw(
+                            actual, sink_class, sink_method, channel, summary, method
+                        )
+
+        # 5. framework pass-through: API results inherit argument taint
+        #    (String.concat, StringBuilder.append, Cursor.getString...).
+        if callee is None and source is None:
+            for taint in arg_taints:
+                result.update(taint)
+            for from_pos, to_pos in ARG_TO_ARG_PROPAGATION.get(
+                (ref.class_name, ref.name), ()
+            ):
+                if from_pos < len(arg_taints) and to_pos < len(arg_regs):
+                    merge(arg_regs[to_pos], arg_taints[from_pos])
+
+        return result, result_string
+
+    def _record_hit(
+        self,
+        element: Taint,
+        ref: MethodRef,
+        sink: SinkSpec,
+        summary: MethodSummary,
+        method: DexMethod,
+    ) -> None:
+        self._record_hit_raw(
+            element, ref.class_name, ref.name, sink.channel, summary, method
+        )
+
+    def _record_hit_raw(
+        self,
+        element: Taint,
+        sink_class: str,
+        sink_method: str,
+        channel: str,
+        summary: MethodSummary,
+        method: DexMethod,
+    ) -> None:
+        summary.sink_hits.add((element, sink_class, sink_method, channel))
+        if isinstance(element, PrivacySource):
+            self.leaks.add(
+                PrivacyLeak(
+                    data_type=element.data_type,
+                    category=element.category,
+                    sink_class=sink_class,
+                    sink_method=sink_method,
+                    channel=channel,
+                    in_method="{}.{}".format(method.class_name, method.name),
+                )
+            )
+
+    def _resolve_symbolic_leaks(self) -> None:
+        """Nothing extra: symbolic hits resolve at call sites during rounds."""
+
+
+def analyze_dex(dex: DexFile) -> List[PrivacyLeak]:
+    """Convenience wrapper: all privacy leaks in one loaded DEX."""
+    return FlowDroid(dex).run()

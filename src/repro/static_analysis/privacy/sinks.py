@@ -1,0 +1,59 @@
+"""Privacy sinks, following the SuSi catalogue's categories.
+
+SuSi (Rasthofer et al., NDSS 2014) machine-learned a comprehensive list of
+Android sinks; the paper uses that list.  We carry its high-value classes:
+network output, SMS, logging, file output, and inter-process broadcast.
+A call is a sink when a *tainted value* reaches one of its data-carrying
+argument positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SinkSpec:
+    """One sink method: its channel and which arg positions carry data.
+
+    ``data_args`` uses *logical* positions: for instance methods position 0
+    is the receiver, 1 the first Java argument, matching how our INVOKE
+    passes registers.  ``None`` means any argument leaks.
+    """
+
+    channel: str
+    data_args: Optional[FrozenSet[int]] = None
+
+    def leaks_at(self, position: int) -> bool:
+        return self.data_args is None or position in self.data_args
+
+
+SINKS: Dict[Tuple[str, str], SinkSpec] = {
+    # network
+    ("java.io.OutputStream", "write"): SinkSpec("network-or-file", frozenset({1})),
+    ("java.io.Writer", "write"): SinkSpec("network-or-file", frozenset({1})),
+    ("java.net.URLConnection", "setRequestProperty"): SinkSpec("network", frozenset({1, 2})),
+    ("org.apache.http.client.HttpClient", "execute"): SinkSpec("network", None),
+    ("java.net.URL", "<init>"): SinkSpec("network", frozenset({1})),
+    # SMS
+    ("android.telephony.SmsManager", "sendTextMessage"): SinkSpec("sms", frozenset({1, 3})),
+    ("android.telephony.SmsManager", "sendDataMessage"): SinkSpec("sms", None),
+    # logging
+    ("android.util.Log", "d"): SinkSpec("log", frozenset({0, 1})),
+    ("android.util.Log", "e"): SinkSpec("log", frozenset({0, 1})),
+    ("android.util.Log", "i"): SinkSpec("log", frozenset({0, 1})),
+    ("android.util.Log", "v"): SinkSpec("log", frozenset({0, 1})),
+    ("android.util.Log", "w"): SinkSpec("log", frozenset({0, 1})),
+    # file
+    ("java.io.FileOutputStream", "<init>"): SinkSpec("file", frozenset({1})),
+    ("java.io.FileWriter", "<init>"): SinkSpec("file", frozenset({1})),
+    # IPC
+    ("android.content.Context", "sendBroadcast"): SinkSpec("ipc", None),
+    ("android.content.Intent", "putExtra"): SinkSpec("ipc", frozenset({2})),
+}
+
+
+def is_sink(class_name: str, method_name: str) -> Optional[SinkSpec]:
+    """The sink spec for a call target, if any."""
+    return SINKS.get((class_name, method_name))

@@ -1,0 +1,111 @@
+"""Privacy sources: the 18 data types of Table X in 5 categories.
+
+Two source shapes exist:
+
+- **API sources**: invoking a framework method whose return value carries
+  the sensitive datum (``TelephonyManager.getDeviceId()`` -> IMEI, ...);
+- **content-provider sources**: querying a privacy-sensitive provider URI
+  through ``ContentResolver.query``.  The URI itself is obtained from a
+  provider class's ``CONTENT_URI`` static field (SGET) or a string literal,
+  and the paper identifies providers by their URI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: category codes used in Table X.
+LOCATION = "L"
+PHONE_IDENTITY = "PI"
+USER_IDENTITY = "UI"
+USAGE_PATTERN = "UP"
+CONTENT_PROVIDER = "CP"
+
+PRIVACY_CATEGORIES: Dict[str, str] = {
+    LOCATION: "Location",
+    PHONE_IDENTITY: "Phone identity",
+    USER_IDENTITY: "User identity",
+    USAGE_PATTERN: "Usage pattern",
+    CONTENT_PROVIDER: "Content provider",
+}
+
+
+@dataclass(frozen=True)
+class PrivacySource:
+    """One data type: its Table X name, category, and how it is read."""
+
+    data_type: str
+    category: str
+
+
+#: API-call sources: (class, method) -> source descriptor.
+API_SOURCES: Dict[Tuple[str, str], PrivacySource] = {
+    ("android.location.LocationManager", "getLastKnownLocation"): PrivacySource("Location", LOCATION),
+    ("android.location.LocationManager", "requestLocationUpdates"): PrivacySource("Location", LOCATION),
+    ("android.telephony.TelephonyManager", "getDeviceId"): PrivacySource("IMEI", PHONE_IDENTITY),
+    ("android.telephony.TelephonyManager", "getSubscriberId"): PrivacySource("IMSI", PHONE_IDENTITY),
+    ("android.telephony.TelephonyManager", "getSimSerialNumber"): PrivacySource("ICCID", PHONE_IDENTITY),
+    ("android.telephony.TelephonyManager", "getLine1Number"): PrivacySource("Phone number", USER_IDENTITY),
+    ("android.accounts.AccountManager", "getAccounts"): PrivacySource("Account", USER_IDENTITY),
+    ("android.accounts.AccountManager", "getAccountsByType"): PrivacySource("Account", USER_IDENTITY),
+    ("android.content.pm.PackageManager", "getInstalledApplications"): PrivacySource("Installed applications", USAGE_PATTERN),
+    ("android.content.pm.PackageManager", "getInstalledPackages"): PrivacySource("Installed packages", USAGE_PATTERN),
+    # Settings reads are API-shaped (static getString) but categorized as a
+    # content provider in Table X, matching the paper's URI-based view.
+    ("android.provider.Settings$System", "getString"): PrivacySource("Settings", CONTENT_PROVIDER),
+    ("android.provider.Settings$Secure", "getString"): PrivacySource("Settings", CONTENT_PROVIDER),
+}
+
+#: provider-URI sources: uri -> source descriptor (all category CP).
+URI_SOURCES: Dict[str, PrivacySource] = {
+    "content://contacts": PrivacySource("Contact", CONTENT_PROVIDER),
+    "content://calendar": PrivacySource("Calendar", CONTENT_PROVIDER),
+    "content://call_log": PrivacySource("CallLog", CONTENT_PROVIDER),
+    "content://browser": PrivacySource("Browser", CONTENT_PROVIDER),
+    "content://media.audio": PrivacySource("Audio", CONTENT_PROVIDER),
+    "content://media.images": PrivacySource("Image", CONTENT_PROVIDER),
+    "content://media.video": PrivacySource("Video", CONTENT_PROVIDER),
+    "content://settings": PrivacySource("Settings", CONTENT_PROVIDER),
+    "content://mms": PrivacySource("MMS", CONTENT_PROVIDER),
+    "content://sms": PrivacySource("SMS", CONTENT_PROVIDER),
+}
+
+#: the 18 data types, in Table X order.
+DATA_TYPES = (
+    "Location",
+    "IMEI",
+    "IMSI",
+    "ICCID",
+    "Phone number",
+    "Account",
+    "Installed applications",
+    "Installed packages",
+    "Contact",
+    "Calendar",
+    "CallLog",
+    "Browser",
+    "Audio",
+    "Image",
+    "Video",
+    "Settings",
+    "MMS",
+    "SMS",
+)
+
+#: data type -> category code, for report rendering.
+DATA_TYPE_CATEGORY: Dict[str, str] = {}
+for _source in list(API_SOURCES.values()) + list(URI_SOURCES.values()):
+    DATA_TYPE_CATEGORY[_source.data_type] = _source.category
+
+
+def api_source_for(class_name: str, method_name: str) -> Optional[PrivacySource]:
+    """The source descriptor for an API call, if it is a source."""
+    return API_SOURCES.get((class_name, method_name))
+
+
+def uri_source_for(uri: Optional[str]) -> Optional[PrivacySource]:
+    """The source descriptor for a content-provider URI, if sensitive."""
+    if uri is None:
+        return None
+    return URI_SOURCES.get(uri)

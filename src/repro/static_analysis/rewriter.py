@@ -1,0 +1,49 @@
+"""Application rewriting: add ``WRITE_EXTERNAL_STORAGE`` and repack.
+
+DyDroid stores its dynamic-analysis log and the dumped loaded code on the
+device's external storage; when the analyzed app does not itself declare
+``WRITE_EXTERNAL_STORAGE``, the paper rewrites and repacks it with the
+permission added to the manifest.
+
+Apps that deploy anti-repackaging tricks crash the repack step -- those are
+the "Rewriting failure" rows of Table II (454 DEX / 133 native apps).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.android.apk import ANTI_REPACKAGING_ENTRY, Apk
+from repro.android.manifest import WRITE_EXTERNAL_STORAGE
+
+
+class RepackagingError(RuntimeError):
+    """The rewrite/repack step failed (anti-repackaging sample)."""
+
+
+def ensure_external_write(apk: Apk) -> Tuple[Apk, bool]:
+    """Return an APK that declares ``WRITE_EXTERNAL_STORAGE``.
+
+    Returns ``(apk, rewritten)``; the original object is returned untouched
+    when the permission is already present.  Raises
+    :class:`RepackagingError` when the app defends against repackaging: the
+    rewritten archive can no longer match the embedded integrity record, so
+    the repacked app would refuse to run -- the toolchain treats this as a
+    rewrite failure up front, as apktool does when it crashes.
+    """
+    manifest = apk.manifest
+    if manifest.has_permission(WRITE_EXTERNAL_STORAGE):
+        return apk, False
+    if apk.is_anti_repackaging:
+        raise RepackagingError(
+            "integrity-protected package {} cannot be repacked".format(
+                manifest.package
+            )
+        )
+    rewritten = apk.clone()
+    manifest.add_permission(WRITE_EXTERNAL_STORAGE)
+    rewritten.put_manifest(manifest)
+    # A real repack re-signs; our integrity entry (when present) would now
+    # mismatch, which is why the guard above fires first.
+    rewritten.entries.pop(ANTI_REPACKAGING_ENTRY, None)
+    return rewritten, True

@@ -1,0 +1,352 @@
+"""smali assembler / disassembler: exact textual round-trip for mini-DEX.
+
+The IR renderer in :mod:`repro.static_analysis.smali` is human-oriented and
+lossy; this module is the tool pair (smali/baksmali): ``disassemble`` emits
+an unambiguous line grammar, ``assemble`` parses it back so that::
+
+    assemble(disassemble(dex)).to_bytes() == dex.to_bytes()
+
+String literals are JSON-quoted, null is ``null``, registers are ``vN``,
+types use the ``Lcom/foo/Bar;`` descriptor syntax, and member references
+use the ``L...;->name`` arrow form real smali uses.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import List, Optional, Union
+
+from repro.android.bytecode import Cmp, FieldRef, Instruction, MethodRef, Op
+from repro.android.dex import DexClass, DexField, DexFile, DexMethod
+
+
+class SmaliSyntaxError(ValueError):
+    """The assembler hit a line it cannot parse."""
+
+    def __init__(self, line_number: int, line: str, reason: str) -> None:
+        super().__init__("line {}: {} ({!r})".format(line_number, reason, line))
+        self.line_number = line_number
+
+
+def _type_to_descriptor(name: str) -> str:
+    return "L{};".format(name.replace(".", "/"))
+
+
+def _descriptor_to_type(descriptor: str) -> str:
+    if not (descriptor.startswith("L") and descriptor.endswith(";")):
+        raise ValueError("bad type descriptor {!r}".format(descriptor))
+    return descriptor[1:-1].replace("/", ".")
+
+
+def _literal_to_text(value: Union[int, str, None]) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, str):
+        return json.dumps(value)
+    return str(value)
+
+
+def _text_to_literal(text: str) -> Union[int, str, None]:
+    text = text.strip()
+    if text == "null":
+        return None
+    if text.startswith('"'):
+        return json.loads(text)
+    return int(text)
+
+
+def _method_ref_to_text(ref: MethodRef) -> str:
+    return "{}->{}/{}".format(_type_to_descriptor(ref.class_name), ref.name, ref.arity)
+
+
+_METHOD_REF_RE = re.compile(r"^(L[^;]+;)->([^/]+)/(\d+)$")
+
+
+def _text_to_method_ref(text: str) -> MethodRef:
+    match = _METHOD_REF_RE.match(text.strip())
+    if match is None:
+        raise ValueError("bad method reference {!r}".format(text))
+    return MethodRef(_descriptor_to_type(match.group(1)), match.group(2), int(match.group(3)))
+
+
+def _field_ref_to_text(ref: FieldRef) -> str:
+    return "{}->{}".format(_type_to_descriptor(ref.class_name), ref.name)
+
+
+_FIELD_REF_RE = re.compile(r"^(L[^;]+;)->(\S+)$")
+
+
+def _text_to_field_ref(text: str) -> FieldRef:
+    match = _FIELD_REF_RE.match(text.strip())
+    if match is None:
+        raise ValueError("bad field reference {!r}".format(text))
+    return FieldRef(_descriptor_to_type(match.group(1)), match.group(2))
+
+
+# ---------------------------------------------------------------------------
+# disassembly
+
+
+def disassemble_instruction(insn: Instruction) -> str:
+    op = insn.op
+    args = insn.args
+    if op is Op.LABEL:
+        return ":{}".format(args[0])
+    if op is Op.NOP:
+        return "nop"
+    if op is Op.CONST:
+        return "const v{}, {}".format(args[0], _literal_to_text(args[1]))
+    if op is Op.MOVE:
+        return "move v{}, v{}".format(args[0], args[1])
+    if op is Op.NEW_INSTANCE:
+        return "new-instance v{}, {}".format(args[0], _type_to_descriptor(args[1]))
+    if op is Op.NEW_ARRAY:
+        return "new-array v{}, v{}".format(args[0], args[1])
+    if op is Op.INVOKE:
+        ref, regs = args
+        return "invoke {} {{{}}}".format(
+            _method_ref_to_text(ref), ", ".join("v{}".format(r) for r in regs)
+        )
+    if op is Op.MOVE_RESULT:
+        return "move-result v{}".format(args[0])
+    if op is Op.IGET:
+        return "iget v{}, v{}, {}".format(args[0], args[1], _field_ref_to_text(args[2]))
+    if op is Op.IPUT:
+        return "iput v{}, v{}, {}".format(args[0], args[1], _field_ref_to_text(args[2]))
+    if op is Op.SGET:
+        return "sget v{}, {}".format(args[0], _field_ref_to_text(args[1]))
+    if op is Op.SPUT:
+        return "sput v{}, {}".format(args[0], _field_ref_to_text(args[1]))
+    if op is Op.AGET:
+        return "aget v{}, v{}, v{}".format(args[0], args[1], args[2])
+    if op is Op.APUT:
+        return "aput v{}, v{}, v{}".format(args[0], args[1], args[2])
+    if op is Op.IF:
+        cmp, a, b, target = args
+        if b is None:
+            return "if-{} v{}, :{}".format(cmp.value, a, target)
+        return "if-{} v{}, v{}, :{}".format(cmp.value, a, b, target)
+    if op is Op.GOTO:
+        return "goto :{}".format(args[0])
+    if op is Op.RETURN:
+        return "return v{}".format(args[0])
+    if op is Op.RETURN_VOID:
+        return "return-void"
+    if op is Op.THROW:
+        return "throw v{}".format(args[0])
+    if op is Op.BINOP:
+        name, dst, a, b = args
+        return "binop {} v{}, v{}, v{}".format(name, dst, a, b)
+    if op is Op.TRY_START:
+        return "try-start :{}, {}".format(args[0], _type_to_descriptor(args[1]))
+    if op is Op.TRY_END:
+        return "try-end"
+    if op is Op.MOVE_EXCEPTION:
+        return "move-exception v{}".format(args[0])
+    raise ValueError("cannot disassemble {}".format(op))
+
+
+def disassemble(dex: DexFile) -> str:
+    """The full textual form of a DEX file."""
+    lines: List[str] = ["# source: {}".format(dex.source_name)]
+    for cls in dex.classes:
+        lines.append("")
+        lines.append(".class public {}".format(_type_to_descriptor(cls.name)))
+        lines.append(".super {}".format(_type_to_descriptor(cls.superclass)))
+        for fld in cls.fields:
+            static = " static" if fld.is_static else ""
+            lines.append(
+                ".field{} {} {}".format(static, fld.name, _type_to_descriptor(fld.type_name))
+            )
+        for method in cls.methods:
+            flags = "public" if method.is_public else "private"
+            if method.is_static:
+                flags += " static"
+            lines.append(
+                ".method {} {} arity={} registers={}".format(
+                    flags, method.name, method.arity, method.registers
+                )
+            )
+            for insn in method.instructions:
+                lines.append("    " + disassemble_instruction(insn))
+            lines.append(".end method")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# assembly
+
+_REG_RE = re.compile(r"^v(\d+)$")
+
+
+def _reg(token: str) -> int:
+    match = _REG_RE.match(token.strip())
+    if match is None:
+        raise ValueError("bad register {!r}".format(token))
+    return int(match.group(1))
+
+
+def _split_args(text: str) -> List[str]:
+    """Split on commas not inside a JSON string literal."""
+    parts: List[str] = []
+    depth_quote = False
+    escaped = False
+    current = ""
+    for char in text:
+        if depth_quote:
+            current += char
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == '"':
+                depth_quote = False
+            continue
+        if char == '"':
+            depth_quote = True
+            current += char
+        elif char == ",":
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+def assemble_instruction(line: str) -> Instruction:
+    """Parse one instruction line (without leading whitespace)."""
+    if line.startswith(":"):
+        return Instruction(Op.LABEL, (line[1:],))
+    mnemonic, _, rest = line.partition(" ")
+    rest = rest.strip()
+
+    if mnemonic == "nop":
+        return Instruction(Op.NOP)
+    if mnemonic == "const":
+        dst, literal = _split_args(rest)
+        return Instruction(Op.CONST, (_reg(dst), _text_to_literal(literal)))
+    if mnemonic == "move":
+        dst, src = _split_args(rest)
+        return Instruction(Op.MOVE, (_reg(dst), _reg(src)))
+    if mnemonic == "new-instance":
+        dst, descriptor = _split_args(rest)
+        return Instruction(Op.NEW_INSTANCE, (_reg(dst), _descriptor_to_type(descriptor)))
+    if mnemonic == "new-array":
+        dst, size = _split_args(rest)
+        return Instruction(Op.NEW_ARRAY, (_reg(dst), _reg(size)))
+    if mnemonic == "invoke":
+        ref_text, _, regs_text = rest.partition("{")
+        regs_text = regs_text.rstrip("}").strip()
+        regs = tuple(_reg(t) for t in regs_text.split(",")) if regs_text else ()
+        return Instruction(Op.INVOKE, (_text_to_method_ref(ref_text), regs))
+    if mnemonic == "move-result":
+        return Instruction(Op.MOVE_RESULT, (_reg(rest),))
+    if mnemonic in ("iget", "iput"):
+        a, b, ref = _split_args(rest)
+        op = Op.IGET if mnemonic == "iget" else Op.IPUT
+        return Instruction(op, (_reg(a), _reg(b), _text_to_field_ref(ref)))
+    if mnemonic in ("sget", "sput"):
+        a, ref = _split_args(rest)
+        op = Op.SGET if mnemonic == "sget" else Op.SPUT
+        return Instruction(op, (_reg(a), _text_to_field_ref(ref)))
+    if mnemonic in ("aget", "aput"):
+        a, b, c = _split_args(rest)
+        op = Op.AGET if mnemonic == "aget" else Op.APUT
+        return Instruction(op, (_reg(a), _reg(b), _reg(c)))
+    if mnemonic.startswith("if-"):
+        cmp = Cmp(mnemonic[len("if-"):])
+        parts = _split_args(rest)
+        target = parts[-1].lstrip(":")
+        if len(parts) == 2:
+            return Instruction(Op.IF, (cmp, _reg(parts[0]), None, target))
+        return Instruction(Op.IF, (cmp, _reg(parts[0]), _reg(parts[1]), target))
+    if mnemonic == "goto":
+        return Instruction(Op.GOTO, (rest.lstrip(":"),))
+    if mnemonic == "return":
+        return Instruction(Op.RETURN, (_reg(rest),))
+    if mnemonic == "return-void":
+        return Instruction(Op.RETURN_VOID)
+    if mnemonic == "throw":
+        return Instruction(Op.THROW, (_reg(rest),))
+    if mnemonic == "binop":
+        name, _, regs = rest.partition(" ")
+        dst, a, b = _split_args(regs)
+        return Instruction(Op.BINOP, (name, _reg(dst), _reg(a), _reg(b)))
+    if mnemonic == "try-start":
+        label_text, descriptor = _split_args(rest)
+        return Instruction(
+            Op.TRY_START, (label_text.lstrip(":"), _descriptor_to_type(descriptor))
+        )
+    if mnemonic == "try-end":
+        return Instruction(Op.TRY_END)
+    if mnemonic == "move-exception":
+        return Instruction(Op.MOVE_EXCEPTION, (_reg(rest),))
+    raise ValueError("unknown mnemonic {!r}".format(mnemonic))
+
+
+_METHOD_HEADER_RE = re.compile(
+    r"^\.method\s+(public|private)(\s+static)?\s+(\S+)\s+arity=(\d+)\s+registers=(\d+)$"
+)
+_FIELD_RE = re.compile(r"^\.field(\s+static)?\s+(\S+)\s+(L[^;]+;)$")
+
+
+def assemble(text: str) -> DexFile:
+    """Parse a disassembly back into a DexFile."""
+    dex = DexFile()
+    current_class: Optional[DexClass] = None
+    current_method: Optional[DexMethod] = None
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# source: "):
+            dex.source_name = line[len("# source: "):]
+            continue
+        if line.startswith("#"):
+            continue
+        try:
+            if line.startswith(".class"):
+                descriptor = line.split()[-1]
+                current_class = DexClass(name=_descriptor_to_type(descriptor))
+                dex.classes.append(current_class)
+            elif line.startswith(".super"):
+                if current_class is None:
+                    raise ValueError(".super outside a class")
+                current_class.superclass = _descriptor_to_type(line.split()[-1])
+            elif line.startswith(".field"):
+                match = _FIELD_RE.match(line)
+                if current_class is None or match is None:
+                    raise ValueError("bad field declaration")
+                current_class.fields.append(
+                    DexField(
+                        name=match.group(2),
+                        type_name=_descriptor_to_type(match.group(3)),
+                        is_static=bool(match.group(1)),
+                    )
+                )
+            elif line.startswith(".method"):
+                match = _METHOD_HEADER_RE.match(line)
+                if current_class is None or match is None:
+                    raise ValueError("bad method header")
+                current_method = DexMethod(
+                    name=match.group(3),
+                    class_name=current_class.name,
+                    arity=int(match.group(4)),
+                    registers=int(match.group(5)),
+                    is_public=match.group(1) == "public",
+                    is_static=bool(match.group(2)),
+                )
+                current_class.methods.append(current_method)
+            elif line == ".end method":
+                current_method = None
+            else:
+                if current_method is None:
+                    raise ValueError("instruction outside a method")
+                current_method.instructions.append(assemble_instruction(line))
+        except (ValueError, KeyError) as exc:
+            raise SmaliSyntaxError(line_number, raw, str(exc))
+    return dex

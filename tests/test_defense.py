@@ -1,0 +1,195 @@
+"""Tests for the DCL defenses: secure loader and policy engine."""
+
+import pytest
+
+from repro.android.apk import Apk
+from repro.android.dex import DexFile
+from repro.defense.policy import (
+    PolicyContext,
+    PolicyEngine,
+    PolicyRule,
+    PolicyVerdict,
+    default_policy,
+)
+from repro.defense.secure_loader import (
+    CodeVerificationError,
+    PayloadManifest,
+    SecureDexClassLoader,
+    sign_payload,
+)
+from repro.dynamic.engine import AppExecutionEngine, EngineOptions
+from repro.runtime.device import Device
+from repro.runtime.instrumentation import DexLoadEvent, Instrumentation
+from repro.runtime.objects import VMException
+from repro.runtime.vm import DalvikVM
+
+from tests.helpers import build_manifest, downloads_and_loads_app, simple_payload_dex
+
+
+class TestPayloadManifest:
+    def test_pin_and_verify(self):
+        manifest = PayloadManifest(signing_key=b"release-key")
+        data = simple_payload_dex().to_bytes()
+        manifest.pin("plugin", data)
+        manifest.verify("plugin", data)  # no raise
+
+    def test_unpinned_digest_rejected(self):
+        manifest = PayloadManifest(signing_key=b"release-key")
+        manifest.pin("plugin", simple_payload_dex("com.a.A").to_bytes())
+        with pytest.raises(CodeVerificationError):
+            manifest.verify("plugin", simple_payload_dex("com.b.B").to_bytes())
+
+    def test_unknown_payload_name_rejected(self):
+        manifest = PayloadManifest(signing_key=b"k")
+        with pytest.raises(CodeVerificationError):
+            manifest.verify("never-pinned", b"data")
+
+    def test_multiple_versions_allowed(self):
+        manifest = PayloadManifest(signing_key=b"k")
+        v1 = simple_payload_dex("com.p.V1").to_bytes()
+        v2 = simple_payload_dex("com.p.V2").to_bytes()
+        manifest.pin("plugin", v1)
+        manifest.pin("plugin", v2)
+        manifest.verify("plugin", v1)
+        manifest.verify("plugin", v2)
+
+    def test_signature_is_keyed(self):
+        data = b"payload"
+        assert sign_payload(data, b"key-a") != sign_payload(data, b"key-b")
+
+
+class TestSecureLoader:
+    def _vm_with_file(self, path, data):
+        device = Device()
+        vm = DalvikVM(device, Instrumentation())
+        vm.install_app(Apk.build(build_manifest("com.victim.app"), dex_files=[DexFile()]))
+        device.vfs.write(path, data, owner="com.victim.app")
+        return vm
+
+    def test_verified_load_succeeds(self):
+        payload = simple_payload_dex("com.plugin.Entry")
+        path = "/data/data/com.victim.app/files/plugin.jar"
+        vm = self._vm_with_file(path, payload.to_bytes())
+        manifest = PayloadManifest(signing_key=b"k")
+        manifest.pin("plugin", payload.to_bytes())
+        loader = SecureDexClassLoader(manifest, vm)
+        handle = loader.load_class("plugin", path, "/data/data/com.victim.app/cache", "com.plugin.Entry")
+        assert handle.payload == "com.plugin.Entry"
+        assert loader.verified_loads == [path]
+
+    def test_tampered_payload_blocked(self):
+        # The Table IX attack, with the defense in place: the attacker
+        # swaps the file, the loader refuses, nothing executes.
+        genuine = simple_payload_dex("com.plugin.Entry")
+        hostile = simple_payload_dex("com.plugin.Entry")
+        hostile.classes[0].method("run").instructions.insert(0, __import__("repro.android.bytecode", fromlist=["const"]).const(7, "evil"))
+        path = "/data/data/com.victim.app/files/plugin.jar"
+        vm = self._vm_with_file(path, hostile.to_bytes())
+        manifest = PayloadManifest(signing_key=b"k")
+        manifest.pin("plugin", genuine.to_bytes())
+        loader = SecureDexClassLoader(manifest, vm)
+        with pytest.raises(VMException) as excinfo:
+            loader.load_class("plugin", path, "/odex", "com.plugin.Entry")
+        assert excinfo.value.class_name == "java.lang.SecurityException"
+        assert loader.rejected_loads == [path]
+        assert "com.plugin.Entry" not in vm.class_space
+
+    def test_missing_file(self):
+        vm = self._vm_with_file("/data/data/com.victim.app/files/x", b"y")
+        loader = SecureDexClassLoader(PayloadManifest(signing_key=b"k"), vm)
+        with pytest.raises(VMException) as excinfo:
+            loader.load_class("plugin", "/nope.jar", "/odex", "com.plugin.Entry")
+        assert excinfo.value.class_name == "java.io.FileNotFoundException"
+
+
+def _dex_event(paths, package="com.app"):
+    return DexLoadEvent(
+        dex_paths=tuple(paths),
+        odex_dir=None,
+        loader_kind="DexClassLoader",
+        call_site=None,
+        stack=(),
+        app_package=package,
+        timestamp_ms=0,
+    )
+
+
+class TestPolicyEngine:
+    def test_remote_code_denied(self):
+        apk = downloads_and_loads_app()
+        report = AppExecutionEngine(
+            EngineOptions(
+                remote_resources={
+                    "http://cdn.sdk-demo.com/payload.jar": simple_payload_dex().to_bytes()
+                }
+            )
+        ).run(apk)
+        engine = PolicyEngine()
+        context = PolicyContext(
+            app_package=apk.package, manifest=apk.manifest, tracker=report.tracker
+        )
+        denials = engine.evaluate_session(context, dex_events=report.dcl.dex_events)
+        assert any(d.rule == "remote-code" for d in denials)
+        assert engine.would_block(report.intercepted[0].path)
+
+    def test_local_code_allowed(self):
+        from tests.helpers import local_loader_app
+
+        apk, _ = local_loader_app()
+        report = AppExecutionEngine(EngineOptions()).run(apk)
+        engine = PolicyEngine()
+        context = PolicyContext(
+            app_package=apk.package, manifest=apk.manifest, tracker=report.tracker
+        )
+        denials = engine.evaluate_session(context, dex_events=report.dcl.dex_events)
+        assert denials == []
+
+    def test_foreign_writable_rules(self):
+        manifest = build_manifest("com.app", min_sdk=14)
+        engine = PolicyEngine()
+        context = PolicyContext(app_package="com.app", manifest=manifest)
+        denials = engine.evaluate_session(
+            context,
+            dex_events=[_dex_event(["/mnt/sdcard/x.jar", "/data/data/com.other/y.jar"])],
+        )
+        reasons = {d.rule for d in denials}
+        assert "foreign-writable" in reasons
+        assert len([d for d in denials if d.rule == "foreign-writable"]) == 2
+
+    def test_external_storage_allowed_post_kitkat(self):
+        manifest = build_manifest("com.app", min_sdk=21)
+        engine = PolicyEngine()
+        context = PolicyContext(app_package="com.app", manifest=manifest)
+        denials = engine.evaluate_session(
+            context, dex_events=[_dex_event(["/mnt/sdcard/x.jar"])]
+        )
+        assert denials == []
+
+    def test_world_writable_file_rule(self):
+        device = Device()
+        device.vfs.write(
+            "/data/data/com.app/shared/p.jar", b"x", owner="com.app", world_writable=True
+        )
+        manifest = build_manifest("com.app")
+        engine = PolicyEngine()
+        context = PolicyContext(
+            app_package="com.app", manifest=manifest, vfs=device.vfs
+        )
+        denials = engine.evaluate_session(
+            context, dex_events=[_dex_event(["/data/data/com.app/shared/p.jar"])]
+        )
+        assert [d.rule for d in denials] == ["world-writable-file"]
+
+    def test_custom_rule(self):
+        rule = PolicyRule("no-jars", lambda ctx, path: "jar" if path.endswith(".jar") else None)
+        engine = PolicyEngine([rule])
+        context = PolicyContext(app_package="com.app", manifest=build_manifest("com.app"))
+        denials = engine.evaluate_session(context, dex_events=[_dex_event(["/a/x.jar"])])
+        assert denials[0].verdict is PolicyVerdict.DENY
+
+    def test_default_policy_names(self):
+        assert [r.name for r in default_policy()] == [
+            "remote-code",
+            "foreign-writable",
+            "world-writable-file",
+        ]

@@ -1,0 +1,130 @@
+"""Tests for the smali assembler/disassembler round trip."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.android import bytecode as bc
+from repro.android.builders import MethodBuilder, class_builder
+from repro.android.bytecode import Cmp, FieldRef, Instruction, MethodRef, Op
+from repro.android.dex import DexClass, DexField, DexFile
+from repro.static_analysis.smali_asm import (
+    SmaliSyntaxError,
+    assemble,
+    assemble_instruction,
+    disassemble,
+    disassemble_instruction,
+)
+from repro.static_analysis.malware.families import swiss_code_monkeys_dex
+
+from tests.helpers import downloads_and_loads_app, simple_payload_dex
+from tests.test_properties import dex_files
+
+
+class TestInstructionRoundTrip:
+    CASES = [
+        bc.const(0, 42),
+        bc.const(1, "hello, world"),
+        bc.const(2, 'tricky "quoted, string"'),
+        bc.const(3, None),
+        bc.move(4, 5),
+        bc.new_instance(6, "com.example.Widget"),
+        Instruction(Op.NEW_ARRAY, (7, 8)),
+        bc.invoke(MethodRef("com.a.B", "doIt", 2), 0, 1),
+        bc.invoke(MethodRef("com.a.B", "<init>", 0)),
+        bc.move_result(9),
+        bc.iget(0, 1, FieldRef("com.a.B", "field")),
+        bc.iput(0, 1, FieldRef("com.a.B", "field")),
+        bc.sget(0, FieldRef("com.a.B", "STATIC")),
+        bc.sput(0, FieldRef("com.a.B", "STATIC")),
+        Instruction(Op.AGET, (0, 1, 2)),
+        Instruction(Op.APUT, (0, 1, 2)),
+        bc.if_cmp(Cmp.EQ, 0, 1, "target"),
+        bc.if_cmp(Cmp.EQZ, 0, None, "target"),
+        bc.goto("loop"),
+        bc.label("loop"),
+        bc.ret(0),
+        bc.ret_void(),
+        bc.throw(0),
+        bc.binop("add", 0, 1, 2),
+        Instruction(Op.NOP),
+    ]
+
+    @pytest.mark.parametrize("insn", CASES, ids=lambda i: i.op.value)
+    def test_round_trip(self, insn):
+        text = disassemble_instruction(insn)
+        assert assemble_instruction(text) == insn
+
+    def test_negative_int_literal(self):
+        insn = bc.const(0, -17)
+        assert assemble_instruction(disassemble_instruction(insn)) == insn
+
+
+class TestFileRoundTrip:
+    def test_payload_round_trip(self):
+        dex = simple_payload_dex()
+        assert assemble(disassemble(dex)).to_bytes() == dex.to_bytes()
+
+    def test_realistic_app_round_trip(self):
+        dex = downloads_and_loads_app().dex_files()[0]
+        assert assemble(disassemble(dex)).to_bytes() == dex.to_bytes()
+
+    def test_malware_round_trip(self):
+        dex = swiss_code_monkeys_dex(3)
+        assert assemble(disassemble(dex)).to_bytes() == dex.to_bytes()
+
+    def test_fields_round_trip(self):
+        cls = DexClass(name="com.f.Holder")
+        cls.fields = [
+            DexField(name="cache", type_name="java.lang.String"),
+            DexField(name="COUNT", type_name="java.lang.Integer", is_static=True),
+        ]
+        dex = DexFile(classes=[cls])
+        restored = assemble(disassemble(dex))
+        assert restored.classes[0].fields == cls.fields
+
+    def test_static_private_method_flags(self):
+        cls = class_builder("com.m.X")
+        builder = MethodBuilder("helper", "com.m.X", arity=2, is_static=True, is_public=False)
+        builder.ret_void()
+        cls.add_method(builder.build())
+        restored = assemble(disassemble(DexFile(classes=[cls])))
+        method = restored.classes[0].methods[0]
+        assert method.is_static and not method.is_public and method.arity == 2
+
+    def test_source_name_preserved(self):
+        dex = simple_payload_dex()
+        dex.source_name = "plugin_v2.jar"
+        assert assemble(disassemble(dex)).source_name == "plugin_v2.jar"
+
+
+class TestErrors:
+    def test_bad_mnemonic(self):
+        with pytest.raises(ValueError):
+            assemble_instruction("frobnicate v0")
+
+    def test_bad_register(self):
+        with pytest.raises(ValueError):
+            assemble_instruction("move x0, v1")
+
+    def test_instruction_outside_method(self):
+        with pytest.raises(SmaliSyntaxError) as excinfo:
+            assemble(".class public La/B;\n.super La/O;\nconst v0, 1\n")
+        assert excinfo.value.line_number == 3
+
+    def test_super_outside_class(self):
+        with pytest.raises(SmaliSyntaxError):
+            assemble(".super La/O;\n")
+
+    def test_comments_ignored(self):
+        dex = assemble("# a comment\n.class public La/B;\n.super Ljava/lang/Object;\n")
+        assert dex.classes[0].name == "a.B"
+
+
+@given(dex_files())
+@settings(max_examples=40, deadline=None)
+def test_property_assemble_disassemble_fixpoint(dex):
+    """assemble(disassemble(x)) is byte-identical for arbitrary programs."""
+    text = disassemble(dex)
+    restored = assemble(text)
+    assert restored.to_bytes() == dex.to_bytes()
+    assert disassemble(restored) == text

@@ -1,0 +1,241 @@
+"""Tests for decompiler, smali IR, prefilter, rewriter, vulnerability."""
+
+import pytest
+
+from repro.android.apk import Apk
+from repro.android.builders import MethodBuilder, class_builder
+from repro.android.dex import DexFile
+from repro.android.manifest import WRITE_EXTERNAL_STORAGE
+from repro.runtime.instrumentation import DexLoadEvent, NativeLoadEvent
+from repro.static_analysis.decompiler import DecompilationError, Decompiler
+from repro.static_analysis.prefilter import prefilter
+from repro.static_analysis.rewriter import RepackagingError, ensure_external_write
+from repro.static_analysis.vulnerability import (
+    RiskyLoadCategory,
+    classify_loads,
+    classify_path,
+    has_integrity_check,
+)
+
+from tests.helpers import (
+    build_manifest,
+    downloads_and_loads_app,
+    local_loader_app,
+    simple_payload_dex,
+)
+
+
+def _decompile(apk):
+    return Decompiler().decompile(apk)
+
+
+class TestDecompiler:
+    def test_decompiles_classes(self):
+        apk = downloads_and_loads_app()
+        program = _decompile(apk)
+        assert "com.example.demo.MainActivity" in program.class_names()
+        assert program.manifest.package == "com.example.demo"
+
+    def test_anti_decompilation_crashes_strict(self):
+        apk = downloads_and_loads_app()
+        apk.enable_anti_decompilation()
+        with pytest.raises(DecompilationError):
+            _decompile(apk)
+
+    def test_non_strict_survives(self):
+        apk = downloads_and_loads_app()
+        apk.enable_anti_decompilation()
+        program = Decompiler(strict=False).decompile(apk)
+        assert program.class_names()
+
+    def test_opaque_entries_listed(self):
+        apk, _ = local_loader_app()
+        program = _decompile(apk)
+        assert "assets/plugin.jar" in program.opaque_entries
+
+    def test_encrypted_asset_is_opaque_not_code(self):
+        apk = Apk.build(
+            build_manifest(),
+            dex_files=[simple_payload_dex()],
+            assets={"assets/enc.bin": simple_payload_dex().encrypt(b"k")},
+        )
+        program = _decompile(apk)
+        assert len(program.dex_files) == 1
+        assert "assets/enc.bin" in program.opaque_entries
+
+    def test_smali_rendering(self):
+        program = _decompile(downloads_and_loads_app())
+        text = program.render_smali("com.example.demo.MainActivity")
+        assert ".class public Lcom/example/demo/MainActivity;" in text
+        assert ".super Landroid/app/Activity;" in text
+        assert "dalvik.system.DexClassLoader.<init>/5" in text
+
+    def test_identifiers(self):
+        program = _decompile(downloads_and_loads_app())
+        kinds = {kind for kind, _ in program.identifiers()}
+        assert kinds == {"class", "method"}
+        names = {name for _, name in program.identifiers()}
+        assert "onCreate" in names and "<init>" not in names
+
+
+class TestPrefilter:
+    def test_detects_dex_dcl(self):
+        result = prefilter(_decompile(downloads_and_loads_app()))
+        assert result.has_dex_dcl and not result.has_native_dcl
+        assert result.dex_call_site_classes == ["com.example.demo.MainActivity"]
+
+    def test_detects_native_dcl(self):
+        cls = class_builder("com.t.A", superclass="android.app.Activity")
+        b = MethodBuilder("onCreate", "com.t.A", arity=1)
+        b.call_void("java.lang.System", "loadLibrary", b.new_string("x"))
+        b.ret_void()
+        cls.add_method(b.build())
+        apk = Apk.build(build_manifest("com.t"), dex_files=[DexFile(classes=[cls])])
+        result = prefilter(_decompile(apk))
+        assert result.has_native_dcl and not result.has_dex_dcl
+
+    def test_no_dcl(self):
+        cls = class_builder("com.t.A")
+        b = MethodBuilder("m", "com.t.A", arity=1)
+        b.call_void("android.util.Log", "d", b.new_string("t"), b.new_string("m"))
+        b.ret_void()
+        cls.add_method(b.build())
+        apk = Apk.build(build_manifest("com.t"), dex_files=[DexFile(classes=[cls])])
+        assert not prefilter(_decompile(apk)).has_any_dcl
+
+    def test_existence_not_reachability(self):
+        # Dead code containing a loader still passes the prefilter (paper:
+        # "We do not verify the reachability of DCL-related code").
+        cls = class_builder("com.t.A", superclass="android.app.Activity")
+        dead = MethodBuilder("neverCalled", "com.t.A", arity=1)
+        null = dead.new_null()
+        dead.new_instance_of(
+            "dalvik.system.PathClassLoader", dead.new_string("/data/x.jar"), null
+        )
+        dead.ret_void()
+        cls.add_method(dead.build())
+        apk = Apk.build(build_manifest("com.t"), dex_files=[DexFile(classes=[cls])])
+        assert prefilter(_decompile(apk)).has_dex_dcl
+
+
+class TestRewriter:
+    def test_adds_permission_when_missing(self):
+        apk = Apk.build(
+            build_manifest(permissions=set()), dex_files=[simple_payload_dex()]
+        )
+        rewritten, changed = ensure_external_write(apk)
+        assert changed
+        assert rewritten.manifest.has_permission(WRITE_EXTERNAL_STORAGE)
+        assert not apk.manifest.has_permission(WRITE_EXTERNAL_STORAGE)  # original intact
+
+    def test_noop_when_present(self):
+        apk = Apk.build(build_manifest(), dex_files=[simple_payload_dex()])
+        result, changed = ensure_external_write(apk)
+        assert result is apk and not changed
+
+    def test_anti_repackaging_fails(self):
+        apk = Apk.build(
+            build_manifest(permissions=set()), dex_files=[simple_payload_dex()]
+        )
+        apk.enable_anti_repackaging()
+        with pytest.raises(RepackagingError):
+            ensure_external_write(apk)
+
+    def test_anti_repackaging_with_permission_is_fine(self):
+        # No rewrite needed -> no repack -> no failure.
+        apk = Apk.build(build_manifest(), dex_files=[simple_payload_dex()])
+        apk.enable_anti_repackaging()
+        result, changed = ensure_external_write(apk)
+        assert not changed
+
+
+def _dex_event(paths, package="com.victim.app"):
+    return DexLoadEvent(
+        dex_paths=tuple(paths),
+        odex_dir=None,
+        loader_kind="DexClassLoader",
+        call_site=None,
+        stack=(),
+        app_package=package,
+        timestamp_ms=0,
+    )
+
+
+def _native_event(path, package="com.victim.app"):
+    return NativeLoadEvent(
+        lib_path=path,
+        api="load",
+        call_site=None,
+        stack=(),
+        app_package=package,
+        timestamp_ms=0,
+    )
+
+
+class TestVulnerability:
+    def test_external_storage_pre_kitkat(self):
+        manifest = build_manifest("com.victim.app", min_sdk=14)
+        category = classify_path("/mnt/sdcard/im_sdk/jar/x.jar", "com.victim.app", manifest)
+        assert category is RiskyLoadCategory.EXTERNAL_STORAGE
+
+    def test_external_storage_post_kitkat_not_counted(self):
+        manifest = build_manifest("com.victim.app", min_sdk=19)
+        assert classify_path("/mnt/sdcard/x.jar", "com.victim.app", manifest) is None
+
+    def test_other_app_internal(self):
+        manifest = build_manifest("com.victim.app")
+        category = classify_path(
+            "/data/data/com.adobe.air/lib/libCore.so", "com.victim.app", manifest
+        )
+        assert category is RiskyLoadCategory.OTHER_APP_INTERNAL
+
+    def test_own_internal_is_safe(self):
+        manifest = build_manifest("com.victim.app")
+        assert classify_path(
+            "/data/data/com.victim.app/cache/p.jar", "com.victim.app", manifest
+        ) is None
+
+    def test_classify_loads_full(self):
+        manifest = build_manifest("com.victim.app", min_sdk=14)
+        findings = classify_loads(
+            "com.victim.app",
+            manifest,
+            dex_events=[_dex_event(["/mnt/sdcard/a.jar", "/data/data/com.victim.app/b.jar"])],
+            native_events=[_native_event("/data/data/com.adobe.air/lib/libCore.so")],
+        )
+        categories = {(f.code_kind, f.category) for f in findings}
+        assert categories == {
+            ("dex", RiskyLoadCategory.EXTERNAL_STORAGE),
+            ("native", RiskyLoadCategory.OTHER_APP_INTERNAL),
+        }
+        native = [f for f in findings if f.code_kind == "native"][0]
+        assert native.other_app == "com.adobe.air"
+
+    def test_duplicates_collapsed(self):
+        manifest = build_manifest("com.victim.app", min_sdk=14)
+        findings = classify_loads(
+            "com.victim.app",
+            manifest,
+            dex_events=[_dex_event(["/mnt/sdcard/a.jar"]), _dex_event(["/mnt/sdcard/a.jar"])],
+        )
+        assert len(findings) == 1
+
+    def test_integrity_check_suppresses(self):
+        cls = class_builder("com.victim.app.Loader")
+        b = MethodBuilder("verify", "com.victim.app.Loader", arity=1)
+        b.call_static("java.security.MessageDigest", "getInstance", b.new_string("SHA-256"))
+        b.ret_void()
+        cls.add_method(b.build())
+        apk = Apk.build(
+            build_manifest("com.victim.app", min_sdk=14),
+            dex_files=[DexFile(classes=[cls])],
+        )
+        program = Decompiler().decompile(apk)
+        assert has_integrity_check(program)
+        findings = classify_loads(
+            "com.victim.app",
+            apk.manifest,
+            dex_events=[_dex_event(["/mnt/sdcard/a.jar"])],
+            program=program,
+        )
+        assert findings == []

@@ -1,0 +1,182 @@
+"""Tests for the statistics module and the service-exercising extension."""
+
+import pytest
+
+from repro.android.apk import Apk
+from repro.android.builders import MethodBuilder, class_builder
+from repro.android.dex import DexFile
+from repro.android.manifest import AndroidManifest, Component, ComponentKind, INTERNET, WRITE_EXTERNAL_STORAGE
+from repro.core.config import DyDroidConfig
+from repro.core.pipeline import DyDroid
+from repro.core.stats import (
+    category_concentration,
+    popularity_association,
+    rate_confidence_interval,
+    _mann_whitney_normal_approx,
+)
+from repro.corpus.generator import generate_corpus
+from repro.dynamic.engine import AppExecutionEngine, DynamicOutcome, EngineOptions
+
+from tests.helpers import simple_payload_dex
+
+
+@pytest.fixture(scope="module")
+def measured():
+    corpus = generate_corpus(700, seed=51)
+    return DyDroid(DyDroidConfig(train_samples_per_family=2, run_replays=False)).measure(corpus)
+
+
+class TestPopularityAssociation:
+    def test_native_association_significant(self, measured):
+        results = popularity_association(measured)
+        by_key = {(r.group, r.metric): r for r in results}
+        native_downloads = by_key[("Native", "downloads")]
+        # the strongest paper effect: native-DCL apps are hugely more popular.
+        assert native_downloads.group_mean > native_downloads.complement_mean
+        assert native_downloads.significant
+        native_ratings = by_key[("Native", "n_ratings")]
+        assert native_ratings.significant
+
+    def test_all_four_comparisons_present(self, measured):
+        results = popularity_association(measured)
+        assert {(r.group, r.metric) for r in results} == {
+            ("DEX", "downloads"),
+            ("DEX", "n_ratings"),
+            ("Native", "downloads"),
+            ("Native", "n_ratings"),
+        }
+
+    def test_normal_approximation_agrees_directionally(self):
+        high = [100.0, 120.0, 130.0, 150.0, 170.0, 200.0]
+        low = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        _, p = _mann_whitney_normal_approx(high, low)
+        assert p < 0.01
+        _, p_reverse = _mann_whitney_normal_approx(low, high)
+        assert p_reverse > 0.9
+
+
+class TestCategoryConcentration:
+    def test_packed_apps_concentrate(self, measured):
+        chi2, p = category_concentration(measured)
+        # with only 1-2 packed apps at this scale significance is weak, but
+        # the statistic must be computable and non-negative.
+        assert chi2 >= 0.0
+        assert 0.0 <= p <= 1.0
+
+    def test_no_packed_apps(self):
+        from repro.core.report import MeasurementReport
+
+        chi2, p = category_concentration(MeasurementReport(apps=[]))
+        assert (chi2, p) == (0.0, 1.0)
+
+    def test_concentration_significant_at_scale(self):
+        # Build a synthetic report: 40 packed apps all in dominant
+        # categories against a uniform 42-category corpus.
+        from repro.core.report import AppAnalysis, MeasurementReport
+        from repro.corpus.metadata import CATEGORIES, AppMetadata
+        from repro.static_analysis.obfuscation.detector import ObfuscationProfile
+
+        apps = []
+        for index in range(420):
+            apps.append(
+                AppAnalysis(
+                    package="p{}".format(index),
+                    metadata=AppMetadata(
+                        category=CATEGORIES[index % 42],
+                        downloads=10,
+                        n_ratings=1,
+                        avg_rating=4.0,
+                        release_time_ms=0,
+                    ),
+                    obfuscation=ObfuscationProfile(),
+                )
+            )
+        for index in range(40):
+            apps.append(
+                AppAnalysis(
+                    package="packed{}".format(index),
+                    metadata=AppMetadata(
+                        category=("Entertainment", "Tools", "Shopping")[index % 3],
+                        downloads=10,
+                        n_ratings=1,
+                        avg_rating=4.0,
+                        release_time_ms=0,
+                    ),
+                    obfuscation=ObfuscationProfile(dex_encryption=True),
+                )
+            )
+        chi2, p = category_concentration(MeasurementReport(apps=apps))
+        assert p < 0.001
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = rate_confidence_interval(41, 100)
+        assert low < 0.41 < high
+
+    def test_narrows_with_n(self):
+        low_small, high_small = rate_confidence_interval(41, 100)
+        low_big, high_big = rate_confidence_interval(4100, 10_000)
+        assert (high_big - low_big) < (high_small - low_small)
+
+    def test_edge_cases(self):
+        assert rate_confidence_interval(0, 0) == (0.0, 1.0)
+        low, high = rate_confidence_interval(0, 50)
+        assert low == 0.0 and high < 0.15
+        low, high = rate_confidence_interval(50, 50)
+        assert high == 1.0 and low > 0.85
+
+
+def _service_only_app():
+    package = "com.svc.app"
+    service_name = "{}.SyncService".format(package)
+    cls = class_builder(service_name, superclass="android.app.Service")
+    b = MethodBuilder("onStartCommand", service_name, arity=1)
+    from repro.corpus.behaviors import emit_asset_to_file, emit_dex_load
+
+    dest = "/data/data/{}/files/sync_plugin.jar".format(package)
+    emit_asset_to_file(b, "plugin.bin", dest)
+    emit_dex_load(b, dest, "/data/data/{}/cache/odex".format(package))
+    b.ret_void()
+    cls.add_method(b.build())
+    manifest = AndroidManifest(
+        package=package,
+        permissions={INTERNET, WRITE_EXTERNAL_STORAGE},
+        components=[Component(ComponentKind.SERVICE, service_name)],
+    )
+    return Apk.build(
+        manifest,
+        dex_files=[DexFile(classes=[cls])],
+        assets={"assets/plugin.bin": simple_payload_dex().to_bytes()},
+    )
+
+
+class TestServiceExercising:
+    def test_default_matches_paper_no_activity(self):
+        report = AppExecutionEngine(EngineOptions()).run(_service_only_app())
+        assert report.outcome is DynamicOutcome.NO_ACTIVITY
+        assert not report.intercepted
+
+    def test_extension_recovers_service_dcl(self):
+        report = AppExecutionEngine(EngineOptions(exercise_services=True)).run(
+            _service_only_app()
+        )
+        assert report.outcome is DynamicOutcome.EXERCISED
+        assert report.intercepted
+        assert report.dcl.dex_paths() == ["/data/data/com.svc.app/files/sync_plugin.jar"]
+
+    def test_crashing_service(self):
+        package = "com.badsvc.app"
+        service_name = "{}.S".format(package)
+        cls = class_builder(service_name, superclass="android.app.Service")
+        b = MethodBuilder("onStartCommand", service_name, arity=1)
+        b.throw_new("java.lang.IllegalStateException")
+        cls.add_method(b.build())
+        manifest = AndroidManifest(
+            package=package,
+            permissions={WRITE_EXTERNAL_STORAGE},
+            components=[Component(ComponentKind.SERVICE, service_name)],
+        )
+        apk = Apk.build(manifest, dex_files=[DexFile(classes=[cls])])
+        report = AppExecutionEngine(EngineOptions(exercise_services=True)).run(apk)
+        assert report.outcome is DynamicOutcome.CRASH

