@@ -14,7 +14,9 @@ self-contained Python system:
   vulnerability analysis;
 - :mod:`repro.corpus` -- the synthetic app-market generator used in place of
   the paper's 58,739 Google Play APKs;
-- :mod:`repro.core` -- the DyDroid pipeline and measurement reports.
+- :mod:`repro.core` -- the DyDroid pipeline and measurement reports;
+- :mod:`repro.farm` -- the sharded, fault-tolerant analysis farm
+  (checkpoint/resume, worker pool, deterministic merge, metrics).
 
 Quickstart::
 
@@ -33,6 +35,8 @@ _LAZY_EXPORTS = {
     "MeasurementReport": ("repro.core.report", "MeasurementReport"),
     "generate_corpus": ("repro.corpus.generator", "generate_corpus"),
     "CorpusProfile": ("repro.corpus.profiles", "CorpusProfile"),
+    "FarmConfig": ("repro.farm.coordinator", "FarmConfig"),
+    "run_farm": ("repro.farm.coordinator", "run_farm"),
 }
 
 __all__ = sorted(_LAZY_EXPORTS) + ["__version__"]

@@ -3,6 +3,8 @@
 Commands:
 
 - ``measure``  -- generate a market, run the full pipeline, print tables;
+- ``farm run`` -- the same measurement through the sharded, fault-tolerant
+  analysis farm (checkpoint/resume, worker pool, metrics);
 - ``corpus``   -- generate blueprints only and print ground-truth statistics;
 - ``analyze``  -- deep-dive one generated app (static + dynamic + verdicts);
 - ``families`` -- list the malware family corpus DroidNative trains on.
@@ -58,6 +60,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure a corpus previously saved with `corpus --export` instead of generating one",
     )
 
+    farm = sub.add_parser("farm", help="sharded, fault-tolerant analysis farm")
+    farm_sub = farm.add_subparsers(dest="farm_command", required=True)
+    farm_run = farm_sub.add_parser(
+        "run", help="measure a seeded corpus across a worker pool"
+    )
+    farm_run.add_argument("--apps", type=int, default=600, help="corpus size")
+    farm_run.add_argument("--seed", type=int, default=7)
+    farm_run.add_argument("--workers", type=int, default=2,
+                          help="worker processes; 1 runs in-process")
+    farm_run.add_argument("--shards", type=int, default=None,
+                          help="shard count (default: 4x workers)")
+    farm_run.add_argument("--shard-strategy", default="contiguous",
+                          choices=["contiguous", "round-robin"])
+    farm_run.add_argument("--timeout", type=float, default=None,
+                          help="per-app analysis deadline in seconds")
+    farm_run.add_argument("--max-retries", type=int, default=2,
+                          help="per-app retries before quarantine")
+    farm_run.add_argument("--checkpoint", metavar="FILE",
+                          help="append-only JSONL journal of settled apps")
+    farm_run.add_argument("--resume", action="store_true",
+                          help="skip apps already settled in --checkpoint")
+    farm_run.add_argument("--metrics-out", metavar="FILE",
+                          help="write the JSON metrics summary here")
+    farm_run.add_argument("--train", type=int, default=3,
+                          help="DroidNative samples per family")
+    farm_run.add_argument("--no-replays", action="store_true",
+                          help="skip Table VIII replays")
+    farm_run.add_argument(
+        "--table",
+        default="all",
+        choices=["all"] + sorted(TABLE_RENDERERS),
+        help="which table to print",
+    )
+    farm_run.add_argument("--json", action="store_true",
+                          help="emit the full serialized report as JSON")
+
     corpus = sub.add_parser("corpus", help="print ground-truth corpus statistics")
     corpus.add_argument("--apps", type=int, default=1000)
     corpus.add_argument("--seed", type=int, default=7)
@@ -78,8 +116,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_report(report, args: argparse.Namespace) -> None:
+    if args.json:
+        print(report.to_json(include_apps=True))
+    elif args.table == "all":
+        print(report.render_all())
+    else:
+        print(getattr(report, TABLE_RENDERERS[args.table])())
+
+
 def cmd_measure(args: argparse.Namespace) -> int:
-    started = time.time()
+    started = time.perf_counter()
     if args.corpus_dir:
         from repro.corpus.storage import load_corpus
 
@@ -90,15 +137,63 @@ def cmd_measure(args: argparse.Namespace) -> int:
         train_samples_per_family=args.train, run_replays=not args.no_replays
     )
     report = DyDroid(config).measure(corpus)
-    if args.json:
-        print(report.to_json())
-    elif args.table == "all":
-        print(report.render_all())
-    else:
-        print(getattr(report, TABLE_RENDERERS[args.table])())
+    _print_report(report, args)
     print()
     print(
-        "[{} apps measured in {:.1f}s]".format(report.n_total, time.time() - started),
+        "[{} apps measured in {:.1f}s]".format(
+            report.n_total, time.perf_counter() - started
+        ),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_farm(args: argparse.Namespace) -> int:
+    from repro.farm import CheckpointError, FarmConfig, run_farm
+
+    config = FarmConfig(
+        n_apps=args.apps,
+        corpus_seed=args.seed,
+        workers=args.workers,
+        n_shards=args.shards,
+        shard_strategy=args.shard_strategy,
+        timeout_s=args.timeout,
+        max_retries=args.max_retries,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        pipeline=DyDroidConfig(
+            train_samples_per_family=args.train, run_replays=not args.no_replays
+        ),
+    )
+    try:
+        result = run_farm(config)
+    except (CheckpointError, ValueError) as exc:
+        raise SystemExit("farm run: {}".format(exc))
+    _print_report(result.report, args)
+    for record in result.quarantined:
+        print(
+            "[quarantined: {} (index {}) after {} attempt(s): {}]".format(
+                record.package, record.index, record.attempts, record.error
+            ),
+            file=sys.stderr,
+        )
+    if args.metrics_out:
+        import json as json_module
+
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json_module.dump(result.metrics, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    print()
+    print(
+        "[farm: {} apps ({} resumed) in {:.1f}s ({:.1f} apps/s), "
+        "{} retries, {} quarantined]".format(
+            result.report.n_total,
+            result.resumed_apps,
+            result.metrics["wall_s"],
+            result.metrics["apps_per_second"],
+            result.metrics["retries"],
+            result.metrics["apps_quarantined"],
+        ),
         file=sys.stderr,
     )
     return 0
@@ -207,6 +302,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "measure": cmd_measure,
+        "farm": cmd_farm,
         "corpus": cmd_corpus,
         "analyze": cmd_analyze,
         "families": cmd_families,

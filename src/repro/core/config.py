@@ -34,3 +34,7 @@ class DyDroidConfig:
     run_privacy: bool = True
     #: run DroidNative on intercepted payloads.
     run_malware: bool = True
+    #: LRU bound (distinct payload digests) on the per-run detection and
+    #: privacy verdict caches, so unbounded corpus runs stay bounded in
+    #: memory.
+    verdict_cache_capacity: int = 4096

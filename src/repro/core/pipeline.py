@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import hashlib
 
-from typing import Dict, Optional, Sequence, Set
+from collections import OrderedDict
+from typing import Generic, Optional, Sequence, Set, TypeVar
 
 from repro.core.config import DyDroidConfig
 from repro.core.report import AppAnalysis, MeasurementReport, PayloadVerdict
@@ -30,6 +31,47 @@ from repro.static_analysis.smali import SmaliProgram
 from repro.static_analysis.vulnerability import classify_loads
 from repro.runtime.stacktrace import shares_app_package
 
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class LruCache(Generic[K, V]):
+    """Bounded mapping with least-recently-used eviction.
+
+    Keyed by payload digest, one entry per *distinct* intercepted binary;
+    the bound keeps week-long corpus runs from growing without limit while
+    still deduplicating the common SDK payloads that dominate a market.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+
+    def __contains__(self, key: K) -> bool:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return True
+        return False
+
+    def __getitem__(self, key: K) -> V:
+        value = self._entries[key]
+        self._entries.move_to_end(key)
+        return value
+
+    def __setitem__(self, key: K, value: V) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
 
 class DyDroid:
     """The measurement system: analyze one app or a whole corpus."""
@@ -45,13 +87,18 @@ class DyDroid:
                     seed=self.config.training_seed,
                 )
             )
-        self._detection_cache: Dict[str, Optional[Detection]] = {}
-        self._privacy_cache: Dict[str, tuple] = {}
+        capacity = self.config.verdict_cache_capacity
+        self._detection_cache: LruCache[str, Optional[Detection]] = LruCache(capacity)
+        self._privacy_cache: LruCache[str, tuple] = LruCache(capacity)
 
     # -- per-app analysis ------------------------------------------------------------
 
     def analyze_app(self, record: AppRecord) -> AppAnalysis:
-        analysis = AppAnalysis(package=record.package, metadata=record.metadata)
+        analysis = AppAnalysis(
+            package=record.package,
+            metadata=record.metadata,
+            corpus_index=record.blueprint.index,
+        )
 
         # 1. unpack/decompile (apktool/baksmali stage).
         try:
@@ -72,7 +119,7 @@ class DyDroid:
             analysis.dynamic = dynamic
 
         # 4. obfuscation profile (native confirmed by the dynamic output).
-        native_confirmed = bool(dynamic and dynamic.dcl.native_events) if dynamic else False
+        native_confirmed = bool(dynamic and dynamic.native_loaded)
         analysis.obfuscation = analyze_obfuscation(
             record.apk,
             program,

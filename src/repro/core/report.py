@@ -4,12 +4,20 @@
 :class:`MeasurementReport` aggregates a corpus worth of them and exposes
 one method per table/figure of the evaluation section (II-X plus Figure 3),
 each with a ``render_*`` twin producing the paper-style text block.
+
+Every per-app result is round-trippable through plain JSON data
+(``to_dict``/``from_dict``), which is what the analysis farm
+(:mod:`repro.farm`) ships across process boundaries and appends to its
+checkpoint journal.  A deserialized app carries a :class:`DynamicDigest`
+in place of the live :class:`DynamicReport`; the digest preserves exactly
+what the tables consume, so a merged report renders byte-identically to
+the serial run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.corpus.metadata import AppMetadata
 from repro.dynamic.engine import DynamicOutcome, DynamicReport
@@ -20,7 +28,99 @@ from repro.static_analysis.obfuscation.detector import ObfuscationProfile
 from repro.static_analysis.prefilter import PrefilterResult
 from repro.static_analysis.privacy.flowdroid import PrivacyLeak
 from repro.static_analysis.privacy.sources import DATA_TYPE_CATEGORY, DATA_TYPES
-from repro.static_analysis.vulnerability import VulnerabilityFinding
+from repro.static_analysis.vulnerability import RiskyLoadCategory, VulnerabilityFinding
+
+#: bump when the ``to_dict``/``from_dict`` shape changes incompatibly.
+SERIALIZATION_VERSION = 1
+
+
+def _plain_dict(instance) -> Dict[str, object]:
+    """Shallow dataclass -> dict for types whose fields are all JSON-plain."""
+    return {f.name: getattr(instance, f.name) for f in fields(instance)}
+
+
+@dataclass
+class DynamicDigest:
+    """JSON-safe summary of a :class:`DynamicReport`.
+
+    Keeps exactly the dynamic-analysis facts the tables consume (outcome
+    bucket, whether DEX/native loads fired, session counters) without the
+    live session objects (DCL event lists, flow graph, payload bytes),
+    which makes a deserialized :class:`AppAnalysis` aggregate identically
+    to one fresh out of the pipeline.
+    """
+
+    outcome: DynamicOutcome
+    environment: str = ""
+    rewritten: bool = False
+    events_run: int = 0
+    crash_reason: Optional[str] = None
+    dex_loaded: bool = False
+    native_loaded: bool = False
+    storage_cleanups: int = 0
+    methods_total: int = 0
+    methods_executed: int = 0
+
+    @classmethod
+    def from_report(cls, report: "DynamicLike") -> "DynamicDigest":
+        if isinstance(report, cls):
+            return report
+        return cls(
+            outcome=report.outcome,
+            environment=report.environment,
+            rewritten=report.rewritten,
+            events_run=report.events_run,
+            crash_reason=report.crash_reason,
+            dex_loaded=report.dex_loaded,
+            native_loaded=report.native_loaded,
+            storage_cleanups=report.storage_cleanups,
+            methods_total=report.methods_total,
+            methods_executed=report.methods_executed,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        data = _plain_dict(self)
+        data["outcome"] = self.outcome.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DynamicDigest":
+        data = dict(data)
+        data["outcome"] = DynamicOutcome(data["outcome"])
+        return cls(**data)
+
+
+#: what :attr:`AppAnalysis.dynamic` may hold: the live session report from
+#: the pipeline, or its digest after a serialization round trip.
+DynamicLike = Union[DynamicReport, DynamicDigest]
+
+
+def _detection_to_dict(detection: Detection) -> Dict[str, object]:
+    return _plain_dict(detection)
+
+
+def _detection_from_dict(data: Dict[str, object]) -> Detection:
+    return Detection(**data)
+
+
+def _leak_from_dict(data: Dict[str, object]) -> PrivacyLeak:
+    return PrivacyLeak(**data)
+
+
+def _finding_to_dict(finding: VulnerabilityFinding) -> Dict[str, object]:
+    data = _plain_dict(finding)
+    data["category"] = finding.category.value
+    return data
+
+
+def _finding_from_dict(data: Dict[str, object]) -> VulnerabilityFinding:
+    data = dict(data)
+    data["category"] = RiskyLoadCategory(data["category"])
+    return VulnerabilityFinding(**data)
+
+
+def _prefilter_from_dict(data: Dict[str, object]) -> PrefilterResult:
+    return PrefilterResult(**data)
 
 
 @dataclass
@@ -39,6 +139,29 @@ class PayloadVerdict:
     def is_malicious(self) -> bool:
         return self.detection is not None
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "kind": self.kind.value,
+            "entity": self.entity.value,
+            "provenance": self.provenance.value,
+            "remote_sources": list(self.remote_sources),
+            "detection": _detection_to_dict(self.detection) if self.detection else None,
+            "leaks": [_plain_dict(leak) for leak in self.leaks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PayloadVerdict":
+        return cls(
+            path=data["path"],
+            kind=PayloadKind(data["kind"]),
+            entity=Entity(data["entity"]),
+            provenance=Provenance(data["provenance"]),
+            remote_sources=tuple(data["remote_sources"]),
+            detection=_detection_from_dict(data["detection"]) if data["detection"] else None,
+            leaks=tuple(_leak_from_dict(leak) for leak in data["leaks"]),
+        )
+
 
 @dataclass
 class AppAnalysis:
@@ -49,11 +172,14 @@ class AppAnalysis:
     decompile_failed: bool = False
     prefilter: Optional[PrefilterResult] = None
     obfuscation: Optional[ObfuscationProfile] = None
-    dynamic: Optional[DynamicReport] = None
+    dynamic: Optional[DynamicLike] = None
     payloads: List[PayloadVerdict] = field(default_factory=list)
     vulnerabilities: List[VulnerabilityFinding] = field(default_factory=list)
     #: Table VIII: environment name -> malicious paths loaded in that replay.
     replay_loaded: Dict[str, Set[str]] = field(default_factory=dict)
+    #: position in the generated corpus; the farm's merge key.  -1 for
+    #: analyses built outside a corpus run (hand-made, unit tests).
+    corpus_index: int = -1
 
     # -- derived views -----------------------------------------------------------
 
@@ -75,11 +201,11 @@ class AppAnalysis:
 
     @property
     def dex_intercepted(self) -> bool:
-        return self.exercised and bool(self.dynamic and self.dynamic.dcl.dex_events)
+        return self.exercised and bool(self.dynamic and self.dynamic.dex_loaded)
 
     @property
     def native_intercepted(self) -> bool:
-        return self.exercised and bool(self.dynamic and self.dynamic.dcl.native_events)
+        return self.exercised and bool(self.dynamic and self.dynamic.native_loaded)
 
     def dex_entities(self) -> Set[Entity]:
         return {
@@ -110,6 +236,46 @@ class AppAnalysis:
                 result.setdefault(leak.data_type, set()).add(payload.entity)
         return result
 
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-plain form preserving everything the tables consume."""
+        return {
+            "package": self.package,
+            "corpus_index": self.corpus_index,
+            "metadata": _plain_dict(self.metadata),
+            "decompile_failed": self.decompile_failed,
+            "prefilter": _plain_dict(self.prefilter) if self.prefilter else None,
+            "obfuscation": _plain_dict(self.obfuscation) if self.obfuscation else None,
+            "dynamic": DynamicDigest.from_report(self.dynamic).to_dict()
+            if self.dynamic
+            else None,
+            "payloads": [payload.to_dict() for payload in self.payloads],
+            "vulnerabilities": [_finding_to_dict(f) for f in self.vulnerabilities],
+            "replay_loaded": {
+                config: sorted(paths) for config, paths in self.replay_loaded.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "AppAnalysis":
+        return cls(
+            package=data["package"],
+            corpus_index=data.get("corpus_index", -1),
+            metadata=AppMetadata(**data["metadata"]),
+            decompile_failed=data["decompile_failed"],
+            prefilter=_prefilter_from_dict(data["prefilter"]) if data["prefilter"] else None,
+            obfuscation=ObfuscationProfile(**data["obfuscation"])
+            if data["obfuscation"]
+            else None,
+            dynamic=DynamicDigest.from_dict(data["dynamic"]) if data["dynamic"] else None,
+            payloads=[PayloadVerdict.from_dict(p) for p in data["payloads"]],
+            vulnerabilities=[_finding_from_dict(f) for f in data["vulnerabilities"]],
+            replay_loaded={
+                config: set(paths) for config, paths in data["replay_loaded"].items()
+            },
+        )
+
 
 def _pct(count: int, total: int) -> str:
     return "{:.2%}".format(count / total) if total else "n/a"
@@ -120,6 +286,20 @@ class MeasurementReport:
     """Aggregation over a measured corpus: every table, one method each."""
 
     apps: List[AppAnalysis]
+
+    # -- merging -----------------------------------------------------------------
+
+    @classmethod
+    def merge(cls, reports: Iterable["MeasurementReport"]) -> "MeasurementReport":
+        """Combine partial reports into one.
+
+        Apps are ordered by corpus index (ties broken by package), so the
+        merge of any shard partition equals the serial run regardless of
+        shard order -- the farm's determinism guarantee.
+        """
+        apps = [app for report in reports for app in report.apps]
+        apps.sort(key=lambda app: (app.corpus_index, app.package))
+        return cls(apps=apps)
 
     # -- corpus-level counts ------------------------------------------------------
 
@@ -505,12 +685,25 @@ class MeasurementReport:
 
     # -- machine-readable export -------------------------------------------------------------------------------------
 
-    def to_dict(self) -> Dict[str, object]:
-        """Every table as plain data, for JSON export / downstream tooling."""
+    def to_dict(self, include_apps: bool = False) -> Dict[str, object]:
+        """Every table as plain data, for JSON export / downstream tooling.
+
+        With ``include_apps`` the document additionally carries the full
+        per-app serialization under ``"apps"``; such a document restores
+        through :meth:`from_dict`.
+        """
         vulnerability = {
             "{}/{}".format(kind, category): rows
             for (kind, category), rows in self.vulnerability_table().items()
         }
+        data = {}
+        if include_apps:
+            data["serialization_version"] = SERIALIZATION_VERSION
+            data["apps"] = [app.to_dict() for app in self.apps]
+        data.update(self._tables_dict(vulnerability))
+        return data
+
+    def _tables_dict(self, vulnerability: Dict[str, object]) -> Dict[str, object]:
         return {
             "n_total": self.n_total,
             "table2_dynamic_summary": self.dynamic_summary(),
@@ -528,10 +721,32 @@ class MeasurementReport:
             "table10_privacy": self.privacy_table(),
         }
 
-    def to_json(self, indent: int = 1) -> str:
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MeasurementReport":
+        """Restore a report serialized via ``to_dict(include_apps=True)``."""
+        if "apps" not in data:
+            raise ValueError(
+                "not a full report document (serialize with include_apps=True)"
+            )
+        version = data.get("serialization_version", SERIALIZATION_VERSION)
+        if version != SERIALIZATION_VERSION:
+            raise ValueError(
+                "unsupported report serialization version {}".format(version)
+            )
+        return cls(apps=[AppAnalysis.from_dict(app) for app in data["apps"]])
+
+    def to_json(self, indent: int = 1, include_apps: bool = False) -> str:
         import json
 
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        return json.dumps(
+            self.to_dict(include_apps=include_apps), indent=indent, sort_keys=True
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "MeasurementReport":
+        import json
+
+        return cls.from_dict(json.loads(text))
 
     # -- everything --------------------------------------------------------------------------------------------------
 

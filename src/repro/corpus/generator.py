@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.android.apk import Apk
 from repro.android.builders import MethodBuilder, class_builder
@@ -730,6 +730,23 @@ class CorpusGenerator:
     def generate(self, n_apps: int) -> List[AppRecord]:
         blueprints = self.sample_blueprints(n_apps)
         return [self.build_record(blueprint) for blueprint in blueprints]
+
+    def records_at(self, n_apps: int, indices: Sequence[int]) -> List[AppRecord]:
+        """Build only the records at ``indices`` of an ``n_apps`` corpus.
+
+        Blueprint sampling is corpus-global (rare roles are planted over
+        the whole market), so the full blueprint pass always runs; only the
+        expensive APK assembly is restricted to the requested slice.  This
+        is how farm workers rematerialize their shard from ``(seed, n_apps,
+        index)`` without APK objects ever crossing a process boundary.
+        """
+        blueprints = self.sample_blueprints(n_apps)
+        out_of_range = [i for i in indices if not 0 <= i < n_apps]
+        if out_of_range:
+            raise IndexError(
+                "corpus of {} apps has no indices {}".format(n_apps, out_of_range)
+            )
+        return [self.build_record(blueprints[index]) for index in indices]
 
 
 def _sample_mix(rng: random.Random, mix: Dict[str, float]) -> str:

@@ -109,6 +109,16 @@ class DynamicReport:
         return self.methods_executed / self.methods_total if self.methods_total else 0.0
 
     @property
+    def dex_loaded(self) -> bool:
+        """Whether any bytecode DCL event fired during the session."""
+        return bool(self.dcl.dex_events)
+
+    @property
+    def native_loaded(self) -> bool:
+        """Whether any native DCL event fired during the session."""
+        return bool(self.dcl.native_events)
+
+    @property
     def intercepted_any(self) -> bool:
         return bool(self.intercepted)
 

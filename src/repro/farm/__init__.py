@@ -1,0 +1,60 @@
+"""The analysis farm: corpus-scale scheduling around ``DyDroid.analyze_app``.
+
+The paper ran DyDroid over its 46K-app crawl on a cluster of instrumented
+emulators; this package is that scheduling layer for the reproduction:
+
+- :mod:`repro.farm.shards`      -- deterministic corpus partitioning;
+- :mod:`repro.farm.jobs`        -- picklable job/result records (no APKs
+  cross process boundaries; workers regenerate from seed + index);
+- :mod:`repro.farm.worker`      -- per-shard analysis with per-app
+  timeouts, bounded retry with backoff, and quarantine;
+- :mod:`repro.farm.executors`   -- process pool or synchronous in-process;
+- :mod:`repro.farm.checkpoint`  -- append-only JSONL journal for resume;
+- :mod:`repro.farm.merger`      -- order-independent merge back into one
+  :class:`~repro.core.report.MeasurementReport`;
+- :mod:`repro.farm.metrics`     -- throughput / latency / failure metrics;
+- :mod:`repro.farm.coordinator` -- :func:`run_farm` gluing it all together.
+
+Determinism guarantee: for a fixed corpus seed and pipeline config, the
+merged report of any shard/worker configuration renders byte-identically
+to the serial ``DyDroid.measure`` run (quarantined apps excepted -- those
+are reported, not silently dropped).
+"""
+
+from repro.farm.checkpoint import CheckpointError, CheckpointJournal
+from repro.farm.coordinator import FarmConfig, FarmResult, run_farm
+from repro.farm.executors import SyncExecutor, create_executor
+from repro.farm.jobs import (
+    AppResult,
+    ChaosSpec,
+    QuarantineRecord,
+    ShardJob,
+    ShardResult,
+)
+from repro.farm.merger import merge_reports, merge_serialized
+from repro.farm.metrics import FarmMetrics, LatencyHistogram
+from repro.farm.shards import ShardSpec, plan_shards
+from repro.farm.worker import AppTimeoutError, run_shard
+
+__all__ = [
+    "AppResult",
+    "AppTimeoutError",
+    "ChaosSpec",
+    "CheckpointError",
+    "CheckpointJournal",
+    "FarmConfig",
+    "FarmMetrics",
+    "FarmResult",
+    "LatencyHistogram",
+    "QuarantineRecord",
+    "ShardJob",
+    "ShardResult",
+    "ShardSpec",
+    "SyncExecutor",
+    "create_executor",
+    "merge_reports",
+    "merge_serialized",
+    "plan_shards",
+    "run_farm",
+    "run_shard",
+]

@@ -1,0 +1,167 @@
+"""The checkpoint journal: append-only JSONL making farm runs resumable.
+
+Line 1 is a header binding the journal to its run inputs::
+
+    {"kind": "header", "version": 1, "corpus_seed": 7, "n_apps": 600,
+     "fingerprint": "<sha256[:16] of (seed, n_apps, config)>"}
+
+then one line per settled app, in completion order::
+
+    {"kind": "result", "index": 17, "package": "com.a.b", "retries": 0,
+     "build_s": 0.01, "analyze_s": 0.12, "analysis": {...AppAnalysis...}}
+    {"kind": "quarantine", "index": 23, "package": "com.c.d",
+     "error": "...", "attempts": 3}
+
+Appends are flushed line-by-line, so a killed run loses at most the app in
+flight.  On resume, a torn final line (the kill landed mid-write) is
+dropped; corruption anywhere earlier is an error.  Quarantined apps are
+remembered too -- resuming does not re-run an app that already proved
+poisonous.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Set, Union
+
+from repro.core.config import DyDroidConfig
+from repro.farm.jobs import AppResult, QuarantineRecord, run_fingerprint
+
+JOURNAL_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """The journal is unreadable or belongs to a different run."""
+
+
+class CheckpointJournal:
+    """Single-writer journal owned by the coordinator process."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        corpus_seed: int,
+        n_apps: int,
+        config: DyDroidConfig,
+        resume: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.fingerprint = run_fingerprint(corpus_seed, n_apps, config)
+        self.corpus_seed = corpus_seed
+        self.n_apps = n_apps
+        #: index -> serialized AppAnalysis restored from a previous run.
+        self.completed: Dict[int, Dict[str, object]] = {}
+        #: index -> quarantine line restored from a previous run.
+        self.quarantined: Dict[int, Dict[str, object]] = {}
+
+        if resume:
+            self._load()
+            self._handle = self.path.open("a", encoding="utf-8")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w", encoding="utf-8")
+            self._write_line(
+                {
+                    "kind": "header",
+                    "version": JOURNAL_VERSION,
+                    "corpus_seed": corpus_seed,
+                    "n_apps": n_apps,
+                    "fingerprint": self.fingerprint,
+                }
+            )
+
+    # -- restore ---------------------------------------------------------------
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            raise CheckpointError("no checkpoint to resume at {}".format(self.path))
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            raise CheckpointError("empty checkpoint {}".format(self.path))
+        header = self._parse(lines[0], line_no=1, final=False)
+        self._check_header(header)
+        last = len(lines)
+        for line_no, line in enumerate(lines[1:], start=2):
+            entry = self._parse(line, line_no=line_no, final=line_no == last)
+            if entry is None:
+                continue  # torn final line from a mid-write kill
+            if entry.get("kind") == "result":
+                self.completed[entry["index"]] = entry["analysis"]
+            elif entry.get("kind") == "quarantine":
+                self.quarantined[entry["index"]] = entry
+            else:
+                raise CheckpointError(
+                    "{}:{}: unknown entry kind {!r}".format(
+                        self.path, line_no, entry.get("kind")
+                    )
+                )
+
+    def _parse(self, line: str, line_no: int, final: bool) -> Optional[dict]:
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            if final:
+                return None
+            raise CheckpointError("{}:{}: corrupt journal line".format(self.path, line_no))
+        if not isinstance(entry, dict):
+            raise CheckpointError("{}:{}: journal line is not an object".format(self.path, line_no))
+        return entry
+
+    def _check_header(self, header: Optional[dict]) -> None:
+        if header is None or header.get("kind") != "header":
+            raise CheckpointError("{} does not start with a journal header".format(self.path))
+        if header.get("version") != JOURNAL_VERSION:
+            raise CheckpointError(
+                "unsupported journal version {}".format(header.get("version"))
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                "checkpoint {} was written for a different run "
+                "(seed/corpus size/pipeline config changed)".format(self.path)
+            )
+
+    # -- append ---------------------------------------------------------------
+
+    def _write_line(self, entry: dict) -> None:
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def append_result(self, result: AppResult) -> None:
+        self._write_line(
+            {
+                "kind": "result",
+                "index": result.index,
+                "package": result.package,
+                "retries": result.retries,
+                "build_s": result.build_s,
+                "analyze_s": result.analyze_s,
+                "analysis": result.analysis,
+            }
+        )
+
+    def append_quarantine(self, record: QuarantineRecord) -> None:
+        self._write_line(
+            {
+                "kind": "quarantine",
+                "index": record.index,
+                "package": record.package,
+                "error": record.error,
+                "attempts": record.attempts,
+            }
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    def settled_indices(self) -> Set[int]:
+        """Indices a resumed run must not re-analyze."""
+        return set(self.completed) | set(self.quarantined)
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

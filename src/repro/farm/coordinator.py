@@ -1,0 +1,196 @@
+"""The farm coordinator: plan, dispatch, journal, merge, measure.
+
+``run_farm`` is the corpus-scale counterpart of ``DyDroid.measure``::
+
+    from repro.farm import FarmConfig, run_farm
+
+    result = run_farm(FarmConfig(n_apps=600, corpus_seed=7, workers=4))
+    print(result.report.render_dynamic_summary())
+    print(result.metrics["apps_per_second"])
+
+Flow: deterministically shard the corpus -> (optionally) restore settled
+apps from the checkpoint journal -> dispatch the remaining shards to the
+executor -> journal every settled app as its shard completes -> merge all
+per-app results, ordered by corpus index, into one
+:class:`MeasurementReport` that renders byte-identically to the serial run.
+
+A worker process dying (OOM kill, segfault) surfaces as a failed shard
+future; its apps are re-dispatched in single-app shards so one poisonous
+app cannot take siblings down with it a second time -- per-app failures
+inside a healthy worker are already retried/quarantined by the worker
+itself.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import as_completed
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import DyDroidConfig
+from repro.core.report import MeasurementReport
+from repro.farm.checkpoint import CheckpointJournal
+from repro.farm.executors import create_executor
+from repro.farm.jobs import ChaosSpec, QuarantineRecord, ShardJob, ShardResult
+from repro.farm.merger import merge_serialized
+from repro.farm.metrics import FarmMetrics
+from repro.farm.shards import plan_shards
+from repro.farm.worker import run_shard
+
+
+@dataclass
+class FarmConfig:
+    """One farm run: corpus identity, scheduling knobs, fault tolerance."""
+
+    n_apps: int
+    corpus_seed: int = 7
+    workers: int = 2
+    #: shard count; default is 4x workers so a slow shard cannot starve
+    #: the pool for long.
+    n_shards: Optional[int] = None
+    shard_strategy: str = "contiguous"
+    #: per-app analysis deadline in seconds (None: no deadline).
+    timeout_s: Optional[float] = None
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    checkpoint: Optional[str] = None
+    resume: bool = False
+    pipeline: DyDroidConfig = field(default_factory=DyDroidConfig)
+    chaos: ChaosSpec = field(default_factory=ChaosSpec)
+
+    def planned_shards(self) -> int:
+        return self.n_shards if self.n_shards else max(1, self.workers * 4)
+
+
+@dataclass
+class FarmResult:
+    """What a farm run returns: the merged report plus operational data."""
+
+    report: MeasurementReport
+    metrics: Dict[str, object]
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
+    resumed_apps: int = 0
+
+
+def _shard_jobs(config: FarmConfig, shards, skip) -> List[ShardJob]:
+    jobs = []
+    for shard in shards:
+        indices = tuple(i for i in shard.indices if i not in skip)
+        if not indices:
+            continue
+        jobs.append(
+            ShardJob(
+                shard_id=shard.shard_id,
+                corpus_seed=config.corpus_seed,
+                n_apps=config.n_apps,
+                indices=indices,
+                config=config.pipeline,
+                timeout_s=config.timeout_s,
+                max_retries=config.max_retries,
+                backoff_s=config.backoff_s,
+                chaos=config.chaos,
+            )
+        )
+    return jobs
+
+
+def run_farm(config: FarmConfig) -> FarmResult:
+    """Execute one sharded, checkpointed, metered measurement run."""
+    if config.resume and not config.checkpoint:
+        raise ValueError("resume requires a checkpoint path")
+
+    shards = plan_shards(config.n_apps, config.planned_shards(), config.shard_strategy)
+    metrics = FarmMetrics(workers=config.workers, shards_planned=len(shards))
+    metrics.start()
+
+    journal: Optional[CheckpointJournal] = None
+    analyses: Dict[int, Dict[str, object]] = {}
+    quarantined: List[QuarantineRecord] = []
+    resumed_apps = 0
+    if config.checkpoint:
+        journal = CheckpointJournal(
+            config.checkpoint,
+            corpus_seed=config.corpus_seed,
+            n_apps=config.n_apps,
+            config=config.pipeline,
+            resume=config.resume,
+        )
+        analyses.update(journal.completed)
+        for entry in journal.quarantined.values():
+            quarantined.append(
+                QuarantineRecord(
+                    index=entry["index"],
+                    package=entry["package"],
+                    error=entry["error"],
+                    attempts=entry["attempts"],
+                )
+            )
+        resumed_apps = len(journal.completed)
+        metrics.record_resumed(resumed_apps, len(journal.quarantined))
+
+    skip = journal.settled_indices() if journal else set()
+    jobs = _shard_jobs(config, shards, skip)
+
+    try:
+        with create_executor(config.workers) as executor:
+            pending = {executor.submit(run_shard, job): job for job in jobs}
+            while pending:
+                retry_jobs: List[ShardJob] = []
+                for future in as_completed(list(pending)):
+                    job = pending.pop(future)
+                    try:
+                        shard_result: ShardResult = future.result()
+                    except Exception:
+                        # The worker process itself died (not a per-app
+                        # failure).  Re-dispatch each app alone so the
+                        # culprit quarantines itself next round.
+                        if len(job.indices) == 1:
+                            record = QuarantineRecord(
+                                index=job.indices[0],
+                                package="<corpus index {}>".format(job.indices[0]),
+                                error="worker process died",
+                                attempts=1,
+                            )
+                            quarantined.append(record)
+                            if journal:
+                                journal.append_quarantine(record)
+                            metrics.apps_quarantined += 1
+                            continue
+                        for index in job.indices:
+                            retry_jobs.append(
+                                ShardJob(
+                                    shard_id=job.shard_id,
+                                    corpus_seed=job.corpus_seed,
+                                    n_apps=job.n_apps,
+                                    indices=(index,),
+                                    config=job.config,
+                                    timeout_s=job.timeout_s,
+                                    max_retries=job.max_retries,
+                                    backoff_s=job.backoff_s,
+                                    chaos=job.chaos,
+                                )
+                            )
+                        continue
+                    metrics.record_shard(shard_result)
+                    for app_result in shard_result.results:
+                        analyses[app_result.index] = app_result.analysis
+                        if journal:
+                            journal.append_result(app_result)
+                    for record in shard_result.quarantined:
+                        quarantined.append(record)
+                        if journal:
+                            journal.append_quarantine(record)
+                for job in retry_jobs:
+                    pending[executor.submit(run_shard, job)] = job
+    finally:
+        if journal:
+            journal.close()
+
+    report = merge_serialized(analyses)
+    metrics.stop()
+    return FarmResult(
+        report=report,
+        metrics=metrics.to_dict(),
+        quarantined=sorted(quarantined, key=lambda record: record.index),
+        resumed_apps=resumed_apps,
+    )

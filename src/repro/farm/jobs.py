@@ -1,0 +1,93 @@
+"""Job and result records shipped between the coordinator and workers.
+
+Everything here is plain-data and picklable; crucially, a :class:`ShardJob`
+carries *no* APK objects -- workers regenerate their slice of the corpus
+from ``(corpus_seed, n_apps, indices)``, which keeps job payloads tiny and
+makes every shard independently re-runnable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import DyDroidConfig
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Deterministic fault injection, for tests and resilience drills.
+
+    ``fail_packages`` raise on their first ``fail_attempts`` analysis
+    attempts (``fail_attempts >= max_retries + 1`` forces quarantine);
+    ``slow_packages`` sleep ``slow_s`` seconds per attempt so per-app
+    timeouts can be exercised without a genuinely slow app.
+    """
+
+    fail_packages: Tuple[str, ...] = ()
+    fail_attempts: int = 0
+    slow_packages: Tuple[str, ...] = ()
+    slow_s: float = 0.0
+
+    @property
+    def active(self) -> bool:
+        return bool(self.fail_packages or self.slow_packages)
+
+
+@dataclass(frozen=True)
+class ShardJob:
+    """One schedulable unit: analyze ``indices`` of the seeded corpus."""
+
+    shard_id: int
+    corpus_seed: int
+    n_apps: int
+    indices: Tuple[int, ...]
+    config: DyDroidConfig
+    timeout_s: Optional[float] = None
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    chaos: ChaosSpec = field(default_factory=ChaosSpec)
+
+
+@dataclass
+class AppResult:
+    """One successfully analyzed app, already in serialized (JSON) form."""
+
+    index: int
+    package: str
+    analysis: Dict[str, object]
+    retries: int = 0
+    build_s: float = 0.0
+    analyze_s: float = 0.0
+
+
+@dataclass
+class QuarantineRecord:
+    """An app that exhausted its retries; excluded from the merged report."""
+
+    index: int
+    package: str
+    error: str
+    attempts: int
+
+
+@dataclass
+class ShardResult:
+    """Everything one worker produced for one shard."""
+
+    shard_id: int
+    results: List[AppResult] = field(default_factory=list)
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
+    wall_s: float = 0.0
+
+
+def run_fingerprint(corpus_seed: int, n_apps: int, config: DyDroidConfig) -> str:
+    """Stable identity of a run's inputs, stored in the checkpoint header.
+
+    A journal written for one ``(seed, n_apps, config)`` must never be
+    resumed against another -- the per-app results would silently disagree
+    with the corpus being merged.
+    """
+    raw = repr((corpus_seed, n_apps, config)).encode()
+    return hashlib.sha256(raw).hexdigest()[:16]

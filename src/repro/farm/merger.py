@@ -1,0 +1,27 @@
+"""Combine per-app results from any mix of shards and checkpoints.
+
+The determinism guarantee lives here: results are deserialized and ordered
+by corpus index before aggregation, so ``merge({shards}) == serial run``
+for every shard count, shard strategy, worker count, and completion order
+(and for any split between freshly analyzed and checkpoint-restored apps).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.core.report import AppAnalysis, MeasurementReport
+
+
+def merge_serialized(analyses_by_index: Mapping[int, Dict[str, object]]) -> MeasurementReport:
+    """index -> serialized ``AppAnalysis`` dicts, merged into one report."""
+    apps = [
+        AppAnalysis.from_dict(analyses_by_index[index])
+        for index in sorted(analyses_by_index)
+    ]
+    return MeasurementReport(apps=apps)
+
+
+def merge_reports(*reports: MeasurementReport) -> MeasurementReport:
+    """Merge already-deserialized partial reports (corpus-index ordered)."""
+    return MeasurementReport.merge(reports)

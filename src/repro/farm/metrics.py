@@ -1,0 +1,131 @@
+"""Farm run metrics: throughput, per-stage latency, failure accounting.
+
+The collector lives in the coordinator; workers only ship raw per-app
+timings (corpus assembly vs analysis) inside their results.  ``to_dict``
+is the structured JSON summary ``repro farm run --metrics-out`` writes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+#: 1-2-5 bucket ladder from 1ms to 100s (seconds); +inf is implicit.
+_BUCKET_BOUNDS = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with exact summary stats."""
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        self.max_s = max(self.max_s, seconds)
+        for position, bound in enumerate(_BUCKET_BOUNDS):
+            if seconds <= bound:
+                self.counts[position] += 1
+                return
+        self.counts[-1] += 1
+
+    def to_dict(self) -> Dict[str, object]:
+        buckets = {
+            "le_{:g}s".format(bound): count
+            for bound, count in zip(_BUCKET_BOUNDS, self.counts)
+        }
+        buckets["le_inf"] = self.counts[-1]
+        return {
+            "count": self.count,
+            "total_s": round(self.total_s, 6),
+            "mean_s": round(self.total_s / self.count, 6) if self.count else 0.0,
+            "max_s": round(self.max_s, 6),
+            "buckets": buckets,
+        }
+
+
+class FarmMetrics:
+    """Accumulates one farm run's operational numbers."""
+
+    def __init__(self, workers: int, shards_planned: int) -> None:
+        self.workers = workers
+        self.shards_planned = shards_planned
+        self.shards_run = 0
+        self.apps_analyzed = 0
+        self.apps_resumed = 0
+        self.apps_quarantined = 0
+        self.retries = 0
+        self.stage_latency = {"build": LatencyHistogram(), "analyze": LatencyHistogram()}
+        self._started: Optional[float] = None
+        self.wall_s = 0.0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        self._started = time.perf_counter()
+
+    def stop(self) -> None:
+        if self._started is not None:
+            self.wall_s = time.perf_counter() - self._started
+
+    # -- recording -------------------------------------------------------------
+
+    def record_resumed(self, n_apps: int, n_quarantined: int = 0) -> None:
+        self.apps_resumed += n_apps
+        self.apps_quarantined += n_quarantined
+
+    def record_shard(self, shard_result) -> None:
+        self.shards_run += 1
+        for app in shard_result.results:
+            self.apps_analyzed += 1
+            self.retries += app.retries
+            self.stage_latency["build"].record(app.build_s)
+            self.stage_latency["analyze"].record(app.analyze_s)
+        for record in shard_result.quarantined:
+            self.apps_quarantined += 1
+            self.retries += record.attempts - 1
+
+    # -- export ----------------------------------------------------------------
+
+    @property
+    def apps_per_second(self) -> float:
+        return self.apps_analyzed / self.wall_s if self.wall_s else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "shards_planned": self.shards_planned,
+            "shards_run": self.shards_run,
+            "apps_analyzed": self.apps_analyzed,
+            "apps_resumed": self.apps_resumed,
+            "apps_quarantined": self.apps_quarantined,
+            "retries": self.retries,
+            "wall_s": round(self.wall_s, 6),
+            "apps_per_second": round(self.apps_per_second, 3),
+            "stage_latency": {
+                stage: histogram.to_dict()
+                for stage, histogram in self.stage_latency.items()
+            },
+        }
+
+    def summary_line(self) -> str:
+        return (
+            "[farm: {} apps in {:.1f}s ({:.1f} apps/s), {} resumed, "
+            "{} retries, {} quarantined, {} shards x {} workers]".format(
+                self.apps_analyzed,
+                self.wall_s,
+                self.apps_per_second,
+                self.apps_resumed,
+                self.retries,
+                self.apps_quarantined,
+                self.shards_run,
+                self.workers,
+            )
+        )

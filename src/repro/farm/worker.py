@@ -1,0 +1,126 @@
+"""The per-shard worker: crash-isolated, timeout-bounded app analysis.
+
+``run_shard`` is a top-level function so :class:`ProcessPoolExecutor` can
+ship it to a child process.  Within a shard each app gets:
+
+- a **deadline** (``timeout_s``) enforced with ``SIGALRM`` where available
+  (worker processes run jobs on their main thread, so the alarm is safe);
+- **bounded retries** with exponential backoff -- analysis is deterministic,
+  so retries exist to absorb environmental failures (OOM kills of a
+  sibling, transient filesystem errors), not flaky verdicts;
+- **quarantine** once retries are exhausted: the app is recorded and
+  skipped instead of taking the whole shard (and run) down with it.
+
+Results leave the worker already serialized (``AppAnalysis.to_dict``), so
+no live session objects -- VM graphs, payload bytes -- cross the process
+boundary or land in the checkpoint journal.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.core.pipeline import DyDroid
+from repro.corpus.generator import CorpusGenerator
+from repro.farm.jobs import AppResult, ChaosSpec, QuarantineRecord, ShardJob, ShardResult
+
+
+class AppTimeoutError(RuntimeError):
+    """One app exceeded its per-app analysis deadline."""
+
+
+class ChaosError(RuntimeError):
+    """An injected (test-only) analysis failure."""
+
+
+def _alarm_usable() -> bool:
+    return hasattr(signal, "SIGALRM") and threading.current_thread() is threading.main_thread()
+
+
+@contextmanager
+def app_deadline(seconds: Optional[float], package: str) -> Iterator[None]:
+    """Raise :class:`AppTimeoutError` if the body runs past ``seconds``.
+
+    No-op when no timeout is configured or ``SIGALRM`` cannot be armed
+    (non-main thread, non-POSIX platform) -- the farm degrades to
+    retry/quarantine-only fault tolerance there.
+    """
+    if not seconds or not _alarm_usable():
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise AppTimeoutError(
+            "analysis of {} exceeded {:.3f}s deadline".format(package, seconds)
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _inject_chaos(chaos: ChaosSpec, package: str, attempt: int) -> None:
+    if package in chaos.slow_packages and chaos.slow_s:
+        time.sleep(chaos.slow_s)
+    if package in chaos.fail_packages and attempt < chaos.fail_attempts:
+        raise ChaosError("injected failure for {} (attempt {})".format(package, attempt))
+
+
+def run_shard(job: ShardJob) -> ShardResult:
+    """Analyze every app of one shard; never raises for a single bad app."""
+    started = time.perf_counter()
+    generator = CorpusGenerator(seed=job.corpus_seed)
+    blueprints = generator.sample_blueprints(job.n_apps)
+    dydroid = DyDroid(job.config)
+    result = ShardResult(shard_id=job.shard_id)
+
+    for index in job.indices:
+        blueprint = blueprints[index]
+        build_started = time.perf_counter()
+        record = generator.build_record(blueprint)
+        build_s = time.perf_counter() - build_started
+
+        attempt = 0
+        while True:
+            analyze_started = time.perf_counter()
+            try:
+                with app_deadline(job.timeout_s, record.package):
+                    _inject_chaos(job.chaos, record.package, attempt)
+                    analysis = dydroid.analyze_app(record)
+            except Exception as exc:
+                attempt += 1
+                if attempt > job.max_retries:
+                    result.quarantined.append(
+                        QuarantineRecord(
+                            index=index,
+                            package=record.package,
+                            error="{}: {}".format(type(exc).__name__, exc),
+                            attempts=attempt,
+                        )
+                    )
+                    break
+                if job.backoff_s:
+                    time.sleep(job.backoff_s * (2 ** (attempt - 1)))
+                continue
+            result.results.append(
+                AppResult(
+                    index=index,
+                    package=record.package,
+                    analysis=analysis.to_dict(),
+                    retries=attempt,
+                    build_s=build_s,
+                    analyze_s=time.perf_counter() - analyze_started,
+                )
+            )
+            break
+
+    result.wall_s = time.perf_counter() - started
+    return result

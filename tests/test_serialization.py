@@ -1,0 +1,130 @@
+"""Round-trip tests for the report serialization layer (farm substrate)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import DyDroidConfig
+from repro.core.pipeline import DyDroid
+from repro.core.report import (
+    SERIALIZATION_VERSION,
+    AppAnalysis,
+    DynamicDigest,
+    MeasurementReport,
+    PayloadVerdict,
+)
+from repro.corpus.generator import generate_corpus
+from repro.dynamic.engine import DynamicOutcome
+
+
+@pytest.fixture(scope="module")
+def measured():
+    corpus = generate_corpus(60, seed=15)
+    config = DyDroidConfig(train_samples_per_family=2)
+    return DyDroid(config).measure(corpus)
+
+
+class TestAppAnalysisRoundTrip:
+    def test_dict_round_trip_is_stable(self, measured):
+        for app in measured.apps:
+            restored = AppAnalysis.from_dict(app.to_dict())
+            assert restored.to_dict() == app.to_dict()
+
+    def test_json_compatible(self, measured):
+        for app in measured.apps:
+            parsed = json.loads(json.dumps(app.to_dict()))
+            assert AppAnalysis.from_dict(parsed).to_dict() == app.to_dict()
+
+    def test_corpus_index_preserved(self, measured):
+        indices = [app.corpus_index for app in measured.apps]
+        assert indices == sorted(indices)
+        assert all(index >= 0 for index in indices)
+
+    def test_payload_verdicts_survive(self, measured):
+        payloads = [p for app in measured.apps for p in app.payloads]
+        assert payloads  # the corpus plants interceptable apps
+        malicious = [p for p in payloads if p.is_malicious]
+        leaky = [p for p in payloads if p.leaks]
+        assert malicious and leaky
+        for payload in malicious + leaky:
+            restored = PayloadVerdict.from_dict(payload.to_dict())
+            assert restored.is_malicious == payload.is_malicious
+            assert restored.detection == payload.detection
+            assert restored.leaks == payload.leaks
+            assert restored.kind is payload.kind
+            assert restored.entity is payload.entity
+
+    def test_digest_preserves_table2_facts(self, measured):
+        for app in measured.apps:
+            if app.dynamic is None:
+                continue
+            restored = AppAnalysis.from_dict(app.to_dict())
+            assert isinstance(restored.dynamic, DynamicDigest)
+            assert restored.outcome is app.outcome
+            assert restored.exercised == app.exercised
+            assert restored.dex_intercepted == app.dex_intercepted
+            assert restored.native_intercepted == app.native_intercepted
+
+    def test_replay_sets_survive(self, measured):
+        replayed = [app for app in measured.apps if app.replay_loaded]
+        assert replayed  # replays ran for malware-flagged apps
+        for app in replayed:
+            restored = AppAnalysis.from_dict(app.to_dict())
+            assert restored.replay_loaded == app.replay_loaded
+
+
+class TestReportRoundTrip:
+    def test_render_all_identical_after_round_trip(self, measured):
+        restored = MeasurementReport.from_json(measured.to_json(include_apps=True))
+        assert restored.render_all() == measured.render_all()
+        assert restored.to_dict() == measured.to_dict()
+
+    def test_tables_only_document_rejected(self, measured):
+        with pytest.raises(ValueError):
+            MeasurementReport.from_dict(measured.to_dict())
+
+    def test_unknown_version_rejected(self, measured):
+        data = measured.to_dict(include_apps=True)
+        data["serialization_version"] = SERIALIZATION_VERSION + 1
+        with pytest.raises(ValueError):
+            MeasurementReport.from_dict(data)
+
+    def test_merge_reorders_by_corpus_index(self, measured):
+        reversed_report = MeasurementReport(apps=list(reversed(measured.apps)))
+        merged = MeasurementReport.merge([reversed_report])
+        assert merged.render_all() == measured.render_all()
+
+    def test_merge_of_split_halves(self, measured):
+        odd = MeasurementReport(apps=measured.apps[1::2])
+        even = MeasurementReport(apps=measured.apps[0::2])
+        merged = MeasurementReport.merge([odd, even])
+        assert merged.render_all() == measured.render_all()
+
+
+class TestDigestRoundTrip:
+    def test_digest_dict_round_trip(self):
+        digest = DynamicDigest(
+            outcome=DynamicOutcome.EXERCISED,
+            environment="baseline",
+            events_run=7,
+            dex_loaded=True,
+        )
+        assert DynamicDigest.from_dict(digest.to_dict()) == digest
+
+    def test_from_report_is_idempotent(self):
+        digest = DynamicDigest(outcome=DynamicOutcome.CRASH, crash_reason="boom")
+        assert DynamicDigest.from_report(digest) is digest
+
+
+class TestCliJson:
+    def test_measure_json_carries_apps(self, capsys):
+        assert main([
+            "measure", "--apps", "30", "--seed", "15", "--train", "2",
+            "--no-replays", "--json",
+        ]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["n_total"] == 30
+        assert len(parsed["apps"]) == 30
+        restored = MeasurementReport.from_dict(parsed)
+        assert restored.n_total == 30
