@@ -7,7 +7,8 @@ Commands:
   analysis farm (checkpoint/resume, worker pool, metrics);
 - ``corpus``   -- generate blueprints only and print ground-truth statistics;
 - ``analyze``  -- deep-dive one generated app (static + dynamic + verdicts);
-- ``families`` -- list the malware family corpus DroidNative trains on.
+- ``families`` -- list the malware family corpus DroidNative trains on;
+- ``trace``    -- inspect a trace file written with ``--trace-out``.
 """
 
 from __future__ import annotations
@@ -36,6 +37,18 @@ TABLE_RENDERERS = {
 }
 
 
+def _add_observe_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write the stage-level span trace here",
+    )
+    parser.add_argument(
+        "--trace-format", default="jsonl", choices=["jsonl", "chrome"],
+        help="trace format: jsonl (grep-able) or chrome "
+             "(chrome://tracing / Perfetto loadable)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dydroid",
@@ -58,6 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
     measure.add_argument(
         "--corpus-dir",
         help="measure a corpus previously saved with `corpus --export` instead of generating one",
+    )
+    _add_observe_flags(measure)
+    measure.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the JSON metrics registry (stage histograms, cache counters) here",
     )
 
     farm = sub.add_parser("farm", help="sharded, fault-tolerant analysis farm")
@@ -95,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     farm_run.add_argument("--json", action="store_true",
                           help="emit the full serialized report as JSON")
+    _add_observe_flags(farm_run)
 
     corpus = sub.add_parser("corpus", help="print ground-truth corpus statistics")
     corpus.add_argument("--apps", type=int, default=1000)
@@ -113,6 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("families", help="list the trained malware families")
+
+    trace = sub.add_parser("trace", help="inspect a trace written with --trace-out")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary", help="per-stage count/total/p50/p95/max table"
+    )
+    trace_summary.add_argument("trace_file", help="jsonl or chrome trace file")
     return parser
 
 
@@ -125,7 +151,17 @@ def _print_report(report, args: argparse.Namespace) -> None:
         print(getattr(report, TABLE_RENDERERS[args.table])())
 
 
+def _write_json(path: str, payload) -> None:
+    import json as json_module
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json_module.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
 def cmd_measure(args: argparse.Namespace) -> int:
+    from repro.observe import MetricsRegistry, Tracer, digest_line, write_trace
+
     started = time.perf_counter()
     if args.corpus_dir:
         from repro.corpus.storage import load_corpus
@@ -136,8 +172,16 @@ def cmd_measure(args: argparse.Namespace) -> int:
     config = DyDroidConfig(
         train_samples_per_family=args.train, run_replays=not args.no_replays
     )
-    report = DyDroid(config).measure(corpus)
+    # Observability is on by default: the trace powers the one-line
+    # digest below even when no --trace-out was requested.
+    tracer, registry = Tracer(), MetricsRegistry()
+    report = DyDroid(config, tracer=tracer, metrics=registry).measure(corpus)
     _print_report(report, args)
+    spans = tracer.to_dicts()
+    if args.trace_out:
+        write_trace(spans, args.trace_out, fmt=args.trace_format)
+    if args.metrics_out:
+        _write_json(args.metrics_out, registry.to_dict())
     print()
     print(
         "[{} apps measured in {:.1f}s]".format(
@@ -145,6 +189,7 @@ def cmd_measure(args: argparse.Namespace) -> int:
         ),
         file=sys.stderr,
     )
+    print(digest_line(spans, registry), file=sys.stderr)
     return 0
 
 
@@ -164,6 +209,7 @@ def cmd_farm(args: argparse.Namespace) -> int:
         pipeline=DyDroidConfig(
             train_samples_per_family=args.train, run_replays=not args.no_replays
         ),
+        trace=bool(args.trace_out),
     )
     try:
         result = run_farm(config)
@@ -178,11 +224,11 @@ def cmd_farm(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     if args.metrics_out:
-        import json as json_module
+        _write_json(args.metrics_out, result.metrics)
+    if args.trace_out:
+        from repro.observe import write_trace
 
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            json_module.dump(result.metrics, handle, indent=1, sort_keys=True)
-            handle.write("\n")
+        write_trace(result.spans, args.trace_out, fmt=args.trace_format)
     print()
     print(
         "[farm: {} apps ({} resumed) in {:.1f}s ({:.1f} apps/s), "
@@ -289,6 +335,17 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observe import load_spans, render_summary
+
+    try:
+        spans = load_spans(args.trace_file)
+    except (OSError, ValueError) as exc:
+        raise SystemExit("trace summary: {}".format(exc))
+    print(render_summary(spans))
+    return 0
+
+
 def cmd_families(_: argparse.Namespace) -> int:
     from repro.static_analysis.malware.families import TABLE_VII_FAMILIES, all_families
 
@@ -306,6 +363,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "corpus": cmd_corpus,
         "analyze": cmd_analyze,
         "families": cmd_families,
+        "trace": cmd_trace,
     }
     try:
         return handlers[args.command](args)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 
 from collections import OrderedDict
-from typing import Generic, Optional, Sequence, Set, TypeVar
+from typing import Dict, Generic, Optional, Sequence, Set, TypeVar
 
 from repro.core.config import DyDroidConfig
 from repro.core.report import AppAnalysis, MeasurementReport, PayloadVerdict
@@ -21,6 +21,8 @@ from repro.corpus.generator import AppRecord
 from repro.dynamic.engine import AppExecutionEngine, DynamicReport, EngineOptions
 from repro.dynamic.interceptor import InterceptedPayload, PayloadKind
 from repro.dynamic.provenance import Entity, Provenance
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.tracer import NULL_TRACER, stage
 from repro.static_analysis.decompiler import DecompilationError, Decompiler
 from repro.static_analysis.malware.droidnative import Detection, DroidNative
 from repro.static_analysis.malware.families import training_corpus
@@ -76,8 +78,17 @@ class LruCache(Generic[K, V]):
 class DyDroid:
     """The measurement system: analyze one app or a whole corpus."""
 
-    def __init__(self, config: Optional[DyDroidConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[DyDroidConfig] = None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config or DyDroidConfig()
+        #: span sink; defaults to the zero-cost null tracer.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: always-on counters/histograms (cheap; only read when exported).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.decompiler = Decompiler(strict=True)
         self.droidnative = DroidNative(threshold=self.config.droidnative_threshold)
         if self.config.run_malware:
@@ -94,60 +105,96 @@ class DyDroid:
     # -- per-app analysis ------------------------------------------------------------
 
     def analyze_app(self, record: AppRecord) -> AppAnalysis:
+        with self.tracer.span(
+            "app", package=record.package, index=record.blueprint.index
+        ):
+            return self._analyze_app(record)
+
+    def _analyze_app(self, record: AppRecord) -> AppAnalysis:
         analysis = AppAnalysis(
             package=record.package,
             metadata=record.metadata,
             corpus_index=record.blueprint.index,
         )
+        self.metrics.counter("pipeline.apps").inc()
 
         # 1. unpack/decompile (apktool/baksmali stage).
-        try:
-            program: Optional[SmaliProgram] = self.decompiler.decompile(record.apk)
-        except DecompilationError:
+        program: Optional[SmaliProgram] = None
+        with stage(self.tracer, self.metrics, "decompile") as span:
+            try:
+                program = self.decompiler.decompile(record.apk, tracer=self.tracer)
+            except DecompilationError:
+                span.set(failed=True)
+        if program is None:
             analysis.decompile_failed = True
-            analysis.obfuscation = analyze_obfuscation(record.apk, None)
+            self.metrics.counter("pipeline.decompile_failed").inc()
+            with stage(self.tracer, self.metrics, "obfuscation"):
+                analysis.obfuscation = analyze_obfuscation(record.apk, None)
             return analysis
 
         # 2. prefilter: does DCL-related code exist at all?
-        analysis.prefilter = prefilter(program)
+        with stage(self.tracer, self.metrics, "prefilter") as span:
+            analysis.prefilter = prefilter(program)
+            span.set(
+                dex=analysis.prefilter.has_dex_dcl,
+                native=analysis.prefilter.has_native_dcl,
+            )
+        if analysis.prefilter.has_any_dcl:
+            self.metrics.counter("prefilter.candidates").inc()
 
         # 3. dynamic analysis for candidates.
         dynamic: Optional[DynamicReport] = None
         if analysis.prefilter.has_any_dcl:
-            engine = AppExecutionEngine(self._engine_options(record))
-            dynamic = engine.run(record.apk)
-            analysis.dynamic = dynamic
+            with stage(self.tracer, self.metrics, "dynamic") as span:
+                engine = AppExecutionEngine(
+                    self._engine_options(record), tracer=self.tracer
+                )
+                dynamic = engine.run(record.apk)
+                analysis.dynamic = dynamic
+                span.set(
+                    outcome=dynamic.outcome.value,
+                    events_run=dynamic.events_run,
+                    intercepted=len(dynamic.intercepted),
+                )
 
         # 4. obfuscation profile (native confirmed by the dynamic output).
-        native_confirmed = bool(dynamic and dynamic.native_loaded)
-        analysis.obfuscation = analyze_obfuscation(
-            record.apk,
-            program,
-            dynamic_native_confirmed=native_confirmed
-            if analysis.prefilter.has_native_dcl
-            else None,
-        )
+        with stage(self.tracer, self.metrics, "obfuscation"):
+            native_confirmed = bool(dynamic and dynamic.native_loaded)
+            analysis.obfuscation = analyze_obfuscation(
+                record.apk,
+                program,
+                dynamic_native_confirmed=native_confirmed
+                if analysis.prefilter.has_native_dcl
+                else None,
+            )
 
         if dynamic is None or not dynamic.intercepted_any:
             return analysis
 
         # 5. provenance/entity + static analysis of every intercepted binary.
-        analysis.payloads = [
-            self._verdict_for(payload, record.package, dynamic) for payload in dynamic.intercepted
-        ]
+        with stage(
+            self.tracer, self.metrics, "verdicts", n_payloads=len(dynamic.intercepted)
+        ):
+            analysis.payloads = [
+                self._verdict_for(payload, record.package, dynamic)
+                for payload in dynamic.intercepted
+            ]
 
         # 6. code-injection vulnerability classification.
-        analysis.vulnerabilities = classify_loads(
-            package=record.package,
-            manifest=record.apk.manifest,
-            dex_events=dynamic.dcl.dex_events,
-            native_events=dynamic.dcl.native_events,
-            program=program,
-        )
+        with stage(self.tracer, self.metrics, "vulnerability") as span:
+            analysis.vulnerabilities = classify_loads(
+                package=record.package,
+                manifest=record.apk.manifest,
+                dex_events=dynamic.dcl.dex_events,
+                native_events=dynamic.dcl.native_events,
+                program=program,
+            )
+            span.set(findings=len(analysis.vulnerabilities))
 
         # 7. Table VIII replays for malware-flagged apps.
         if self.config.run_replays and any(p.is_malicious for p in analysis.payloads):
-            analysis.replay_loaded = self._replay(record)
+            with stage(self.tracer, self.metrics, "replay"):
+                analysis.replay_loaded = self._replay(record)
         return analysis
 
     def _engine_options(self, record: AppRecord) -> EngineOptions:
@@ -180,20 +227,45 @@ class DyDroid:
             remote_sources=tuple(dynamic.tracker.remote_sources(payload.path)),
         )
         digest = hashlib.sha256(payload.data).hexdigest()
+        self.metrics.counter("payload.kind." + payload.kind.value).inc()
 
-        if self.config.run_malware and payload.kind in (PayloadKind.DEX, PayloadKind.NATIVE):
-            if digest not in self._detection_cache:
-                binary = payload.as_dex() or payload.as_native()
-                self._detection_cache[digest] = (
-                    self.droidnative.detect(binary) if binary is not None else None
-                )
-            verdict.detection = self._detection_cache[digest]
+        with self.tracer.span(
+            "payload", digest=digest[:12], kind=payload.kind.value
+        ) as span:
+            if self.config.run_malware and payload.kind in (
+                PayloadKind.DEX,
+                PayloadKind.NATIVE,
+            ):
+                self.metrics.counter("cache.detection.lookups").inc()
+                self.metrics.distinct("cache.detection.digests").add(digest)
+                if digest not in self._detection_cache:
+                    self.metrics.counter("cache.detection.miss").inc()
+                    binary = payload.as_dex() or payload.as_native()
+                    self._detection_cache[digest] = (
+                        self.droidnative.detect(binary, tracer=self.tracer)
+                        if binary is not None
+                        else None
+                    )
+                else:
+                    self.metrics.counter("cache.detection.hit").inc()
+                    span.set(detection_cached=True)
+                verdict.detection = self._detection_cache[digest]
+                if verdict.detection is not None:
+                    span.set(malicious=verdict.detection.family)
 
-        if self.config.run_privacy and payload.kind is PayloadKind.DEX:
-            if digest not in self._privacy_cache:
-                dex = payload.as_dex()
-                self._privacy_cache[digest] = tuple(analyze_dex(dex)) if dex else ()
-            verdict.leaks = self._privacy_cache[digest]
+            if self.config.run_privacy and payload.kind is PayloadKind.DEX:
+                self.metrics.counter("cache.privacy.lookups").inc()
+                self.metrics.distinct("cache.privacy.digests").add(digest)
+                if digest not in self._privacy_cache:
+                    self.metrics.counter("cache.privacy.miss").inc()
+                    dex = payload.as_dex()
+                    self._privacy_cache[digest] = (
+                        tuple(analyze_dex(dex, tracer=self.tracer)) if dex else ()
+                    )
+                else:
+                    self.metrics.counter("cache.privacy.hit").inc()
+                    span.set(privacy_cached=True)
+                verdict.leaks = self._privacy_cache[digest]
         return verdict
 
     def _replay(self, record: AppRecord) -> Dict[str, Set[str]]:

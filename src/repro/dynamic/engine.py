@@ -35,6 +35,7 @@ from repro.dynamic.dcl_logger import DclLogger
 from repro.dynamic.download_tracker import DownloadTracker
 from repro.dynamic.interceptor import CodeInterceptor, InterceptedPayload
 from repro.dynamic.monkey import Monkey, MonkeyEvent, discover_handlers
+from repro.observe.tracer import NULL_TRACER
 from repro.runtime.device import (
     BASELINE_CONFIG,
     Device,
@@ -129,26 +130,47 @@ class DynamicReport:
 class AppExecutionEngine:
     """Runs dynamic analysis sessions, one fresh device per app."""
 
-    def __init__(self, options: Optional[EngineOptions] = None) -> None:
+    def __init__(self, options: Optional[EngineOptions] = None, tracer=None) -> None:
         self.options = options or EngineOptions()
+        #: span sink for session phases; the null tracer costs nothing.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- public API -------------------------------------------------------------
 
     def run(self, apk: Apk, options: Optional[EngineOptions] = None) -> DynamicReport:
         """One full session for one app."""
         opts = options or self.options
+        with self.tracer.span(
+            "engine.session", package=apk.package, environment=opts.environment.name
+        ) as span:
+            report = self._run_session(apk, opts)
+            span.set(
+                outcome=report.outcome.value,
+                events_run=report.events_run,
+                intercepted=len(report.intercepted),
+            )
+            return report
+
+    def _run_session(self, apk: Apk, opts: EngineOptions) -> DynamicReport:
         package = apk.package
 
-        try:
-            prepared, rewritten = ensure_external_write(apk)
-        except RepackagingError:
-            return DynamicReport(
-                package=package,
-                outcome=DynamicOutcome.REWRITING_FAILURE,
-                environment=opts.environment.name,
-            )
+        with self.tracer.span("engine.rewrite") as span:
+            try:
+                prepared, rewritten = ensure_external_write(apk)
+            except RepackagingError:
+                span.set(failed=True)
+                return DynamicReport(
+                    package=package,
+                    outcome=DynamicOutcome.REWRITING_FAILURE,
+                    environment=opts.environment.name,
+                )
 
-        device, vm, logger, interceptor, tracker = self._provision(prepared, opts)
+        with self.tracer.span(
+            "engine.provision",
+            companions=len(opts.companions),
+            remote_resources=len(opts.remote_resources),
+        ):
+            device, vm, logger, interceptor, tracker = self._provision(prepared, opts)
         report = DynamicReport(
             package=package,
             outcome=DynamicOutcome.EXERCISED,
@@ -158,7 +180,8 @@ class AppExecutionEngine:
             tracker=tracker,
         )
 
-        self._run_application_container(vm, prepared, report, opts)
+        with self.tracer.span("engine.container"):
+            self._run_application_container(vm, prepared, report, opts)
         if report.outcome is DynamicOutcome.CRASH:
             self._finalize(report, device, interceptor, vm=vm, apk=prepared)
             return report
@@ -175,9 +198,13 @@ class AppExecutionEngine:
             name: discover_handlers(vm.class_space[name]) for name in activities
         }
         schedule = monkey.plan(activities, handlers)
-        self._drive(vm, schedule, report, opts)
+        with self.tracer.span(
+            "engine.monkey", n_activities=len(activities), n_events=len(schedule)
+        ):
+            self._drive(vm, schedule, report, opts)
         if report.outcome is not DynamicOutcome.CRASH and services:
-            self._drive_services(vm, services, report, opts)
+            with self.tracer.span("engine.services", n_services=len(services)):
+                self._drive_services(vm, services, report, opts)
         self._finalize(report, device, interceptor, vm=vm, apk=prepared)
         return report
 
@@ -327,8 +354,19 @@ class AppExecutionEngine:
         for path in doomed:
             vm.device.vfs.delete(path)
 
-    @staticmethod
     def _finalize(
+        self,
+        report: DynamicReport,
+        device: Device,
+        interceptor: CodeInterceptor,
+        vm: Optional[DalvikVM] = None,
+        apk: Optional[Apk] = None,
+    ) -> None:
+        with self.tracer.span("engine.finalize", intercepted=len(interceptor.payloads)):
+            self._collect(report, device, interceptor, vm, apk)
+
+    @staticmethod
+    def _collect(
         report: DynamicReport,
         device: Device,
         interceptor: CodeInterceptor,

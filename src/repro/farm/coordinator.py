@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from concurrent.futures import as_completed
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import DyDroidConfig
 from repro.core.report import MeasurementReport
@@ -36,6 +36,7 @@ from repro.farm.merger import merge_serialized
 from repro.farm.metrics import FarmMetrics
 from repro.farm.shards import plan_shards
 from repro.farm.worker import run_shard
+from repro.observe.merge import merge_span_lists
 
 
 @dataclass
@@ -57,6 +58,9 @@ class FarmConfig:
     resume: bool = False
     pipeline: DyDroidConfig = field(default_factory=DyDroidConfig)
     chaos: ChaosSpec = field(default_factory=ChaosSpec)
+    #: collect spans in every worker and merge them into ``FarmResult.spans``
+    #: (for ``--trace-out``); the metrics registry is collected regardless.
+    trace: bool = False
 
     def planned_shards(self) -> int:
         return self.n_shards if self.n_shards else max(1, self.workers * 4)
@@ -70,6 +74,9 @@ class FarmResult:
     metrics: Dict[str, object]
     quarantined: List[QuarantineRecord] = field(default_factory=list)
     resumed_apps: int = 0
+    #: merged span dicts (shard-ordered, re-identified), empty unless
+    #: the run was started with ``trace=True``.
+    spans: List[Dict[str, object]] = field(default_factory=list)
 
 
 def _shard_jobs(config: FarmConfig, shards, skip) -> List[ShardJob]:
@@ -89,6 +96,7 @@ def _shard_jobs(config: FarmConfig, shards, skip) -> List[ShardJob]:
                 max_retries=config.max_retries,
                 backoff_s=config.backoff_s,
                 chaos=config.chaos,
+                trace=config.trace,
             )
         )
     return jobs
@@ -130,6 +138,7 @@ def run_farm(config: FarmConfig) -> FarmResult:
 
     skip = journal.settled_indices() if journal else set()
     jobs = _shard_jobs(config, shards, skip)
+    shard_spans: List[Tuple[int, List[Dict[str, object]]]] = []
 
     try:
         with create_executor(config.workers) as executor:
@@ -154,7 +163,7 @@ def run_farm(config: FarmConfig) -> FarmResult:
                             quarantined.append(record)
                             if journal:
                                 journal.append_quarantine(record)
-                            metrics.apps_quarantined += 1
+                            metrics.record_coordinator_quarantine()
                             continue
                         for index in job.indices:
                             retry_jobs.append(
@@ -168,10 +177,13 @@ def run_farm(config: FarmConfig) -> FarmResult:
                                     max_retries=job.max_retries,
                                     backoff_s=job.backoff_s,
                                     chaos=job.chaos,
+                                    trace=job.trace,
                                 )
                             )
                         continue
                     metrics.record_shard(shard_result)
+                    if shard_result.spans:
+                        shard_spans.append((shard_result.shard_id, shard_result.spans))
                     for app_result in shard_result.results:
                         analyses[app_result.index] = app_result.analysis
                         if journal:
@@ -193,4 +205,5 @@ def run_farm(config: FarmConfig) -> FarmResult:
         metrics=metrics.to_dict(),
         quarantined=sorted(quarantined, key=lambda record: record.index),
         resumed_apps=resumed_apps,
+        spans=merge_span_lists(shard_spans),
     )

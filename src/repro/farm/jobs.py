@@ -48,6 +48,9 @@ class ShardJob:
     max_retries: int = 2
     backoff_s: float = 0.05
     chaos: ChaosSpec = field(default_factory=ChaosSpec)
+    #: collect spans in the worker and ship them back for trace export
+    #: (the metrics registry is always collected; spans are opt-in).
+    trace: bool = False
 
 
 @dataclass
@@ -80,6 +83,10 @@ class ShardResult:
     results: List[AppResult] = field(default_factory=list)
     quarantined: List[QuarantineRecord] = field(default_factory=list)
     wall_s: float = 0.0
+    #: serialized span dicts (``Tracer.to_dicts``), empty unless tracing.
+    spans: List[Dict[str, object]] = field(default_factory=list)
+    #: serialized worker registry (``MetricsRegistry.to_dict``).
+    metrics: Dict[str, object] = field(default_factory=dict)
 
 
 def run_fingerprint(corpus_seed: int, n_apps: int, config: DyDroidConfig) -> str:

@@ -1,60 +1,41 @@
 """Farm run metrics: throughput, per-stage latency, failure accounting.
 
-The collector lives in the coordinator; workers only ship raw per-app
-timings (corpus assembly vs analysis) inside their results.  ``to_dict``
-is the structured JSON summary ``repro farm run --metrics-out`` writes.
+The collector lives in the coordinator and is backed by one
+:class:`~repro.observe.metrics.MetricsRegistry`: workers ship their own
+serialized registries (pipeline stage histograms, verdict-cache counters)
+inside each :class:`~repro.farm.jobs.ShardResult`, and ``record_shard``
+folds them in with order-independent merges, so the registry -- like the
+merged report -- is identical for every worker count and completion
+order.  ``to_dict`` is the structured JSON summary ``repro farm run
+--metrics-out`` writes.
+
+:class:`LatencyHistogram` moved to :mod:`repro.observe.metrics`; the
+import here is a compatibility re-export.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-#: 1-2-5 bucket ladder from 1ms to 100s (seconds); +inf is implicit.
-_BUCKET_BOUNDS = (
-    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
-    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+from repro.observe.metrics import (  # noqa: F401  (LatencyHistogram re-export)
+    LatencyHistogram,
+    MetricsRegistry,
+    verdict_cache_summary,
 )
 
-
-class LatencyHistogram:
-    """Fixed-bucket latency histogram with exact summary stats."""
-
-    def __init__(self) -> None:
-        self.counts = [0] * (len(_BUCKET_BOUNDS) + 1)
-        self.count = 0
-        self.total_s = 0.0
-        self.max_s = 0.0
-
-    def record(self, seconds: float) -> None:
-        self.count += 1
-        self.total_s += seconds
-        self.max_s = max(self.max_s, seconds)
-        for position, bound in enumerate(_BUCKET_BOUNDS):
-            if seconds <= bound:
-                self.counts[position] += 1
-                return
-        self.counts[-1] += 1
-
-    def to_dict(self) -> Dict[str, object]:
-        buckets = {
-            "le_{:g}s".format(bound): count
-            for bound, count in zip(_BUCKET_BOUNDS, self.counts)
-        }
-        buckets["le_inf"] = self.counts[-1]
-        return {
-            "count": self.count,
-            "total_s": round(self.total_s, 6),
-            "mean_s": round(self.total_s / self.count, 6) if self.count else 0.0,
-            "max_s": round(self.max_s, 6),
-            "buckets": buckets,
-        }
+__all__ = ["FarmMetrics", "LatencyHistogram"]
 
 
 class FarmMetrics:
     """Accumulates one farm run's operational numbers."""
 
-    def __init__(self, workers: int, shards_planned: int) -> None:
+    def __init__(
+        self,
+        workers: int,
+        shards_planned: int,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.workers = workers
         self.shards_planned = shards_planned
         self.shards_run = 0
@@ -62,7 +43,13 @@ class FarmMetrics:
         self.apps_resumed = 0
         self.apps_quarantined = 0
         self.retries = 0
-        self.stage_latency = {"build": LatencyHistogram(), "analyze": LatencyHistogram()}
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: the coordinator-side views of the worker-recorded stage
+        #: histograms (kept as attributes for existing callers).
+        self.stage_latency = {
+            "build": self.registry.histogram("stage.build"),
+            "analyze": self.registry.histogram("stage.analyze"),
+        }
         self._started: Optional[float] = None
         self.wall_s = 0.0
 
@@ -81,16 +68,27 @@ class FarmMetrics:
         self.apps_resumed += n_apps
         self.apps_quarantined += n_quarantined
 
+    def record_coordinator_quarantine(self) -> None:
+        """An app lost to a dead worker process (no shard registry exists)."""
+        self.apps_quarantined += 1
+        self.registry.counter("farm.quarantined").inc()
+
     def record_shard(self, shard_result) -> None:
         self.shards_run += 1
         for app in shard_result.results:
             self.apps_analyzed += 1
             self.retries += app.retries
-            self.stage_latency["build"].record(app.build_s)
-            self.stage_latency["analyze"].record(app.analyze_s)
         for record in shard_result.quarantined:
             self.apps_quarantined += 1
             self.retries += record.attempts - 1
+        if shard_result.metrics:
+            self.registry.merge_dict(shard_result.metrics)
+        else:
+            # Hand-built ShardResult (tests, external callers) without a
+            # shipped registry: fall back to the per-app timing fields.
+            for app in shard_result.results:
+                self.stage_latency["build"].record(app.build_s)
+                self.stage_latency["analyze"].record(app.analyze_s)
 
     # -- export ----------------------------------------------------------------
 
@@ -113,6 +111,8 @@ class FarmMetrics:
                 stage: histogram.to_dict()
                 for stage, histogram in self.stage_latency.items()
             },
+            "verdict_cache": verdict_cache_summary(self.registry),
+            "registry": self.registry.to_dict(),
         }
 
     def summary_line(self) -> str:

@@ -27,6 +27,8 @@ from typing import Iterator, Optional
 from repro.core.pipeline import DyDroid
 from repro.corpus.generator import CorpusGenerator
 from repro.farm.jobs import AppResult, ChaosSpec, QuarantineRecord, ShardJob, ShardResult
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.tracer import NULL_TRACER, Tracer
 
 
 class AppTimeoutError(RuntimeError):
@@ -77,16 +79,24 @@ def _inject_chaos(chaos: ChaosSpec, package: str, attempt: int) -> None:
 def run_shard(job: ShardJob) -> ShardResult:
     """Analyze every app of one shard; never raises for a single bad app."""
     started = time.perf_counter()
+    # Fresh per-shard tracer/registry; both leave the worker serialized
+    # inside the ShardResult and are merged deterministically by the
+    # coordinator (span ids re-numbered in shard order, registry folded
+    # with commutative merges).
+    tracer = Tracer() if job.trace else NULL_TRACER
+    registry = MetricsRegistry()
     generator = CorpusGenerator(seed=job.corpus_seed)
     blueprints = generator.sample_blueprints(job.n_apps)
-    dydroid = DyDroid(job.config)
+    dydroid = DyDroid(job.config, tracer=tracer, metrics=registry)
     result = ShardResult(shard_id=job.shard_id)
 
     for index in job.indices:
         blueprint = blueprints[index]
         build_started = time.perf_counter()
-        record = generator.build_record(blueprint)
+        with tracer.span("farm.build", index=index):
+            record = generator.build_record(blueprint)
         build_s = time.perf_counter() - build_started
+        registry.histogram("stage.build").record(build_s)
 
         attempt = 0
         while True:
@@ -97,6 +107,7 @@ def run_shard(job: ShardJob) -> ShardResult:
                     analysis = dydroid.analyze_app(record)
             except Exception as exc:
                 attempt += 1
+                registry.counter("farm.attempt_failures").inc()
                 if attempt > job.max_retries:
                     result.quarantined.append(
                         QuarantineRecord(
@@ -106,10 +117,13 @@ def run_shard(job: ShardJob) -> ShardResult:
                             attempts=attempt,
                         )
                     )
+                    registry.counter("farm.quarantined").inc()
                     break
                 if job.backoff_s:
                     time.sleep(job.backoff_s * (2 ** (attempt - 1)))
                 continue
+            analyze_s = time.perf_counter() - analyze_started
+            registry.histogram("stage.analyze").record(analyze_s)
             result.results.append(
                 AppResult(
                     index=index,
@@ -117,10 +131,12 @@ def run_shard(job: ShardJob) -> ShardResult:
                     analysis=analysis.to_dict(),
                     retries=attempt,
                     build_s=build_s,
-                    analyze_s=time.perf_counter() - analyze_started,
+                    analyze_s=analyze_s,
                 )
             )
             break
 
     result.wall_s = time.perf_counter() - started
+    result.spans = tracer.to_dicts()
+    result.metrics = registry.to_dict()
     return result

@@ -1,0 +1,73 @@
+"""Observability for the reproduction: tracing, metrics, trace export.
+
+The pipeline's value is *measurement*, so the pipeline itself must be
+measurable: which stage is slow, which cache is cold, which intercepted
+binary burned the time.  This package is the dependency-free layer that
+answers those questions:
+
+- :mod:`repro.observe.tracer`  -- nested spans with deterministic ids
+  (monotonic counters; farm merges stay reproducible) and a zero-cost
+  :data:`NULL_TRACER` for the disabled path;
+- :mod:`repro.observe.metrics` -- :class:`MetricsRegistry` of counters /
+  gauges / histograms / distinct-sets that serializes and merges with
+  order-independent operations (:class:`LatencyHistogram` moved here
+  from ``repro.farm.metrics``, which re-exports it);
+- :mod:`repro.observe.export`  -- JSONL and Chrome ``trace_event``
+  writers plus a loader for ``repro trace summary``;
+- :mod:`repro.observe.summary` -- per-stage p50/p95/max table and the
+  one-line digest ``repro measure`` prints by default;
+- :mod:`repro.observe.merge`   -- deterministic re-iding of per-shard
+  span lists into one trace.
+
+Instrumented call sites accept a tracer and default to the null tracer,
+so library users pay nothing unless they opt in::
+
+    from repro.observe import Tracer, MetricsRegistry
+    tracer, registry = Tracer(), MetricsRegistry()
+    report = DyDroid(config, tracer=tracer, metrics=registry).measure(corpus)
+    write_trace(tracer.to_dicts(), "trace.json", fmt="chrome")
+"""
+
+from repro.observe.export import TRACE_FORMATS, load_spans, to_chrome_events, write_trace
+from repro.observe.merge import merge_span_lists
+from repro.observe.metrics import (
+    Counter,
+    DistinctSet,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    verdict_cache_summary,
+)
+from repro.observe.summary import StageStats, digest_line, render_summary, stage_stats
+from repro.observe.tracer import (
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    Tracer,
+    stage,
+)
+
+__all__ = [
+    "Counter",
+    "DistinctSet",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "Span",
+    "StageStats",
+    "TRACE_FORMATS",
+    "Tracer",
+    "digest_line",
+    "load_spans",
+    "merge_span_lists",
+    "render_summary",
+    "stage",
+    "stage_stats",
+    "to_chrome_events",
+    "verdict_cache_summary",
+    "write_trace",
+]

@@ -1,0 +1,98 @@
+"""Trace exporters and loaders.
+
+Two on-disk formats, both plain JSON:
+
+- **jsonl** -- one span dict per line, exactly ``Span.to_dict``; easy to
+  grep and to stream-merge;
+- **chrome** -- the Chrome ``trace_event`` format (a ``traceEvents``
+  array of complete ``"ph": "X"`` events with microsecond ``ts``/``dur``),
+  loadable in ``chrome://tracing`` and https://ui.perfetto.dev.
+
+``load_spans`` reads either format back into span dicts so ``repro trace
+summary`` works on whatever the run wrote.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["TRACE_FORMATS", "load_spans", "to_chrome_events", "write_trace"]
+
+TRACE_FORMATS = ("jsonl", "chrome")
+
+
+def to_chrome_events(spans: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Span dicts -> Chrome ``trace_event`` complete events.
+
+    ``tid`` carries the farm shard id (0 for serial runs) so each shard
+    renders as its own track; span/parent ids ride along in ``args`` to
+    keep the nesting recoverable from the exported file alone.
+    """
+    events = []
+    for span in spans:
+        args = dict(span.get("attrs", {}))
+        args["span_id"] = span["span_id"]
+        args["parent_id"] = span["parent_id"]
+        events.append(
+            {
+                "name": span["name"],
+                "ph": "X",
+                "ts": round(span["ts"] * 1e6, 3),
+                "dur": round(span["dur"] * 1e6, 3),
+                "pid": 1,
+                "tid": span.get("tid", 0),
+                "cat": "repro",
+                "args": args,
+            }
+        )
+    return events
+
+
+def write_trace(spans: Sequence[Dict[str, Any]], path: str, fmt: str = "jsonl") -> None:
+    """Write spans to ``path`` in the requested format."""
+    if fmt not in TRACE_FORMATS:
+        raise ValueError("unknown trace format {!r} (want one of {})".format(
+            fmt, "/".join(TRACE_FORMATS)))
+    with open(path, "w", encoding="utf-8") as handle:
+        if fmt == "jsonl":
+            for span in spans:
+                handle.write(json.dumps(span, sort_keys=True))
+                handle.write("\n")
+        else:
+            json.dump(
+                {"traceEvents": to_chrome_events(spans), "displayTimeUnit": "ms"},
+                handle,
+            )
+            handle.write("\n")
+
+
+def _from_chrome_event(event: Dict[str, Any]) -> Dict[str, Any]:
+    args = dict(event.get("args", {}))
+    span_id = args.pop("span_id", 0)
+    parent_id = args.pop("parent_id", 0)
+    return {
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": event["name"],
+        "ts": event.get("ts", 0.0) / 1e6,
+        "dur": event.get("dur", 0.0) / 1e6,
+        "tid": event.get("tid", 0),
+        "attrs": args,
+    }
+
+
+def load_spans(path: str) -> List[Dict[str, Any]]:
+    """Read a trace written by :func:`write_trace`, either format."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        events = payload["traceEvents"]
+        return [_from_chrome_event(event) for event in events if event.get("ph") == "X"]
+    if isinstance(payload, dict):
+        return [payload]  # a one-span jsonl file parses as a single object
+    return [json.loads(line) for line in text.splitlines() if line.strip()]

@@ -1,0 +1,38 @@
+"""Deterministic merging of span lists from many tracers.
+
+Each farm worker runs its own :class:`~repro.observe.tracer.Tracer` with
+ids starting at 1, so the coordinator must re-id spans when stitching the
+per-shard lists into one trace.  Merging sorts by shard id (never by
+completion order) and renumbers spans in (shard, original-id) order, so
+the merged trace *structure* is identical for every worker count and
+scheduling interleave of the same run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+__all__ = ["merge_span_lists"]
+
+
+def merge_span_lists(
+    shard_spans: Iterable[Tuple[int, List[Dict[str, Any]]]],
+) -> List[Dict[str, Any]]:
+    """``(shard_id, spans)`` pairs -> one re-identified span list.
+
+    Parent links are remapped with the ids; each span is stamped with
+    ``tid = shard_id`` so exporters can keep shards on separate tracks.
+    """
+    merged: List[Dict[str, Any]] = []
+    next_id = 1
+    for shard_id, spans in sorted(shard_spans, key=lambda pair: pair[0]):
+        id_map: Dict[int, int] = {}
+        for span in sorted(spans, key=lambda s: s["span_id"]):
+            renumbered = dict(span)
+            id_map[span["span_id"]] = next_id
+            renumbered["span_id"] = next_id
+            renumbered["parent_id"] = id_map.get(span["parent_id"], 0)
+            renumbered["tid"] = shard_id
+            merged.append(renumbered)
+            next_id += 1
+    return merged

@@ -1,0 +1,140 @@
+"""Human-facing trace summaries: per-stage stats table and digest line.
+
+Percentiles use the nearest-rank method on exact per-span durations (the
+spans are all in memory anyway; no need to approximate from histogram
+buckets here).
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.observe.metrics import MetricsRegistry, verdict_cache_summary
+
+__all__ = ["StageStats", "stage_stats", "render_summary", "digest_line"]
+
+
+@dataclass
+class StageStats:
+    """Aggregate timing of every span sharing one name."""
+
+    name: str
+    count: int
+    total_s: float
+    p50_s: float
+    p95_s: float
+    max_s: float
+
+
+def _percentile(durations_sorted: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending-sorted sequence."""
+    if not durations_sorted:
+        return 0.0
+    rank = max(1, math.ceil(q * len(durations_sorted)))
+    return durations_sorted[min(rank, len(durations_sorted)) - 1]
+
+
+def stage_stats(spans: Sequence[Dict[str, Any]]) -> List[StageStats]:
+    """Per-name stats, ordered by total time descending (ties by name)."""
+    by_name: Dict[str, List[float]] = {}
+    for span in spans:
+        by_name.setdefault(span["name"], []).append(span.get("dur", 0.0))
+    stats = []
+    for name, durations in by_name.items():
+        durations.sort()
+        stats.append(
+            StageStats(
+                name=name,
+                count=len(durations),
+                total_s=sum(durations),
+                p50_s=_percentile(durations, 0.50),
+                p95_s=_percentile(durations, 0.95),
+                max_s=durations[-1],
+            )
+        )
+    stats.sort(key=lambda stat: (-stat.total_s, stat.name))
+    return stats
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return "{:.2f}s".format(seconds)
+    return "{:.2f}ms".format(seconds * 1e3)
+
+
+def render_summary(spans: Sequence[Dict[str, Any]]) -> str:
+    """An aligned per-stage table: count, total, p50, p95, max."""
+    stats = stage_stats(spans)
+    if not stats:
+        return "(empty trace)"
+    header = ("stage", "count", "total", "p50", "p95", "max")
+    rows = [header]
+    for stat in stats:
+        rows.append(
+            (
+                stat.name,
+                str(stat.count),
+                _fmt_s(stat.total_s),
+                _fmt_s(stat.p50_s),
+                _fmt_s(stat.p95_s),
+                _fmt_s(stat.max_s),
+            )
+        )
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        cells = [row[0].ljust(widths[0])]
+        cells += [row[col].rjust(widths[col]) for col in range(1, len(header))]
+        lines.append("  ".join(cells).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def digest_line(
+    spans: Sequence[Dict[str, Any]],
+    registry: Optional[MetricsRegistry] = None,
+    top: int = 3,
+) -> str:
+    """One-line trace digest: slowest stages plus cache effectiveness.
+
+    This is the ``summary_line()``-style footer ``repro measure`` prints
+    by default, so a slow run names its own bottleneck without anyone
+    re-running with extra flags.
+
+    Only pipeline *stage* spans -- direct children of an ``app`` span --
+    compete for the top slots; inner spans (engine phases, per-payload
+    analyses) would double-count the time of their enclosing stage.
+    """
+    names_by_id = {span["span_id"]: span["name"] for span in spans}
+    stage_spans = [
+        span
+        for span in spans
+        if names_by_id.get(span["parent_id"]) == "app"
+    ]
+    stats = stage_stats(stage_spans)
+    parts = []
+    if stats:
+        top_stages = ", ".join(
+            "{} {}".format(stat.name, _fmt_s(stat.total_s)) for stat in stats[:top]
+        )
+        parts.append("top stages: " + top_stages)
+    if registry is not None:
+        caches = verdict_cache_summary(registry)
+        cache_bits = []
+        for kind in ("detection", "privacy"):
+            numbers = caches[kind]
+            if numbers["lookups"]:
+                cache_bits.append(
+                    "{} cache {}/{} hits".format(
+                        kind, numbers["hits"], numbers["lookups"]
+                    )
+                )
+        if cache_bits:
+            parts.append(", ".join(cache_bits))
+    if not parts:
+        return "[trace: no stages recorded]"
+    return "[trace: {}]".format("; ".join(parts))

@@ -1,0 +1,175 @@
+"""Deterministic, dependency-free span tracing for the pipeline.
+
+A :class:`Tracer` produces nested :class:`Span` records: one per pipeline
+stage, engine phase, or analyzed payload.  Two properties matter more than
+feature count:
+
+- **determinism** -- span ids come from a monotonic per-tracer counter
+  (no randomness, no wall-clock identity), and spans are stored in start
+  order.  The farm merges span lists from many workers into one trace
+  with stable ids (:func:`repro.observe.merge.merge_span_lists`), so the
+  same seeded run always produces the same trace *structure*; only the
+  ``ts``/``dur`` timing fields vary.
+- **zero cost when off** -- :data:`NULL_TRACER` hands out one shared
+  immutable :class:`NullSpan` whose ``__enter__``/``__exit__``/``set``
+  do nothing, so instrumented code needs no ``if tracing:`` branches and
+  a disabled tracer leaves single-app latency unchanged.
+
+Timing uses ``time.perf_counter`` relative to the tracer's epoch, so
+``ts`` values are small floats comparable within one trace.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "NullSpan", "Tracer", "NullTracer", "NULL_TRACER", "stage"]
+
+
+class Span:
+    """One timed, attributed unit of work inside a trace."""
+
+    __slots__ = ("span_id", "parent_id", "name", "ts", "duration_s", "attrs", "_tracer")
+
+    def __init__(
+        self, tracer: "Tracer", span_id: int, parent_id: int, name: str, ts: float,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.ts = ts
+        self.duration_s = 0.0
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes mid-span (cache hits, verdicts, counts)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._end(self)
+        return False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "ts": round(self.ts, 9),
+            "dur": round(self.duration_s, 9),
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Span(#{} {} {:.6f}s {})".format(
+            self.span_id, self.name, self.duration_s, self.attrs
+        )
+
+
+class NullSpan:
+    """The shared do-nothing span a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Collects spans with deterministic ids and perf_counter timing."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._next_id = 1
+        self._stack: List[int] = []
+        self.spans: List[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span nested under the innermost still-open span."""
+        span = Span(
+            tracer=self,
+            span_id=self._next_id,
+            parent_id=self._stack[-1] if self._stack else 0,
+            name=name,
+            ts=time.perf_counter() - self._epoch,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self._stack.append(span.span_id)
+        self.spans.append(span)
+        return span
+
+    def _end(self, span: Span) -> None:
+        span.duration_s = (time.perf_counter() - self._epoch) - span.ts
+        # Stack discipline: `with` blocks unwind inner-first, but be
+        # forgiving if an inner span was never explicitly closed.
+        while self._stack:
+            popped = self._stack.pop()
+            if popped == span.span_id:
+                break
+
+    def current_span(self) -> Optional[Span]:
+        if not self._stack:
+            return None
+        open_id = self._stack[-1]
+        # spans are stored in start order == id order.
+        return self.spans[open_id - 1]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """All spans, start-ordered, as plain JSON-ready dicts."""
+        return [span.to_dict() for span in self.spans]
+
+
+class NullTracer:
+    """Disabled tracer: every span is the shared :class:`NullSpan`."""
+
+    enabled = False
+    spans: List[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> NullSpan:
+        return _NULL_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+@contextmanager
+def stage(tracer, registry, name: str, **attrs: Any) -> Iterator[Any]:
+    """One pipeline stage: a span *and* a ``stage.<name>`` histogram sample.
+
+    The histogram records even when the tracer is the null tracer, so
+    per-stage latency distributions survive into ``--metrics-out`` for
+    runs that never asked for a full trace.
+    """
+    started = time.perf_counter()
+    with tracer.span(name, **attrs) as span:
+        try:
+            yield span
+        finally:
+            registry.histogram("stage." + name).record(time.perf_counter() - started)

@@ -14,7 +14,7 @@ Receivers come from two places, as on Android:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from typing import List, Optional
 
 from repro.runtime.objects import VMObject
 

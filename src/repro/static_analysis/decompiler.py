@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.android.apk import Apk, ApkFormatError
 from repro.android.dex import DexFormatError
 from repro.android.manifest import ManifestError
+from repro.observe.tracer import NULL_TRACER
 from repro.static_analysis.smali import SmaliProgram
 
 
@@ -37,32 +38,34 @@ class Decompiler:
 
     strict: bool = True
 
-    def decompile(self, apk: Apk) -> SmaliProgram:
-        if self.strict and apk.is_anti_decompilation:
-            raise DecompilationError(
-                "resource table parse error (anti-decompilation sample)"
-            )
-        try:
-            manifest = apk.manifest
-        except (ApkFormatError, ManifestError) as exc:
-            raise DecompilationError("cannot parse manifest: {}".format(exc))
-
-        dex_files = []
-        for path, data in apk.dex_entries():
+    def decompile(self, apk: Apk, tracer=NULL_TRACER) -> SmaliProgram:
+        with tracer.span("decompiler.unpack", strict=self.strict) as span:
+            if self.strict and apk.is_anti_decompilation:
+                raise DecompilationError(
+                    "resource table parse error (anti-decompilation sample)"
+                )
             try:
-                from repro.android.dex import DexFile
+                manifest = apk.manifest
+            except (ApkFormatError, ManifestError) as exc:
+                raise DecompilationError("cannot parse manifest: {}".format(exc))
 
-                dex_files.append(DexFile.from_bytes(data))
-            except DexFormatError as exc:
-                if self.strict:
-                    raise DecompilationError("{}: {}".format(path, exc))
+            dex_files = []
+            for path, data in apk.dex_entries():
+                try:
+                    from repro.android.dex import DexFile
 
-        code_entries = {path for path, _ in apk.dex_entries()}
-        opaque = [
-            path
-            for path in sorted(apk.entries)
-            if path not in code_entries and path != "AndroidManifest.xml"
-        ]
-        return SmaliProgram(
-            apk=apk, manifest=manifest, dex_files=dex_files, opaque_entries=opaque
-        )
+                    dex_files.append(DexFile.from_bytes(data))
+                except DexFormatError as exc:
+                    if self.strict:
+                        raise DecompilationError("{}: {}".format(path, exc))
+
+            code_entries = {path for path, _ in apk.dex_entries()}
+            opaque = [
+                path
+                for path in sorted(apk.entries)
+                if path not in code_entries and path != "AndroidManifest.xml"
+            ]
+            span.set(n_dex=len(dex_files), n_opaque=len(opaque))
+            return SmaliProgram(
+                apk=apk, manifest=manifest, dex_files=dex_files, opaque_entries=opaque
+            )

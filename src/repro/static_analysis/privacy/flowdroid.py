@@ -344,6 +344,15 @@ class FlowDroid:
         """Nothing extra: symbolic hits resolve at call sites during rounds."""
 
 
-def analyze_dex(dex: DexFile) -> List[PrivacyLeak]:
+def analyze_dex(dex: DexFile, tracer=None) -> List[PrivacyLeak]:
     """Convenience wrapper: all privacy leaks in one loaded DEX."""
-    return FlowDroid(dex).run()
+    if tracer is None:
+        from repro.observe.tracer import NULL_TRACER
+
+        tracer = NULL_TRACER
+    with tracer.span(
+        "flowdroid.analyze", n_methods=sum(1 for _ in dex.iter_methods())
+    ) as span:
+        leaks = FlowDroid(dex).run()
+        span.set(n_leaks=len(leaks))
+        return leaks

@@ -203,3 +203,74 @@ class TestPipelineUnits:
         target = next(r for r in corpus if r.blueprint.uses_google_ads)
         dydroid.analyze_app(target)
         assert dydroid._detection_cache  # payload verdicts were cached
+
+
+class TestTypeAnnotations:
+    def test_replay_annotations_resolve(self):
+        # Regression: `_replay` is annotated `Dict[str, Set[str]]`; with
+        # `from __future__ import annotations` a missing `Dict` import only
+        # explodes when the hints are actually evaluated.
+        import typing
+
+        hints = typing.get_type_hints(DyDroid._replay)
+        assert hints["return"] == typing.Dict[str, typing.Set[str]]
+
+
+class TestLruCacheBehaviour:
+    def test_eviction_order_is_least_recently_used(self):
+        from repro.core.pipeline import LruCache
+
+        cache = LruCache(capacity=3)
+        cache["a"], cache["b"], cache["c"] = 1, 2, 3
+        cache["a"]  # touch via __getitem__: order is now b, c, a
+        cache["d"] = 4  # evicts b
+        cache["e"] = 5  # evicts c
+        assert "b" not in cache and "c" not in cache
+        assert "a" in cache and "d" in cache and "e" in cache
+
+    def test_contains_moves_to_end(self):
+        from repro.core.pipeline import LruCache
+
+        cache = LruCache(capacity=2)
+        cache["a"], cache["b"] = 1, 2
+        assert "a" in cache  # membership probe refreshes recency
+        cache["c"] = 3
+        assert "b" not in cache
+        assert "a" in cache
+
+    def test_contains_miss_does_not_insert(self):
+        from repro.core.pipeline import LruCache
+
+        cache = LruCache(capacity=2)
+        assert "ghost" not in cache
+        assert len(cache) == 0
+
+    def test_reinserting_existing_key_updates_value_and_recency(self):
+        from repro.core.pipeline import LruCache
+
+        cache = LruCache(capacity=2)
+        cache["a"], cache["b"] = 1, 2
+        cache["a"] = 10
+        cache["c"] = 3  # evicts b, not the freshly-updated a
+        assert cache["a"] == 10
+        assert "b" not in cache
+
+    def test_cache_hit_miss_counters_on_reanalysis(self):
+        from repro.observe import MetricsRegistry
+
+        corpus = generate_corpus(400, seed=33)
+        target = next(r for r in corpus if r.blueprint.uses_google_ads)
+        registry = MetricsRegistry()
+        dydroid = DyDroid(
+            DyDroidConfig(train_samples_per_family=2, run_replays=False),
+            metrics=registry,
+        )
+        dydroid.analyze_app(target)
+        lookups = registry.counter_value("cache.detection.lookups")
+        misses = registry.counter_value("cache.detection.miss")
+        assert lookups >= 1 and misses >= 1
+        # Same app again: every digest is now cached.
+        dydroid.analyze_app(target)
+        assert registry.counter_value("cache.detection.lookups") == 2 * lookups
+        assert registry.counter_value("cache.detection.miss") == misses
+        assert registry.counter_value("cache.detection.hit") == lookups
