@@ -6,6 +6,8 @@ The paper's pitch for its architecture is that dynamic interception feeds a
 stage costs so regressions in any stage are visible.
 """
 
+import threading
+
 import pytest
 
 from benchmarks.paper_compare import record_table
@@ -74,3 +76,47 @@ def test_full_pipeline_throughput(benchmark, slice_corpus):
         "Throughput",
         "full pipeline measured {} apps per round; see the benchmark table for timings".format(n),
     )
+
+
+@pytest.fixture(scope="module")
+def warm_service():
+    """A running daemon whose cache already holds the benched spec."""
+    from repro.service import AnalysisService, ServiceClient, ServiceConfig, make_server
+
+    service = AnalysisService(
+        ServiceConfig(
+            workers=1,
+            pipeline=DyDroidConfig(train_samples_per_family=2, run_replays=False),
+        )
+    )
+    service.start()
+    server = make_server(service)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServiceClient("127.0.0.1", server.server_port)
+    spec = {"kind": "corpus", "seed": 101, "n_apps": 60, "index": 3}
+    client.submit_and_wait(spec)  # the one (and only) pipeline run
+    yield client, spec
+    server.shutdown()
+    service.drain(timeout=60.0)
+    server.server_close()
+
+
+def test_service_warm_cache_throughput(benchmark, warm_service):
+    """HTTP requests/s through submit -> result once the cache is warm.
+
+    The serving overhead per duplicate submission is two JSON round
+    trips (no pipeline execution), so this bench bounds the daemon's
+    intake rate for a mostly-duplicate workload -- the regime the
+    paper's crawl operated in once the common SDK payloads were known.
+    """
+    client, spec = warm_service
+
+    def round_trips():
+        served = 0
+        for _ in range(20):
+            response = client.submit(spec)
+            assert response["cached"]
+            served += "analysis" in client.result(response["digest"])
+        return served
+
+    assert benchmark(round_trips) == 20

@@ -5,6 +5,10 @@ Commands:
 - ``measure``  -- generate a market, run the full pipeline, print tables;
 - ``farm run`` -- the same measurement through the sharded, fault-tolerant
   analysis farm (checkpoint/resume, worker pool, metrics);
+- ``serve``    -- run the analysis daemon (job queue, admission control,
+  content-addressed result cache; drains cleanly on SIGTERM);
+- ``submit``   -- send one job to a running daemon, optionally wait for it;
+- ``status``   -- daemon stats, or one job's lifecycle record;
 - ``corpus``   -- generate blueprints only and print ground-truth statistics;
 - ``analyze``  -- deep-dive one generated app (static + dynamic + verdicts);
 - ``families`` -- list the malware family corpus DroidNative trains on;
@@ -114,6 +118,53 @@ def build_parser() -> argparse.ArgumentParser:
     farm_run.add_argument("--json", action="store_true",
                           help="emit the full serialized report as JSON")
     _add_observe_flags(farm_run)
+
+    serve = sub.add_parser("serve", help="run the analysis-as-a-service daemon")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="listen port (0 picks an ephemeral port)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="background scheduler threads")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="max queued jobs before 429 + Retry-After")
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="per-client submissions/s (0 disables rate limiting)")
+    serve.add_argument("--burst", type=int, default=10,
+                       help="per-client token-bucket burst")
+    serve.add_argument("--persist", metavar="FILE",
+                       help="JSONL result journal; reloaded on restart")
+    serve.add_argument("--cache-capacity", type=int, default=65536,
+                       help="distinct APK digests held in the result cache")
+    serve.add_argument("--train", type=int, default=3,
+                       help="DroidNative samples per family")
+    serve.add_argument("--no-replays", action="store_true",
+                       help="skip Table VIII replays")
+    _add_observe_flags(serve)
+    serve.add_argument("--metrics-out", metavar="FILE",
+                       help="write the final metrics registry here on drain")
+
+    submit = sub.add_parser("submit", help="submit one job to a running daemon")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8787)
+    submit.add_argument("--seed", type=int, default=7, help="corpus seed")
+    submit.add_argument("--apps", type=int, default=600, help="corpus size")
+    submit.add_argument("--index", type=int, required=True,
+                        help="app index in the (seed, apps) corpus")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher dequeues earlier")
+    submit.add_argument("--client", default=None,
+                        help="client id for rate limiting (default: peer address)")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job settles and print the final job")
+    submit.add_argument("--result", action="store_true",
+                        help="with --wait: also print the full analysis JSON")
+    submit.add_argument("--timeout", type=float, default=120.0,
+                        help="--wait deadline in seconds")
+
+    status = sub.add_parser("status", help="daemon stats, or one job's record")
+    status.add_argument("--host", default="127.0.0.1")
+    status.add_argument("--port", type=int, default=8787)
+    status.add_argument("--job", metavar="ID", help="show this job instead of stats")
 
     corpus = sub.add_parser("corpus", help="print ground-truth corpus statistics")
     corpus.add_argument("--apps", type=int, default=1000)
@@ -245,6 +296,121 @@ def cmd_farm(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.observe import write_trace
+    from repro.service import AnalysisService, ServiceConfig, make_server
+    from repro.service.persist import ServicePersistError
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        rate_per_s=args.rate,
+        rate_burst=args.burst,
+        persist=args.persist,
+        cache_capacity=args.cache_capacity,
+        pipeline=DyDroidConfig(
+            train_samples_per_family=args.train, run_replays=not args.no_replays
+        ),
+    )
+    service = AnalysisService(config)
+    try:
+        service.start()
+    except ServicePersistError as exc:
+        raise SystemExit("serve: {}".format(exc))
+    server = make_server(service)
+    print(
+        "[serve] listening on {}:{} ({} workers, queue depth {})".format(
+            args.host, server.server_port, args.workers, args.queue_depth
+        ),
+        flush=True,
+    )
+
+    def on_signal(signum, frame):
+        # shutdown() blocks until serve_forever() exits, and the handler
+        # runs on the thread *inside* serve_forever -- hand it off.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {
+        sig: signal.signal(sig, on_signal) for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        server.serve_forever()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    drained = service.drain(timeout=300.0)
+    server.server_close()
+    if args.metrics_out:
+        _write_json(args.metrics_out, service.registry.to_dict())
+    if args.trace_out:
+        write_trace(service.trace_dicts(), args.trace_out, fmt=args.trace_format)
+    print(
+        "[serve] drained: {} completed, {} failed, {} cache hits, "
+        "{} pipeline runs, {} rejected".format(
+            service.counter_value("service.jobs.completed"),
+            service.counter_value("service.jobs.failed"),
+            service.counter_value("service.cache.hit"),
+            service.counter_value("service.pipeline.runs"),
+            service.counter_value("service.rejected.queue_full")
+            + service.counter_value("service.rejected.rate_limited"),
+        ),
+        file=sys.stderr,
+    )
+    return 0 if drained else 1
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.host, args.port)
+
+
+def _print_json(payload) -> None:
+    import json as json_module
+
+    print(json_module.dumps(payload, indent=1, sort_keys=True))
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClientError
+
+    client = _service_client(args)
+    spec = {
+        "kind": "corpus",
+        "seed": args.seed,
+        "n_apps": args.apps,
+        "index": args.index,
+    }
+    try:
+        response = client.submit(spec, client=args.client, priority=args.priority)
+        if args.wait and response["state"] != "done":
+            response = client.wait(response["job_id"], timeout=args.timeout)
+        elif args.wait:
+            response = client.job(response["job_id"])
+        _print_json(response)
+        if args.wait and args.result:
+            _print_json(client.result(response["digest"]))
+    except ServiceClientError as exc:
+        raise SystemExit("submit: {}".format(exc))
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClientError
+
+    client = _service_client(args)
+    try:
+        _print_json(client.job(args.job) if args.job else client.stats())
+    except ServiceClientError as exc:
+        raise SystemExit("status: {}".format(exc))
+    return 0
+
+
 def cmd_corpus(args: argparse.Namespace) -> int:
     generator = CorpusGenerator(seed=args.seed)
     blueprints = generator.sample_blueprints(args.apps)
@@ -360,6 +526,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "measure": cmd_measure,
         "farm": cmd_farm,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "status": cmd_status,
         "corpus": cmd_corpus,
         "analyze": cmd_analyze,
         "families": cmd_families,
@@ -367,6 +536,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
     try:
         return handlers[args.command](args)
+    except KeyboardInterrupt:
+        # ctrl-C on a long farm run / serve session: one line, conventional
+        # 128+SIGINT exit status, no traceback wall.
+        print("\n{}: interrupted".format(args.command), file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # output piped into head/less that exited early -- not an error.
         try:

@@ -32,9 +32,20 @@ from repro.farm.jobs import (
     ShardResult,
 )
 from repro.farm.merger import merge_reports, merge_serialized
-from repro.farm.metrics import FarmMetrics, LatencyHistogram
+from repro.farm.metrics import FarmMetrics
 from repro.farm.shards import ShardSpec, plan_shards
 from repro.farm.worker import AppTimeoutError, run_shard
+
+
+def __getattr__(name: str):
+    if name == "LatencyHistogram":
+        # deprecated path; repro.farm.metrics.__getattr__ emits the warning.
+        from repro.farm import metrics
+
+        return metrics.LatencyHistogram
+    raise AttributeError(
+        "module {!r} has no attribute {!r}".format(__name__, name)
+    )
 
 __all__ = [
     "AppResult",

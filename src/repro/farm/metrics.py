@@ -9,22 +9,37 @@ merged report -- is identical for every worker count and completion
 order.  ``to_dict`` is the structured JSON summary ``repro farm run
 --metrics-out`` writes.
 
-:class:`LatencyHistogram` moved to :mod:`repro.observe.metrics`; the
-import here is a compatibility re-export.
+:class:`LatencyHistogram` moved to :mod:`repro.observe.metrics`;
+importing it from here still works but emits a :class:`DeprecationWarning`
+via module-level ``__getattr__`` (PEP 562).
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Dict, Optional
 
-from repro.observe.metrics import (  # noqa: F401  (LatencyHistogram re-export)
-    LatencyHistogram,
-    MetricsRegistry,
-    verdict_cache_summary,
-)
+from repro.observe.metrics import MetricsRegistry, verdict_cache_summary
 
 __all__ = ["FarmMetrics", "LatencyHistogram"]
+
+
+def __getattr__(name: str):
+    if name == "LatencyHistogram":
+        warnings.warn(
+            "repro.farm.metrics.LatencyHistogram moved to "
+            "repro.observe.metrics.LatencyHistogram; this re-export will be "
+            "removed in a future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.observe.metrics import LatencyHistogram
+
+        return LatencyHistogram
+    raise AttributeError(
+        "module {!r} has no attribute {!r}".format(__name__, name)
+    )
 
 
 class FarmMetrics:

@@ -1,0 +1,63 @@
+"""Analysis-as-a-service: the long-running daemon behind ``repro serve``.
+
+The paper ran DyDroid as a continuous intake pipeline over the Play-store
+crawl, deduplicating payloads by digest across the whole corpus; related
+systems (DynaLog, DySign) frame the same idea as a submit-and-characterize
+service with fingerprint-keyed verdict reuse.  This package is that
+serving layer for the reproduction -- stdlib-only, like everything else:
+
+- :mod:`repro.service.spec`      -- validated job specs (corpus reference
+  or uploaded APK) with stable submission keys;
+- :mod:`repro.service.queue`     -- bounded priority queue; a full queue
+  rejects at submit time (429 + ``Retry-After``);
+- :mod:`repro.service.ratelimit` -- per-client token buckets;
+- :mod:`repro.service.cache`     -- content-addressed result cache keyed
+  by ``Apk.sha256()`` plus a submission-key index;
+- :mod:`repro.service.persist`   -- append-only JSONL journal (modeled on
+  :mod:`repro.farm.checkpoint`) so restarts serve prior results;
+- :mod:`repro.service.jobs`      -- job lifecycle records and the table
+  ``GET /v1/jobs/{id}`` reads;
+- :mod:`repro.service.scheduler` -- background worker threads, one
+  :class:`~repro.core.pipeline.DyDroid` per thread;
+- :mod:`repro.service.daemon`    -- :class:`AnalysisService`: admission,
+  three-level dedup (spec / in-flight coalescing / content digest),
+  drain-on-SIGTERM, shared :class:`~repro.observe.metrics.MetricsRegistry`;
+- :mod:`repro.service.http`      -- ``ThreadingHTTPServer`` transport;
+- :mod:`repro.service.client`    -- ``http.client`` client behind
+  ``repro submit`` / ``repro status``.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.daemon import AnalysisService, ServiceConfig
+from repro.service.http import ServiceHTTPServer, make_server
+from repro.service.jobs import Job, JobState, JobTable
+from repro.service.persist import ResultJournal, ServicePersistError, pipeline_fingerprint
+from repro.service.queue import JobQueue, QueueFullError
+from repro.service.ratelimit import RateLimitedError, RateLimiter, TokenBucket
+from repro.service.scheduler import SchedulerPool
+from repro.service.spec import JobSpec, SpecError
+
+__all__ = [
+    "AnalysisService",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "JobTable",
+    "QueueFullError",
+    "RateLimitedError",
+    "RateLimiter",
+    "ResultCache",
+    "ResultJournal",
+    "SchedulerPool",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConfig",
+    "ServiceHTTPServer",
+    "ServicePersistError",
+    "SpecError",
+    "TokenBucket",
+    "make_server",
+    "pipeline_fingerprint",
+]

@@ -1,0 +1,81 @@
+"""The content-addressed result cache.
+
+Two thread-safe maps, mirroring how DyDroid deduplicated its 46K-app
+corpus by payload digest:
+
+- **content store**: ``Apk.sha256()`` -> serialized :class:`AppAnalysis`.
+  This is the ground truth; ``GET /v1/results/{digest}`` serves from it.
+  LRU-bounded (reusing :class:`repro.core.pipeline.LruCache`) so a
+  long-lived daemon stays bounded in memory.
+- **spec index**: submission key (:meth:`JobSpec.key`) -> digest.  Lets
+  ``POST /v1/submit`` answer a repeat submission *before* building the
+  APK at all.  Entries whose digest was LRU-evicted read as misses.
+
+Distinct specs that assemble byte-identical APKs converge on one content
+entry -- the second execution discovers the digest hit after the build
+stage and skips analysis.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.pipeline import LruCache
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Thread-safe digest-addressed store of serialized analyses."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        self._content: LruCache[str, Dict[str, object]] = LruCache(capacity)
+        self._spec_index: Dict[str, str] = {}
+        self._lock = threading.RLock()
+
+    # -- lookups ---------------------------------------------------------------
+
+    def lookup_spec(self, spec_key: str) -> Optional[Tuple[str, Dict[str, object]]]:
+        """``(digest, analysis)`` if this exact submission is already answered."""
+        with self._lock:
+            digest = self._spec_index.get(spec_key)
+            if digest is None or digest not in self._content:
+                return None
+            return digest, self._content[digest]
+
+    def get(self, digest: str) -> Optional[Dict[str, object]]:
+        with self._lock:
+            if digest in self._content:
+                return self._content[digest]
+            return None
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._content
+
+    # -- writes ----------------------------------------------------------------
+
+    def put(self, spec_key: str, digest: str, analysis: Dict[str, object]) -> None:
+        with self._lock:
+            self._content[digest] = analysis
+            self._spec_index[spec_key] = digest
+
+    def link_spec(self, spec_key: str, digest: str) -> None:
+        """Point an additional submission key at an existing digest."""
+        with self._lock:
+            self._spec_index[spec_key] = digest
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._content)
+
+    def spec_keys(self) -> int:
+        with self._lock:
+            return len(self._spec_index)
+
+    def digests(self) -> List[str]:
+        with self._lock:
+            return sorted(set(self._spec_index.values()))

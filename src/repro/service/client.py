@@ -1,0 +1,172 @@
+"""The stdlib client: ``http.client`` against a running daemon.
+
+:class:`ServiceClient` backs the ``repro submit`` / ``repro status`` CLI
+verbs and is the programmatic way to talk to ``repro serve``::
+
+    client = ServiceClient("127.0.0.1", 8787)
+    response = client.submit({"kind": "corpus", "seed": 7, "n_apps": 600, "index": 3})
+    job = client.wait(response["job_id"])
+    analysis = client.result(job["digest"])["analysis"]
+
+Every call opens one connection (the daemon is thread-per-connection;
+short-lived connections keep drain prompt).  Non-2xx responses raise
+:class:`ServiceClientError` carrying the status, decoded body, and the
+``Retry-After`` hint when the daemon sent one.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Dict, Optional
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(RuntimeError):
+    """A non-2xx daemon response (or a job that finished FAILED)."""
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 0,
+        body: Optional[Dict[str, object]] = None,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.body = body or {}
+        self.retry_after_s = retry_after_s
+
+
+class ServiceClient:
+    """Minimal JSON-over-HTTP client for the analysis daemon."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+        expect_error: bool = False,
+    ) -> Dict[str, object]:
+        """One round trip; raises :class:`ServiceClientError` on non-2xx.
+
+        With ``expect_error=True`` the decoded body is returned for any
+        status and ``body['_status']`` / ``body['_retry_after_s']`` carry
+        the transport details (used by tests and admission probes).
+        """
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = json.dumps(payload).encode("utf-8") if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except OSError as exc:
+                raise ServiceClientError(
+                    "cannot reach service at {}:{}: {}".format(self.host, self.port, exc)
+                )
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = {"error": "non-JSON response"}
+            retry_after = response.getheader("Retry-After")
+            retry_after_s = float(retry_after) if retry_after else None
+            if expect_error:
+                decoded["_status"] = response.status
+                if retry_after_s is not None:
+                    decoded["_retry_after_s"] = retry_after_s
+                return decoded
+            if not 200 <= response.status < 300:
+                raise ServiceClientError(
+                    "{} {} -> {}: {}".format(
+                        method, path, response.status, decoded.get("error", "?")
+                    ),
+                    status=response.status,
+                    body=decoded,
+                    retry_after_s=retry_after_s,
+                )
+            return decoded
+        finally:
+            connection.close()
+
+    # -- endpoints -------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: Dict[str, object],
+        client: Optional[str] = None,
+        priority: int = 0,
+        expect_error: bool = False,
+    ) -> Dict[str, object]:
+        payload = dict(spec)
+        if client is not None:
+            payload["client"] = client
+        if priority:
+            payload["priority"] = priority
+        return self.request("POST", "/v1/submit", payload, expect_error=expect_error)
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self.request("GET", "/v1/jobs/{}".format(job_id))
+
+    def result(self, digest: str) -> Dict[str, object]:
+        return self.request("GET", "/v1/results/{}".format(digest))
+
+    def stats(self) -> Dict[str, object]:
+        return self.request("GET", "/v1/stats")
+
+    def metrics(self) -> Dict[str, object]:
+        return self.request("GET", "/metrics")
+
+    def healthz(self) -> Dict[str, object]:
+        return self.request("GET", "/healthz")
+
+    # -- conveniences ----------------------------------------------------------
+
+    def wait(
+        self, job_id: str, timeout: float = 120.0, interval: float = 0.05
+    ) -> Dict[str, object]:
+        """Poll ``/v1/jobs/{id}`` until DONE; raise on FAILED or timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] == "done":
+                return job
+            if job["state"] == "failed":
+                raise ServiceClientError(
+                    "job {} failed: {}".format(job_id, job.get("error")),
+                    status=200,
+                    body=job,
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceClientError(
+                    "timed out after {:.0f}s waiting for job {} (state {})".format(
+                        timeout, job_id, job["state"]
+                    )
+                )
+            time.sleep(interval)
+
+    def submit_and_wait(
+        self,
+        spec: Dict[str, object],
+        client: Optional[str] = None,
+        priority: int = 0,
+        timeout: float = 120.0,
+    ) -> Dict[str, object]:
+        """Submit, wait, and fetch the analysis for ``spec`` in one call."""
+        response = self.submit(spec, client=client, priority=priority)
+        job = (
+            response
+            if response["state"] == "done"
+            else self.wait(response["job_id"], timeout=timeout)
+        )
+        return self.result(job["digest"])

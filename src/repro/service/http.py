@@ -1,0 +1,146 @@
+"""The HTTP transport: stdlib ``ThreadingHTTPServer`` over the daemon.
+
+Endpoints (all JSON):
+
+- ``POST /v1/submit``            -- submit a job spec (corpus reference or
+  base64 APK); 200 cached, 202 queued/coalesced, 400 bad spec, 429
+  admission/rate rejection (with ``Retry-After``), 503 draining;
+- ``GET /v1/jobs/{id}``          -- job lifecycle record;
+- ``GET /v1/results/{digest}``   -- the content-addressed analysis;
+- ``GET /v1/stats``              -- queue/cache/jobs operational summary;
+- ``GET /healthz``               -- liveness + drain state;
+- ``GET /metrics``               -- the shared ``MetricsRegistry`` dump.
+
+Every request runs inside a :class:`~repro.observe.tracer.Tracer` span
+and lands in the service's ``service.http`` histogram and status-class
+counters; connection threads come from ``ThreadingHTTPServer``
+(``daemon_threads``), so a hung client never blocks drain.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
+from typing import Dict, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.observe.tracer import NULL_TRACER, Tracer
+from repro.service.daemon import AnalysisService
+
+__all__ = ["ServiceHTTPServer", "make_server"]
+
+#: reject request bodies past this size (a full APK fits comfortably).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying its :class:`AnalysisService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, service: AnalysisService) -> None:
+        super().__init__(address, handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request metrics live in the registry, not on stderr
+
+    @property
+    def service(self) -> AnalysisService:
+        return self.server.service
+
+    def _send(self, status: int, body: Dict[str, object], headers: Dict[str, str]) -> None:
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _read_json(self) -> Tuple[Optional[Dict[str, object]], Optional[str]]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            return None, "bad Content-Length"
+        if length <= 0:
+            return None, "empty request body"
+        if length > MAX_BODY_BYTES:
+            return None, "request body too large"
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None, "request body is not valid JSON"
+        if not isinstance(payload, dict):
+            return None, "request body must be a JSON object"
+        return payload, None
+
+    # -- dispatch --------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        service = self.service
+        started = perf_counter()
+        tracer = Tracer() if service.config.trace else NULL_TRACER
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        with tracer.span("http.request", method=method, path=path) as span:
+            status, body, headers = self._route(method, path)
+            span.set(status=status)
+        try:
+            self._send(status, body, headers)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to serve
+        service.observe_request(method, path, status, perf_counter() - started, tracer)
+
+    def _route(self, method: str, path: str) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        service = self.service
+        if method == "POST" and path == "/v1/submit":
+            payload, error = self._read_json()
+            if payload is None:
+                return 400, {"error": error}, {}
+            return service.submit(payload, peer=self.client_address[0])
+        if method == "GET" and path.startswith("/v1/jobs/"):
+            return service.job_status(path[len("/v1/jobs/"):])
+        if method == "GET" and path.startswith("/v1/results/"):
+            return service.result(path[len("/v1/results/"):])
+        if method == "GET" and path == "/v1/stats":
+            return service.stats()
+        if method == "GET" and path == "/healthz":
+            return service.health()
+        if method == "GET" and path == "/metrics":
+            return service.metrics_dict()
+        return 404, {"error": "no route {} {}".format(method, path)}, {}
+
+
+def make_server(
+    service: AnalysisService,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+) -> ServiceHTTPServer:
+    """Bind (but do not start) the HTTP server for ``service``.
+
+    With ``port=0`` the OS picks an ephemeral port -- read it back off
+    ``server.server_port``.  Call ``serve_forever()`` to serve and
+    ``shutdown()`` (from another thread) to stop.
+    """
+    address = (
+        host if host is not None else service.config.host,
+        port if port is not None else service.config.port,
+    )
+    return ServiceHTTPServer(address, _Handler, service)

@@ -1,0 +1,122 @@
+"""Job records and the thread-safe job table.
+
+A :class:`Job` is the unit clients poll: QUEUED -> RUNNING -> DONE or
+FAILED.  Submissions answered without a pipeline run (spec-level cache
+hits, in-flight coalescing onto an existing job, content-level digest
+hits after the build stage) are visible through ``cached`` /
+``coalesced_with``.
+
+The table retains finished jobs so ``GET /v1/jobs/{id}`` keeps working
+after completion, bounded by ``max_retained`` with oldest-finished-first
+eviction so a long-lived daemon cannot grow without limit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Deque, Dict, Optional
+
+from repro.service.spec import JobSpec
+
+__all__ = ["Job", "JobState", "JobTable"]
+
+
+class JobState(Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One submission's lifecycle, as reported by ``GET /v1/jobs/{id}``."""
+
+    job_id: str
+    spec: JobSpec
+    spec_key: str
+    client: str = "anonymous"
+    priority: int = 0
+    state: JobState = JobState.QUEUED
+    submitted_ts: float = field(default_factory=time.time)
+    started_ts: Optional[float] = None
+    finished_ts: Optional[float] = None
+    #: content digest (``Apk.sha256()``); set once the APK is built, or
+    #: immediately for cache-hit submissions.
+    digest: Optional[str] = None
+    error: Optional[str] = None
+    #: served without executing the pipeline for this submission.
+    cached: bool = False
+    #: submissions coalesced onto this job while it was in flight.
+    coalesced: int = 0
+    analyze_s: float = 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "job_id": self.job_id,
+            "spec": self.spec.to_dict(),
+            "client": self.client,
+            "priority": self.priority,
+            "state": self.state.value,
+            "submitted_ts": round(self.submitted_ts, 6),
+            "started_ts": round(self.started_ts, 6) if self.started_ts else None,
+            "finished_ts": round(self.finished_ts, 6) if self.finished_ts else None,
+            "digest": self.digest,
+            "error": self.error,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "analyze_s": round(self.analyze_s, 6),
+        }
+
+
+class JobTable:
+    """id -> :class:`Job` with monotonic ids and bounded retention."""
+
+    def __init__(self, max_retained: int = 4096) -> None:
+        if max_retained < 1:
+            raise ValueError("max_retained must be >= 1")
+        self.max_retained = max_retained
+        self._jobs: Dict[str, Job] = {}
+        self._finished: Deque[str] = deque()
+        self._next = 1
+        self._lock = threading.Lock()
+
+    def create(self, spec: JobSpec, client: str, priority: int) -> Job:
+        with self._lock:
+            job_id = "job-{:06d}".format(self._next)
+            self._next += 1
+            job = Job(
+                job_id=job_id, spec=spec, spec_key=spec.key(),
+                client=client, priority=priority,
+            )
+            self._jobs[job_id] = job
+            return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def mark_finished(self, job: Job) -> None:
+        """Register a finished job for retention-bounded eviction."""
+        with self._lock:
+            self._finished.append(job.job_id)
+            while len(self._finished) > self.max_retained:
+                evicted = self._finished.popleft()
+                self._jobs.pop(evicted, None)
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {state.value: 0 for state in JobState}
+            for job in self._jobs.values():
+                counts[job.state.value] += 1
+            counts["total"] = self._next - 1
+            counts["retained"] = len(self._jobs)
+            return counts

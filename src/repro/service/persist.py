@@ -1,0 +1,153 @@
+"""Result persistence: append-only JSONL surviving daemon restarts.
+
+Modeled on :mod:`repro.farm.checkpoint`: line 1 is a header binding the
+journal to the daemon's pipeline configuration::
+
+    {"kind": "header", "version": 1, "fingerprint": "<sha256[:16] of config>"}
+
+then one line per *distinct* analyzed APK, in completion order::
+
+    {"kind": "result", "digest": "...", "spec_key": "...",
+     "package": "com.a.b", "analyze_s": 0.12, "analysis": {...}}
+
+Appends are flushed line-by-line (a killed daemon loses at most the job
+in flight); on reload a torn final line is dropped, corruption anywhere
+earlier is an error.  The fingerprint check refuses to serve results
+computed under a different pipeline configuration -- the same contract
+the farm checkpoint enforces for ``--resume``.
+
+Unlike the farm journal, opening an existing file *resumes by default*:
+a restarted daemon should serve what it already computed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.config import DyDroidConfig
+
+__all__ = ["JOURNAL_VERSION", "ResultJournal", "ServicePersistError", "pipeline_fingerprint"]
+
+JOURNAL_VERSION = 1
+
+
+class ServicePersistError(ValueError):
+    """The journal is unreadable or was written under another pipeline config."""
+
+
+def pipeline_fingerprint(config: DyDroidConfig) -> str:
+    """Stable identity of the pipeline configuration alone.
+
+    The cache is content-addressed, so unlike the farm's
+    :func:`~repro.farm.jobs.run_fingerprint` no corpus identity is mixed
+    in -- results are reusable across seeds as long as the *analysis*
+    behaves identically.
+    """
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()[:16]
+
+
+class ResultJournal:
+    """Single-file journal shared by all scheduler threads (lock-serialized)."""
+
+    def __init__(self, path: Union[str, Path], config: DyDroidConfig) -> None:
+        self.path = Path(path)
+        self.fingerprint = pipeline_fingerprint(config)
+        self._lock = threading.Lock()
+        #: entries restored from a previous daemon's lifetime.
+        self.restored: List[Dict[str, object]] = []
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._load()
+            self._handle = self.path.open("a", encoding="utf-8")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w", encoding="utf-8")
+            self._write_line(
+                {
+                    "kind": "header",
+                    "version": JOURNAL_VERSION,
+                    "fingerprint": self.fingerprint,
+                }
+            )
+
+    # -- restore ---------------------------------------------------------------
+
+    def _load(self) -> None:
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        header = self._parse(lines[0], line_no=1, final=False)
+        self._check_header(header)
+        last = len(lines)
+        for line_no, line in enumerate(lines[1:], start=2):
+            entry = self._parse(line, line_no=line_no, final=line_no == last)
+            if entry is None:
+                continue  # torn final line from a mid-write kill
+            if entry.get("kind") != "result":
+                raise ServicePersistError(
+                    "{}:{}: unknown entry kind {!r}".format(
+                        self.path, line_no, entry.get("kind")
+                    )
+                )
+            self.restored.append(entry)
+
+    def _parse(self, line: str, line_no: int, final: bool) -> Optional[dict]:
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            if final:
+                return None
+            raise ServicePersistError(
+                "{}:{}: corrupt journal line".format(self.path, line_no)
+            )
+        if not isinstance(entry, dict):
+            raise ServicePersistError(
+                "{}:{}: journal line is not an object".format(self.path, line_no)
+            )
+        return entry
+
+    def _check_header(self, header: Optional[dict]) -> None:
+        if header is None or header.get("kind") != "header":
+            raise ServicePersistError(
+                "{} does not start with a journal header".format(self.path)
+            )
+        if header.get("version") != JOURNAL_VERSION:
+            raise ServicePersistError(
+                "unsupported journal version {}".format(header.get("version"))
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise ServicePersistError(
+                "journal {} was written under a different pipeline "
+                "configuration; refusing to serve its results".format(self.path)
+            )
+
+    # -- append ---------------------------------------------------------------
+
+    def _write_line(self, entry: dict) -> None:
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def append_result(
+        self,
+        spec_key: str,
+        digest: str,
+        package: str,
+        analyze_s: float,
+        analysis: Dict[str, object],
+    ) -> None:
+        with self._lock:
+            self._write_line(
+                {
+                    "kind": "result",
+                    "spec_key": spec_key,
+                    "digest": digest,
+                    "package": package,
+                    "analyze_s": round(analyze_s, 6),
+                    "analysis": analysis,
+                }
+            )
+
+    def close(self) -> None:
+        with self._lock:
+            self._handle.close()

@@ -1,0 +1,89 @@
+"""The bounded priority job queue with admission control.
+
+Admission is decided at ``put`` time: a full queue raises
+:class:`QueueFullError` immediately instead of blocking the HTTP thread,
+and carries the ``retry_after_s`` hint the handler turns into a 429 +
+``Retry-After``.  Higher ``priority`` dequeues earlier; within one
+priority FIFO order is preserved via a monotonic sequence number, so two
+equal-priority submissions never reorder.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import List, Optional, Tuple
+
+__all__ = ["JobQueue", "QueueFullError"]
+
+
+class QueueFullError(RuntimeError):
+    """Admission control rejected the submission (queue at max depth)."""
+
+    def __init__(self, depth: int, retry_after_s: float) -> None:
+        super().__init__(
+            "job queue full ({} queued); retry in {:.0f}s".format(depth, retry_after_s)
+        )
+        self.depth = depth
+        self.retry_after_s = retry_after_s
+
+
+class JobQueue:
+    """Thread-safe bounded max-priority queue of job ids."""
+
+    def __init__(self, max_depth: int) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self._heap: List[Tuple[int, int, str]] = []
+        self._seq = 0
+        self._closed = False
+        self._condition = threading.Condition()
+
+    # -- producer --------------------------------------------------------------
+
+    def put(self, job_id: str, priority: int = 0, retry_after_s: float = 1.0) -> int:
+        """Enqueue; returns the new depth or raises :class:`QueueFullError`."""
+        with self._condition:
+            if self._closed:
+                raise QueueFullError(len(self._heap), retry_after_s)
+            if len(self._heap) >= self.max_depth:
+                raise QueueFullError(len(self._heap), retry_after_s)
+            heapq.heappush(self._heap, (-priority, self._seq, job_id))
+            self._seq += 1
+            self._condition.notify()
+            return len(self._heap)
+
+    # -- consumer --------------------------------------------------------------
+
+    def get(self, timeout: Optional[float] = None) -> Optional[str]:
+        """Pop the highest-priority job id.
+
+        Returns ``None`` when the wait times out or the queue was closed
+        and fully drained -- the worker's signal to exit its loop.
+        """
+        with self._condition:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._condition.wait(timeout=timeout):
+                    return None
+            _, _, job_id = heapq.heappop(self._heap)
+            return job_id
+
+    # -- lifecycle / introspection ---------------------------------------------
+
+    def close(self) -> None:
+        """Stop admitting; wake all waiting consumers once drained."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._condition:
+            return self._closed
+
+    def depth(self) -> int:
+        with self._condition:
+            return len(self._heap)

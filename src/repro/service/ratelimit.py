@@ -1,0 +1,108 @@
+"""Per-client token-bucket rate limiting.
+
+Each client key (the ``client`` field of a submission, falling back to
+the peer address) owns one bucket of ``burst`` tokens refilled at
+``rate_per_s``.  A submission spends one token; an empty bucket raises
+:class:`RateLimitedError` with the exact ``retry_after_s`` until the next
+token, which the HTTP layer surfaces as 429 + ``Retry-After``.
+
+The clock is injectable so tests control refill deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Optional
+
+__all__ = ["RateLimitedError", "RateLimiter", "TokenBucket"]
+
+#: forget the least-recently-seen client past this many tracked buckets.
+MAX_TRACKED_CLIENTS = 4096
+
+
+class RateLimitedError(RuntimeError):
+    """The client exhausted its token bucket."""
+
+    def __init__(self, client: str, retry_after_s: float) -> None:
+        super().__init__(
+            "client {!r} rate limited; retry in {:.2f}s".format(client, retry_after_s)
+        )
+        self.client = client
+        self.retry_after_s = retry_after_s
+
+
+class TokenBucket:
+    """A single client's bucket: ``burst`` capacity, ``rate_per_s`` refill."""
+
+    __slots__ = ("rate_per_s", "burst", "tokens", "updated", "_clock")
+
+    def __init__(
+        self, rate_per_s: float, burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self.tokens = float(burst)
+        self._clock = clock
+        self.updated = clock()
+
+    def try_acquire(self) -> Optional[float]:
+        """Spend one token; ``None`` on success, else seconds until one refills."""
+        now = self._clock()
+        self.tokens = min(
+            float(self.burst), self.tokens + (now - self.updated) * self.rate_per_s
+        )
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return None
+        if self.rate_per_s <= 0.0:
+            return float("inf")
+        return (1.0 - self.tokens) / self.rate_per_s
+
+
+class RateLimiter:
+    """Create-on-first-use map of client key -> :class:`TokenBucket`.
+
+    ``rate_per_s <= 0`` disables limiting entirely (the default for local
+    runs); the tracked-client map is LRU-bounded so an open endpoint
+    cannot grow it without limit.
+    """
+
+    def __init__(
+        self, rate_per_s: float, burst: int = 10,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate_per_s > 0.0
+
+    def allow(self, client: str) -> None:
+        """Admit one submission or raise :class:`RateLimitedError`."""
+        if not self.enabled:
+            return
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate_per_s, self.burst, clock=self._clock)
+                self._buckets[client] = bucket
+            self._buckets.move_to_end(client)
+            while len(self._buckets) > MAX_TRACKED_CLIENTS:
+                self._buckets.popitem(last=False)
+            wait_s = bucket.try_acquire()
+        if wait_s is not None:
+            raise RateLimitedError(client, wait_s)
+
+    def tracked_clients(self) -> int:
+        with self._lock:
+            return len(self._buckets)

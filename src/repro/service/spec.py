@@ -1,0 +1,137 @@
+"""Job specifications: what a client asks the service to analyze.
+
+Two spec kinds cover the intake paths DyDroid's crawl had:
+
+- ``corpus`` -- a ``(seed, n_apps, index)`` reference into the seeded
+  market.  The daemon rematerializes the app the same way farm workers
+  do (:meth:`CorpusGenerator.records_at`), so submissions stay tiny and
+  the same reference always denotes the same APK bytes.
+- ``apk``    -- an uploaded package, base64 of :meth:`Apk.to_bytes`.
+  Store-page metadata is unknown for uploads, so a neutral blueprint is
+  synthesized around the manifest package name.
+
+``key()`` is the *submission* identity used for queue-time deduplication
+and in-flight coalescing; the *result* identity is always the built
+APK's ``sha256()`` (content addressing), computed by the worker.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.android.apk import Apk, ApkFormatError
+from repro.corpus.generator import AppBlueprint, AppRecord, CorpusGenerator
+from repro.corpus.metadata import AppMetadata
+
+__all__ = ["JobSpec", "SpecError", "MAX_CORPUS_APPS"]
+
+#: upper bound on the corpus size a single submission may reference --
+#: admission control for the blueprint pass, not a corpus limitation.
+MAX_CORPUS_APPS = 1_000_000
+
+
+class SpecError(ValueError):
+    """The submission payload does not describe a valid job."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated, hashable analysis request."""
+
+    kind: str  # "corpus" | "apk"
+    seed: int = 0
+    n_apps: int = 0
+    index: int = -1
+    apk_b64: str = ""
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "JobSpec":
+        """Validate a client JSON body into a spec; raises :class:`SpecError`."""
+        if not isinstance(payload, dict):
+            raise SpecError("submission body must be a JSON object")
+        kind = payload.get("kind", "corpus")
+        if kind == "corpus":
+            try:
+                seed = int(payload["seed"])
+                n_apps = int(payload["n_apps"])
+                index = int(payload["index"])
+            except (KeyError, TypeError, ValueError):
+                raise SpecError(
+                    "corpus spec needs integer 'seed', 'n_apps' and 'index'"
+                )
+            if not 0 < n_apps <= MAX_CORPUS_APPS:
+                raise SpecError(
+                    "n_apps must be in 1..{}".format(MAX_CORPUS_APPS)
+                )
+            if not 0 <= index < n_apps:
+                raise SpecError(
+                    "index {} out of range for a corpus of {} apps".format(index, n_apps)
+                )
+            return cls(kind="corpus", seed=seed, n_apps=n_apps, index=index)
+        if kind == "apk":
+            raw = payload.get("apk_b64")
+            if not isinstance(raw, str) or not raw:
+                raise SpecError("apk spec needs a base64 'apk_b64' field")
+            try:
+                data = base64.b64decode(raw, validate=True)
+            except (binascii.Error, ValueError):
+                raise SpecError("apk_b64 is not valid base64")
+            try:
+                Apk.from_bytes(data)
+            except ApkFormatError as exc:
+                raise SpecError("apk_b64 does not decode to an APK: {}".format(exc))
+            return cls(kind="apk", apk_b64=raw)
+        raise SpecError("unknown spec kind {!r}".format(kind))
+
+    # -- identity --------------------------------------------------------------
+
+    def key(self) -> str:
+        """Stable submission identity (dedup / coalescing key)."""
+        if self.kind == "apk":
+            # identical bytes submitted under different encodings dedupe.
+            raw = b"apk:" + base64.b64decode(self.apk_b64)
+        else:
+            raw = json.dumps(
+                {"kind": "corpus", "seed": self.seed,
+                 "n_apps": self.n_apps, "index": self.index},
+                sort_keys=True,
+            ).encode("utf-8")
+        return hashlib.sha256(raw).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        if self.kind == "apk":
+            return {"kind": "apk", "apk_sha256_prefix": self.key()}
+        return {
+            "kind": "corpus",
+            "seed": self.seed,
+            "n_apps": self.n_apps,
+            "index": self.index,
+        }
+
+    # -- materialization (worker side) -----------------------------------------
+
+    def build_record(self) -> AppRecord:
+        """Build the :class:`AppRecord` this spec denotes."""
+        if self.kind == "corpus":
+            generator = CorpusGenerator(seed=self.seed)
+            return generator.records_at(self.n_apps, [self.index])[0]
+        apk = Apk.from_bytes(base64.b64decode(self.apk_b64))
+        package = apk.package
+        return AppRecord(
+            apk=apk,
+            metadata=AppMetadata(
+                category="uploaded",
+                downloads=0,
+                n_ratings=0,
+                avg_rating=0.0,
+                release_time_ms=0,
+            ),
+            blueprint=AppBlueprint(index=-1, package=package, category="uploaded"),
+        )

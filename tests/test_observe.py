@@ -408,3 +408,40 @@ class TestObserveCli:
         assert main(["trace", "summary", str(trace_path)]) == 0
         out = capsys.readouterr().out
         assert "stage" in out and "p95" in out and "farm.build" in out
+
+
+class TestLatencyHistogramDeprecation:
+    """The farm-side re-export now warns; the observe-side home does not."""
+
+    def test_farm_metrics_import_warns(self):
+        import warnings
+
+        import repro.farm.metrics as farm_metrics
+        from repro.observe.metrics import LatencyHistogram as canonical
+
+        with pytest.warns(DeprecationWarning, match="repro.observe.metrics"):
+            relocated = farm_metrics.LatencyHistogram
+        assert relocated is canonical
+
+    def test_farm_package_import_warns(self):
+        import repro.farm as farm
+        from repro.observe.metrics import LatencyHistogram as canonical
+
+        with pytest.warns(DeprecationWarning, match="repro.observe.metrics"):
+            relocated = farm.LatencyHistogram
+        assert relocated is canonical
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.farm as farm
+        import repro.farm.metrics as farm_metrics
+
+        with pytest.raises(AttributeError):
+            farm_metrics.NoSuchThing
+        with pytest.raises(AttributeError):
+            farm.NoSuchThing
+
+    def test_observe_home_is_warning_free(self, recwarn):
+        from repro.observe.metrics import LatencyHistogram
+
+        LatencyHistogram().record(0.01)
+        assert not [w for w in recwarn.list if w.category is DeprecationWarning]
