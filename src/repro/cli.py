@@ -81,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="FILE",
         help="write the JSON metrics registry (stage histograms, cache counters) here",
     )
+    measure.add_argument(
+        "--verdict-store", metavar="FILE",
+        help="shared verdict store: payload verdicts are reused from (and "
+             "published to) this file across runs, farms, and services",
+    )
 
     farm = sub.add_parser("farm", help="sharded, fault-tolerant analysis farm")
     farm_sub = farm.add_subparsers(dest="farm_command", required=True)
@@ -103,6 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="append-only JSONL journal of settled apps")
     farm_run.add_argument("--resume", action="store_true",
                           help="skip apps already settled in --checkpoint")
+    farm_run.add_argument("--verdict-store", metavar="FILE",
+                          help="shared verdict store: each distinct payload "
+                               "digest is analyzed once fleet-wide")
     farm_run.add_argument("--metrics-out", metavar="FILE",
                           help="write the JSON metrics summary here")
     farm_run.add_argument("--train", type=int, default=3,
@@ -133,6 +141,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-client token-bucket burst")
     serve.add_argument("--persist", metavar="FILE",
                        help="JSONL result journal; reloaded on restart")
+    serve.add_argument("--verdict-store", metavar="FILE",
+                       help="shared verdict store for payload verdicts, "
+                            "reusable across daemon restarts and farm runs")
     serve.add_argument("--cache-capacity", type=int, default=65536,
                        help="distinct APK digests held in the result cache")
     serve.add_argument("--train", type=int, default=3,
@@ -226,7 +237,19 @@ def cmd_measure(args: argparse.Namespace) -> int:
     # Observability is on by default: the trace powers the one-line
     # digest below even when no --trace-out was requested.
     tracer, registry = Tracer(), MetricsRegistry()
-    report = DyDroid(config, tracer=tracer, metrics=registry).measure(corpus)
+    from repro.store import StoreError
+
+    try:
+        pipeline = DyDroid(
+            config, tracer=tracer, metrics=registry,
+            verdict_store=args.verdict_store,
+        )
+    except StoreError as exc:
+        raise SystemExit("measure: {}".format(exc))
+    try:
+        report = pipeline.measure(corpus)
+    finally:
+        pipeline.close()
     _print_report(report, args)
     spans = tracer.to_dicts()
     if args.trace_out:
@@ -246,6 +269,7 @@ def cmd_measure(args: argparse.Namespace) -> int:
 
 def cmd_farm(args: argparse.Namespace) -> int:
     from repro.farm import CheckpointError, FarmConfig, run_farm
+    from repro.store import StoreError
 
     config = FarmConfig(
         n_apps=args.apps,
@@ -261,10 +285,11 @@ def cmd_farm(args: argparse.Namespace) -> int:
             train_samples_per_family=args.train, run_replays=not args.no_replays
         ),
         trace=bool(args.trace_out),
+        verdict_store=args.verdict_store,
     )
     try:
         result = run_farm(config)
-    except (CheckpointError, ValueError) as exc:
+    except (CheckpointError, StoreError, ValueError) as exc:
         raise SystemExit("farm run: {}".format(exc))
     _print_report(result.report, args)
     for record in result.quarantined:
@@ -303,6 +328,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.observe import write_trace
     from repro.service import AnalysisService, ServiceConfig, make_server
     from repro.service.persist import ServicePersistError
+    from repro.store import StoreError
 
     config = ServiceConfig(
         host=args.host,
@@ -312,6 +338,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         rate_per_s=args.rate,
         rate_burst=args.burst,
         persist=args.persist,
+        verdict_store=args.verdict_store,
         cache_capacity=args.cache_capacity,
         pipeline=DyDroidConfig(
             train_samples_per_family=args.train, run_replays=not args.no_replays
@@ -320,7 +347,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     service = AnalysisService(config)
     try:
         service.start()
-    except ServicePersistError as exc:
+    except (ServicePersistError, StoreError) as exc:
         raise SystemExit("serve: {}".format(exc))
     server = make_server(service)
     print(

@@ -13,7 +13,8 @@ from __future__ import annotations
 import hashlib
 
 from collections import OrderedDict
-from typing import Dict, Generic, Optional, Sequence, Set, TypeVar
+from pathlib import Path
+from typing import Dict, Generic, Optional, Sequence, Set, TypeVar, Union
 
 from repro.core.config import DyDroidConfig
 from repro.core.report import AppAnalysis, MeasurementReport, PayloadVerdict
@@ -31,6 +32,7 @@ from repro.static_analysis.prefilter import prefilter
 from repro.static_analysis.privacy.flowdroid import analyze_dex
 from repro.static_analysis.smali import SmaliProgram
 from repro.static_analysis.vulnerability import classify_loads
+from repro.store.verdicts import VerdictStore
 from repro.runtime.stacktrace import shares_app_package
 
 K = TypeVar("K")
@@ -83,12 +85,22 @@ class DyDroid:
         config: Optional[DyDroidConfig] = None,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        verdict_store: Union[None, str, Path, VerdictStore] = None,
     ) -> None:
         self.config = config or DyDroidConfig()
         #: span sink; defaults to the zero-cost null tracer.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: always-on counters/histograms (cheap; only read when exported).
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: tier-2 verdict cache, shared across processes.  A path opens a
+        #: store this instance owns (and closes); a ready-made instance is
+        #: borrowed -- the service shares one store across worker threads.
+        self._owns_store = isinstance(verdict_store, (str, Path))
+        self.verdict_store: Optional[VerdictStore] = (
+            VerdictStore(verdict_store, self.config)
+            if self._owns_store
+            else verdict_store
+        )
         self.decompiler = Decompiler(strict=True)
         self.droidnative = DroidNative(threshold=self.config.droidnative_threshold)
         if self.config.run_malware:
@@ -218,13 +230,15 @@ class DyDroid:
                 if shares_app_package(payload.call_site, package)
                 else Entity.THIRD_PARTY
             )
-        remote = dynamic.tracker.is_remote(payload.path)
+        # One reverse-reachability pass answers both provenance questions:
+        # a payload is remote exactly when some URL spec flowed into it.
+        sources = tuple(dynamic.tracker.remote_sources(payload.path))
         verdict = PayloadVerdict(
             path=payload.path,
             kind=payload.kind,
             entity=entity,
-            provenance=Provenance.REMOTE if remote else Provenance.LOCAL,
-            remote_sources=tuple(dynamic.tracker.remote_sources(payload.path)),
+            provenance=Provenance.REMOTE if sources else Provenance.LOCAL,
+            remote_sources=sources,
         )
         digest = hashlib.sha256(payload.data).hexdigest()
         self.metrics.counter("payload.kind." + payload.kind.value).inc()
@@ -240,12 +254,7 @@ class DyDroid:
                 self.metrics.distinct("cache.detection.digests").add(digest)
                 if digest not in self._detection_cache:
                     self.metrics.counter("cache.detection.miss").inc()
-                    binary = payload.as_dex() or payload.as_native()
-                    self._detection_cache[digest] = (
-                        self.droidnative.detect(binary, tracer=self.tracer)
-                        if binary is not None
-                        else None
-                    )
+                    self._detection_cache[digest] = self._detect(payload, digest, span)
                 else:
                     self.metrics.counter("cache.detection.hit").inc()
                     span.set(detection_cached=True)
@@ -258,15 +267,55 @@ class DyDroid:
                 self.metrics.distinct("cache.privacy.digests").add(digest)
                 if digest not in self._privacy_cache:
                     self.metrics.counter("cache.privacy.miss").inc()
-                    dex = payload.as_dex()
-                    self._privacy_cache[digest] = (
-                        tuple(analyze_dex(dex, tracer=self.tracer)) if dex else ()
-                    )
+                    self._privacy_cache[digest] = self._leaks(payload, digest, span)
                 else:
                     self.metrics.counter("cache.privacy.hit").inc()
                     span.set(privacy_cached=True)
                 verdict.leaks = self._privacy_cache[digest]
         return verdict
+
+    def _detect(self, payload: InterceptedPayload, digest: str, span):
+        """Tier-2 probe -> compute -> publish for one detection verdict."""
+        if self.verdict_store is not None:
+            with stage(self.tracer, self.metrics, "store", tier="detection"):
+                found, detection = self.verdict_store.get_detection(digest)
+            if found:
+                self.metrics.counter("store.detection.hit").inc()
+                span.set(detection_stored=True)
+                return detection
+            self.metrics.counter("store.detection.miss").inc()
+        binary = payload.as_dex() or payload.as_native()
+        detection = (
+            self.droidnative.detect(binary, tracer=self.tracer)
+            if binary is not None
+            else None
+        )
+        if self.verdict_store is not None:
+            with stage(self.tracer, self.metrics, "store", tier="detection"):
+                self.verdict_store.put_detection(digest, detection)
+        return detection
+
+    def _leaks(self, payload: InterceptedPayload, digest: str, span) -> tuple:
+        """Tier-2 probe -> compute -> publish for one privacy verdict."""
+        if self.verdict_store is not None:
+            with stage(self.tracer, self.metrics, "store", tier="privacy"):
+                found, leaks = self.verdict_store.get_privacy(digest)
+            if found:
+                self.metrics.counter("store.privacy.hit").inc()
+                span.set(privacy_stored=True)
+                return leaks
+            self.metrics.counter("store.privacy.miss").inc()
+        dex = payload.as_dex()
+        leaks = tuple(analyze_dex(dex, tracer=self.tracer)) if dex else ()
+        if self.verdict_store is not None:
+            with stage(self.tracer, self.metrics, "store", tier="privacy"):
+                self.verdict_store.put_privacy(digest, leaks)
+        return leaks
+
+    def close(self) -> None:
+        """Release the verdict store if this pipeline opened it from a path."""
+        if self._owns_store and self.verdict_store is not None:
+            self.verdict_store.close()
 
     def _replay(self, record: AppRecord) -> Dict[str, Set[str]]:
         """Which paths load under each Table VIII environment config."""

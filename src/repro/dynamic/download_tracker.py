@@ -14,7 +14,7 @@ Android OS itself cannot answer.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Set
 
 import networkx as nx
 
@@ -28,6 +28,13 @@ class DownloadTracker:
     def __init__(self) -> None:
         self.graph = nx.DiGraph()
         self.edges: List[FlowEdge] = []
+        #: per-target reverse-reachability results; cleared on mutation so
+        #: is_remote/remote_sources on the same payload share one pass.
+        self._reach_memo: Dict[str, Set[str]] = {}
+        #: how many graph traversals the queries below have run -- the
+        #: complexity probe the regression tests assert on (O(payloads),
+        #: not O(payloads x URLs)).
+        self.reachability_passes = 0
 
     def attach(self, instrumentation: Instrumentation) -> "DownloadTracker":
         instrumentation.on_flow_edge(self.add_edge)
@@ -40,6 +47,7 @@ class DownloadTracker:
         self._ensure_node(edge.src)
         self._ensure_node(edge.dst)
         self.graph.add_edge(edge.src.key, edge.dst.key, rule=edge.rule)
+        self._reach_memo.clear()
 
     def _ensure_node(self, node: FlowNode) -> None:
         if node.key not in self.graph:
@@ -57,25 +65,37 @@ class DownloadTracker:
     def file_key(self, path: str) -> str:
         return "file:" + normalize(path)
 
+    def _remote_url_keys(self, target: str) -> Set[str]:
+        """URL nodes that reach ``target``: ONE reverse-reachability pass.
+
+        ``nx.ancestors`` walks the reversed graph from the file node once,
+        and intersecting with the URL node set answers every "does URL u
+        reach this file?" question simultaneously -- instead of one BFS
+        per URL node, which made provenance quadratic on download-heavy
+        sessions.  Results are memoized until the next edge arrives.
+        """
+        if target in self._reach_memo:
+            return self._reach_memo[target]
+        if target not in self.graph:
+            keys: Set[str] = set()
+        else:
+            self.reachability_passes += 1
+            keys = nx.ancestors(self.graph, target) & set(self.url_nodes())
+        self._reach_memo[target] = keys
+        return keys
+
     def is_remote(self, path: str) -> bool:
         """True when ``path``'s contents are reachable from any URL."""
-        target = self.file_key(path)
-        if target not in self.graph:
-            return False
-        return any(
-            nx.has_path(self.graph, url_key, target) for url_key in self.url_nodes()
-        )
+        return bool(self._remote_url_keys(self.file_key(path)))
 
     def remote_sources(self, path: str) -> List[str]:
         """The URL specs that flowed into ``path``, sorted."""
-        target = self.file_key(path)
-        if target not in self.graph:
-            return []
-        sources = []
-        for url_key in self.url_nodes():
-            if nx.has_path(self.graph, url_key, target):
-                sources.append(self.graph.nodes[url_key].get("detail", url_key))
-        return sorted(set(sources))
+        return sorted(
+            {
+                self.graph.nodes[key].get("detail", key)
+                for key in self._remote_url_keys(self.file_key(path))
+            }
+        )
 
     def downloaded_files(self) -> List[str]:
         """All file paths reachable from some URL (the download closure)."""

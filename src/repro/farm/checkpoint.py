@@ -57,6 +57,7 @@ class CheckpointJournal:
 
         if resume:
             self._load()
+            self._truncate_torn_tail()
             self._handle = self.path.open("a", encoding="utf-8")
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -82,20 +83,45 @@ class CheckpointJournal:
         header = self._parse(lines[0], line_no=1, final=False)
         self._check_header(header)
         last = len(lines)
+        kept = lines
         for line_no, line in enumerate(lines[1:], start=2):
             entry = self._parse(line, line_no=line_no, final=line_no == last)
             if entry is None:
-                continue  # torn final line from a mid-write kill
+                kept = lines[:-1]  # torn final line from a mid-write kill
+                continue
             if entry.get("kind") == "result":
-                self.completed[entry["index"]] = entry["analysis"]
+                index = self._require(entry, "index", line_no)
+                self.completed[index] = self._require(entry, "analysis", line_no)
             elif entry.get("kind") == "quarantine":
-                self.quarantined[entry["index"]] = entry
+                self.quarantined[self._require(entry, "index", line_no)] = entry
             else:
                 raise CheckpointError(
                     "{}:{}: unknown entry kind {!r}".format(
                         self.path, line_no, entry.get("kind")
                     )
                 )
+        # Byte length of the journal's valid prefix: every kept line plus
+        # its newline.  Appending after a torn tail without truncating to
+        # this would glue the next entry onto the partial line -- fine for
+        # THIS load, fatal for the next one (the merged line is no longer
+        # final, so _parse escalates it to a hard CheckpointError).
+        self._valid_bytes = len(
+            "".join(line + "\n" for line in kept).encode("utf-8")
+        )
+
+    def _truncate_torn_tail(self) -> None:
+        if self._valid_bytes < self.path.stat().st_size:
+            with self.path.open("r+b") as handle:
+                handle.truncate(self._valid_bytes)
+
+    def _require(self, entry: dict, key: str, line_no: int):
+        if key not in entry:
+            raise CheckpointError(
+                "{}:{}: {} entry is missing required field {!r}".format(
+                    self.path, line_no, entry.get("kind"), key
+                )
+            )
+        return entry[key]
 
     def _parse(self, line: str, line_no: int, final: bool) -> Optional[dict]:
         try:

@@ -37,6 +37,7 @@ from repro.farm.metrics import FarmMetrics
 from repro.farm.shards import plan_shards
 from repro.farm.worker import run_shard
 from repro.observe.merge import merge_span_lists
+from repro.store.verdicts import VerdictStore
 
 
 @dataclass
@@ -61,6 +62,10 @@ class FarmConfig:
     #: collect spans in every worker and merge them into ``FarmResult.spans``
     #: (for ``--trace-out``); the metrics registry is collected regardless.
     trace: bool = False
+    #: shared verdict-store path (tier 2 behind every worker's LRU): each
+    #: distinct payload digest is analyzed once fleet-wide, and a warm
+    #: store makes re-runs skip DroidNative/FlowDroid entirely.
+    verdict_store: Optional[str] = None
 
     def planned_shards(self) -> int:
         return self.n_shards if self.n_shards else max(1, self.workers * 4)
@@ -97,6 +102,7 @@ def _shard_jobs(config: FarmConfig, shards, skip) -> List[ShardJob]:
                 backoff_s=config.backoff_s,
                 chaos=config.chaos,
                 trace=config.trace,
+                verdict_store=config.verdict_store,
             )
         )
     return jobs
@@ -106,6 +112,11 @@ def run_farm(config: FarmConfig) -> FarmResult:
     """Execute one sharded, checkpointed, metered measurement run."""
     if config.resume and not config.checkpoint:
         raise ValueError("resume requires a checkpoint path")
+    if config.verdict_store:
+        # Fail fast on a fingerprint mismatch here, in the coordinator:
+        # workers hitting it mid-run would surface as quarantined apps
+        # instead of a usable error.
+        VerdictStore(config.verdict_store, config.pipeline).close()
 
     shards = plan_shards(config.n_apps, config.planned_shards(), config.shard_strategy)
     metrics = FarmMetrics(workers=config.workers, shards_planned=len(shards))
@@ -178,6 +189,7 @@ def run_farm(config: FarmConfig) -> FarmResult:
                                     backoff_s=job.backoff_s,
                                     chaos=job.chaos,
                                     trace=job.trace,
+                                    verdict_store=job.verdict_store,
                                 )
                             )
                         continue

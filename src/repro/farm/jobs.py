@@ -51,6 +51,9 @@ class ShardJob:
     #: collect spans in the worker and ship them back for trace export
     #: (the metrics registry is always collected; spans are opt-in).
     trace: bool = False
+    #: shared verdict-store path: every shard opens the same file, so a
+    #: payload digest analyzed by any shard is reused by all others.
+    verdict_store: Optional[str] = None
 
 
 @dataclass

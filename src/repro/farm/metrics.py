@@ -20,7 +20,11 @@ import time
 import warnings
 from typing import Dict, Optional
 
-from repro.observe.metrics import MetricsRegistry, verdict_cache_summary
+from repro.observe.metrics import (
+    MetricsRegistry,
+    verdict_cache_summary,
+    verdict_store_summary,
+)
 
 __all__ = ["FarmMetrics", "LatencyHistogram"]
 
@@ -127,6 +131,7 @@ class FarmMetrics:
                 for stage, histogram in self.stage_latency.items()
             },
             "verdict_cache": verdict_cache_summary(self.registry),
+            "verdict_store": verdict_store_summary(self.registry),
             "registry": self.registry.to_dict(),
         }
 

@@ -87,7 +87,13 @@ def run_shard(job: ShardJob) -> ShardResult:
     registry = MetricsRegistry()
     generator = CorpusGenerator(seed=job.corpus_seed)
     blueprints = generator.sample_blueprints(job.n_apps)
-    dydroid = DyDroid(job.config, tracer=tracer, metrics=registry)
+    # Passing the path (not an instance) makes the pipeline open -- and
+    # own -- a store handle in THIS worker process; flock coordinates the
+    # sibling shards sharing the file.
+    dydroid = DyDroid(
+        job.config, tracer=tracer, metrics=registry,
+        verdict_store=job.verdict_store,
+    )
     result = ShardResult(shard_id=job.shard_id)
 
     for index in job.indices:
@@ -139,4 +145,5 @@ def run_shard(job: ShardJob) -> ShardResult:
     result.wall_s = time.perf_counter() - started
     result.spans = tracer.to_dicts()
     result.metrics = registry.to_dict()
+    dydroid.close()
     return result

@@ -37,6 +37,7 @@ from repro.observe.metrics import (
     LatencyHistogram,
     MetricsRegistry,
     verdict_cache_summary,
+    verdict_store_summary,
 )
 from repro.observe.summary import StageStats, digest_line, render_summary, stage_stats
 from repro.observe.tracer import (
@@ -69,5 +70,6 @@ __all__ = [
     "stage_stats",
     "to_chrome_events",
     "verdict_cache_summary",
+    "verdict_store_summary",
     "write_trace",
 ]

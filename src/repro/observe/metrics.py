@@ -23,6 +23,7 @@ __all__ = [
     "LatencyHistogram",
     "MetricsRegistry",
     "verdict_cache_summary",
+    "verdict_store_summary",
 ]
 
 #: 1-2-5 bucket ladder from 1ms to 100s (seconds); +inf is implicit.
@@ -245,6 +246,23 @@ def verdict_cache_summary(registry: MetricsRegistry) -> Dict[str, Dict[str, int]
             "misses": misses,
             "hits": max(0, lookups - misses),
         }
+    return summary
+
+
+def verdict_store_summary(registry: MetricsRegistry) -> Dict[str, Dict[str, int]]:
+    """Tier-2 (shared verdict store) effectiveness numbers.
+
+    ``probes`` counts tier-1 misses that consulted the store; ``hits``
+    are verdicts served without recomputation (published by a sibling
+    shard, another process, or a previous run); ``misses`` forced an
+    actual DroidNative/FlowDroid invocation.  On a cold store a run's
+    ``misses`` equals its distinct-digest count; on a warm store it is 0.
+    """
+    summary: Dict[str, Dict[str, int]] = {}
+    for kind in ("detection", "privacy"):
+        hits = registry.counter_value("store.{}.hit".format(kind))
+        misses = registry.counter_value("store.{}.miss".format(kind))
+        summary[kind] = {"probes": hits + misses, "hits": hits, "misses": misses}
     return summary
 
 

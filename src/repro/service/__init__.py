@@ -33,7 +33,7 @@ from repro.service.daemon import AnalysisService, ServiceConfig
 from repro.service.http import ServiceHTTPServer, make_server
 from repro.service.jobs import Job, JobState, JobTable
 from repro.service.persist import ResultJournal, ServicePersistError, pipeline_fingerprint
-from repro.service.queue import JobQueue, QueueFullError
+from repro.service.queue import JobQueue, QueueClosedError, QueueFullError
 from repro.service.ratelimit import RateLimitedError, RateLimiter, TokenBucket
 from repro.service.scheduler import SchedulerPool
 from repro.service.spec import JobSpec, SpecError
@@ -45,6 +45,7 @@ __all__ = [
     "JobSpec",
     "JobState",
     "JobTable",
+    "QueueClosedError",
     "QueueFullError",
     "RateLimitedError",
     "RateLimiter",

@@ -48,10 +48,11 @@ from repro.observe.tracer import NULL_TRACER, Tracer, stage
 from repro.service.cache import ResultCache
 from repro.service.jobs import Job, JobState, JobTable
 from repro.service.persist import ResultJournal
-from repro.service.queue import JobQueue
+from repro.service.queue import JobQueue, QueueClosedError
 from repro.service.ratelimit import RateLimitedError, RateLimiter
 from repro.service.scheduler import SchedulerPool
 from repro.service.spec import JobSpec, SpecError
+from repro.store.verdicts import VerdictStore
 
 __all__ = ["AnalysisService", "ServiceConfig"]
 
@@ -78,6 +79,10 @@ class ServiceConfig:
     #: JSONL result journal; existing files are loaded so a restarted
     #: daemon serves previously computed results.
     persist: Optional[str] = None
+    #: shared verdict store path (tier 2 behind each worker's LRU); one
+    #: store instance is shared by every worker thread, and the file can
+    #: simultaneously back farm runs on the same host.
+    verdict_store: Optional[str] = None
     pipeline: DyDroidConfig = field(default_factory=DyDroidConfig)
     #: content-cache bound (distinct APK digests held in memory).
     cache_capacity: int = 65536
@@ -103,6 +108,7 @@ class AnalysisService:
             queue=self.queue, execute=self.execute, workers=self.config.workers
         )
         self.journal: Optional[ResultJournal] = None
+        self.verdict_store: Optional[VerdictStore] = None
         self._inflight: Dict[str, str] = {}  # spec_key -> primary job id
         self._lock = threading.RLock()
         self._local = threading.local()
@@ -117,6 +123,10 @@ class AnalysisService:
 
     def start(self) -> None:
         """Restore persisted results and start the scheduler pool."""
+        if self.config.verdict_store:
+            self.verdict_store = VerdictStore(
+                self.config.verdict_store, self.config.pipeline
+            )
         if self.config.persist:
             self.journal = ResultJournal(self.config.persist, self.config.pipeline)
             for entry in self.journal.restored:
@@ -140,6 +150,9 @@ class AnalysisService:
         if self.journal is not None:
             self.journal.close()
             self.journal = None
+        if self.verdict_store is not None:
+            self.verdict_store.close()
+            self.verdict_store = None
         return drained
 
     @property
@@ -220,7 +233,17 @@ class AnalysisService:
 
             job = self.jobs.create(spec, client, priority)
             self._inflight[spec_key] = job.job_id
-            depth = self.queue.put(job.job_id, priority)
+            try:
+                depth = self.queue.put(job.job_id, priority)
+            except QueueClosedError:
+                # Drain race: _draining flipped after the check above but
+                # before admission.  The daemon will never take this job,
+                # so answer 503 (not 429 -- "retry" would be a lie) and
+                # roll back the never-admitted job.
+                self._inflight.pop(spec_key, None)
+                self.jobs.discard(job.job_id)
+                self.registry.counter("service.rejected.draining").inc()
+                return 503, {"error": "service is draining"}, _NO_HEADERS
             self.registry.counter("service.cache.miss").inc()
             self.registry.gauge("service.queue.depth").set(depth)
             return 202, self._submit_body(job, coalesced=False), _NO_HEADERS
@@ -248,7 +271,12 @@ class AnalysisService:
     def _pipeline_for_thread(self) -> DyDroid:
         pipeline = getattr(self._local, "pipeline", None)
         if pipeline is None:
-            pipeline = DyDroid(self.config.pipeline)
+            # Every worker thread borrows the daemon's one store instance
+            # (VerdictStore is internally locked), so a verdict computed
+            # by any worker -- or any prior daemon -- is reused by all.
+            pipeline = DyDroid(
+                self.config.pipeline, verdict_store=self.verdict_store
+            )
             self._local.pipeline = pipeline
         return pipeline
 
@@ -385,6 +413,14 @@ class AnalysisService:
                 "persist": {
                     "path": self.config.persist,
                     "restored": counters["service.persist.restored"],
+                },
+                "verdict_store": {
+                    "path": self.config.verdict_store,
+                    "entries": (
+                        self.verdict_store.counts()
+                        if self.verdict_store is not None
+                        else None
+                    ),
                 },
                 "counters": counters,
             }

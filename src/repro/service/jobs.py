@@ -104,6 +104,15 @@ class JobTable:
         with self._lock:
             return self._jobs.get(job_id)
 
+    def discard(self, job_id: str) -> None:
+        """Forget a job that was never admitted (enqueue failed after create)."""
+        with self._lock:
+            job = self._jobs.pop(job_id, None)
+            # Reclaim the id only when it was the latest issued, so the
+            # "total" count stays exact without ever reusing a live id.
+            if job is not None and job_id == "job-{:06d}".format(self._next - 1):
+                self._next -= 1
+
     def mark_finished(self, job: Job) -> None:
         """Register a finished job for retention-bounded eviction."""
         with self._lock:

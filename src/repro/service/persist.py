@@ -61,6 +61,7 @@ class ResultJournal:
         self.restored: List[Dict[str, object]] = []
         if self.path.exists() and self.path.stat().st_size > 0:
             self._load()
+            self._truncate_torn_tail()
             self._handle = self.path.open("a", encoding="utf-8")
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -80,17 +81,42 @@ class ResultJournal:
         header = self._parse(lines[0], line_no=1, final=False)
         self._check_header(header)
         last = len(lines)
+        kept = lines
         for line_no, line in enumerate(lines[1:], start=2):
             entry = self._parse(line, line_no=line_no, final=line_no == last)
             if entry is None:
-                continue  # torn final line from a mid-write kill
+                kept = lines[:-1]  # torn final line from a mid-write kill
+                continue
             if entry.get("kind") != "result":
                 raise ServicePersistError(
                     "{}:{}: unknown entry kind {!r}".format(
                         self.path, line_no, entry.get("kind")
                     )
                 )
+            for key in ("spec_key", "digest", "package", "analysis"):
+                if key not in entry:
+                    raise ServicePersistError(
+                        "{}:{}: result entry is missing required field "
+                        "{!r}".format(self.path, line_no, key)
+                    )
             self.restored.append(entry)
+        # Valid-prefix byte length; see _truncate_torn_tail.
+        self._valid_bytes = len(
+            "".join(line + "\n" for line in kept).encode("utf-8")
+        )
+
+    def _truncate_torn_tail(self) -> None:
+        """Drop a torn final line from disk, not just from the restore.
+
+        Reopening with mode ``"a"`` after merely *ignoring* the torn tail
+        would append the next result onto the partial line; on the restart
+        after that the merged line is interior, so _parse escalates it to
+        a hard ServicePersistError.  Truncating to the valid prefix keeps
+        every future restart clean.
+        """
+        if self._valid_bytes < self.path.stat().st_size:
+            with self.path.open("r+b") as handle:
+                handle.truncate(self._valid_bytes)
 
     def _parse(self, line: str, line_no: int, final: bool) -> Optional[dict]:
         try:

@@ -14,7 +14,7 @@ import heapq
 import threading
 from typing import List, Optional, Tuple
 
-__all__ = ["JobQueue", "QueueFullError"]
+__all__ = ["JobQueue", "QueueClosedError", "QueueFullError"]
 
 
 class QueueFullError(RuntimeError):
@@ -26,6 +26,18 @@ class QueueFullError(RuntimeError):
         )
         self.depth = depth
         self.retry_after_s = retry_after_s
+
+
+class QueueClosedError(RuntimeError):
+    """The queue stopped admitting permanently (daemon is draining).
+
+    Distinct from :class:`QueueFullError` on purpose: full means "retry
+    soon" (429 + Retry-After), closed means "this daemon will never take
+    the job" (503) -- telling a client to retry a dying daemon is a lie.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("job queue is closed (service draining)")
 
 
 class JobQueue:
@@ -46,7 +58,7 @@ class JobQueue:
         """Enqueue; returns the new depth or raises :class:`QueueFullError`."""
         with self._condition:
             if self._closed:
-                raise QueueFullError(len(self._heap), retry_after_s)
+                raise QueueClosedError()
             if len(self._heap) >= self.max_depth:
                 raise QueueFullError(len(self._heap), retry_after_s)
             heapq.heappush(self._heap, (-priority, self._seq, job_id))

@@ -48,19 +48,27 @@ class TokenBucket:
         self._clock = clock
         self.updated = clock()
 
-    def try_acquire(self) -> Optional[float]:
-        """Spend one token; ``None`` on success, else seconds until one refills."""
+    def _refill(self) -> None:
         now = self._clock()
         self.tokens = min(
             float(self.burst), self.tokens + (now - self.updated) * self.rate_per_s
         )
         self.updated = now
+
+    def try_acquire(self) -> Optional[float]:
+        """Spend one token; ``None`` on success, else seconds until one refills."""
+        self._refill()
         if self.tokens >= 1.0:
             self.tokens -= 1.0
             return None
         if self.rate_per_s <= 0.0:
             return float("inf")
         return (1.0 - self.tokens) / self.rate_per_s
+
+    def is_full(self) -> bool:
+        """Refilled back to burst capacity: forgetting it loses no state."""
+        self._refill()
+        return self.tokens >= float(self.burst)
 
 
 class RateLimiter:
@@ -74,11 +82,15 @@ class RateLimiter:
     def __init__(
         self, rate_per_s: float, burst: int = 10,
         clock: Callable[[], float] = time.monotonic,
+        max_tracked: int = MAX_TRACKED_CLIENTS,
     ) -> None:
         if burst < 1:
             raise ValueError("burst must be >= 1")
+        if max_tracked < 1:
+            raise ValueError("max_tracked must be >= 1")
         self.rate_per_s = rate_per_s
         self.burst = burst
+        self.max_tracked = max_tracked
         self._clock = clock
         self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
         self._lock = threading.Lock()
@@ -97,11 +109,34 @@ class RateLimiter:
                 bucket = TokenBucket(self.rate_per_s, self.burst, clock=self._clock)
                 self._buckets[client] = bucket
             self._buckets.move_to_end(client)
-            while len(self._buckets) > MAX_TRACKED_CLIENTS:
-                self._buckets.popitem(last=False)
+            while len(self._buckets) > self.max_tracked:
+                self._evict_one(client)
             wait_s = bucket.try_acquire()
         if wait_s is not None:
             raise RateLimitedError(client, wait_s)
+
+    def _evict_one(self, current: str) -> None:
+        """Forget one bucket without resetting anyone's burst (lock held).
+
+        Plain LRU eviction had a hole: a depleted client that stopped
+        sending long enough to be evicted came back to a brand-new full
+        bucket -- eviction *was* the reset.  Prefer the oldest bucket that
+        has refilled to full (dropping it is lossless: recreating it
+        yields the identical state); fall back to the plain oldest only
+        when every tracked bucket still remembers spent tokens.  The
+        current client's own bucket is never the victim.
+        """
+        fallback = None
+        for key, bucket in self._buckets.items():  # oldest first
+            if key == current:
+                continue
+            if fallback is None:
+                fallback = key
+            if bucket.is_full():
+                del self._buckets[key]
+                return
+        if fallback is not None:
+            del self._buckets[fallback]
 
     def tracked_clients(self) -> int:
         with self._lock:

@@ -1,0 +1,10 @@
+"""Process-safe, content-addressed verdict store (tier 2 behind the LRU)."""
+
+from repro.store.verdicts import (
+    STORE_VERSION,
+    StoreError,
+    VerdictStore,
+    verdict_fingerprint,
+)
+
+__all__ = ["STORE_VERSION", "StoreError", "VerdictStore", "verdict_fingerprint"]

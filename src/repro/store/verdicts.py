@@ -1,0 +1,294 @@
+"""The cross-shard verdict store: expensive verdicts computed once, fleet-wide.
+
+DyDroid's scale claim rests on never re-analyzing the SDK payloads that
+dominate a market: a handful of third-party SDKs account for most
+intercepted DEX files, so DroidNative/FlowDroid work is naturally keyed by
+payload digest, not by app.  The per-process
+:class:`~repro.core.pipeline.LruCache` already deduplicates *within* one
+pipeline instance; this module extends that to *every* pipeline instance
+sharing a store path -- serial runs, farm shards (separate processes), and
+service workers (separate threads):
+
+- **tier 1** stays the in-process LRU in front (zero-cost hits);
+- **tier 2** is this store: an append-only JSONL file, advisory-locked
+  with ``fcntl.flock`` so concurrent writers (farm worker processes)
+  never interleave partial lines, and re-scanned incrementally on miss so
+  readers see verdicts other processes published mid-run.
+
+File layout (one file, line-oriented)::
+
+    {"kind": "header", "version": 1, "fingerprint": "<sha256[:16]>"}
+    {"kind": "detection", "digest": "<payload sha256>", "verdict": {...} | null}
+    {"kind": "privacy",   "digest": "<payload sha256>", "leaks": [{...}, ...]}
+
+``verdict: null`` records a *computed* benign outcome -- distinct from
+absence, which means "never analyzed".  The header fingerprint covers only
+the configuration fields verdicts depend on (detector threshold, training
+corpus identity, which analyses run), so Monkey seeds, replay settings and
+other app-level knobs never invalidate a warm store.  A store written
+under a different verdict configuration is refused with
+:class:`StoreError`, mirroring the journal fingerprint contracts in
+:mod:`repro.farm.checkpoint` and :mod:`repro.service.persist`.
+
+Concurrency model: appends take an exclusive ``flock`` around a single
+buffered write+flush of one complete line (the file is opened
+``O_APPEND``, so the line lands atomically at the end); reads take a
+shared lock and only consume through the last complete newline, so a
+writer killed mid-line can never corrupt a reader.  Within one process a
+mutex serializes handle access, making one store instance safely
+shareable across service worker threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import fields
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.core.config import DyDroidConfig
+from repro.static_analysis.malware.droidnative import Detection
+from repro.static_analysis.privacy.flowdroid import PrivacyLeak
+
+try:  # POSIX only; on other platforms the store degrades to thread-safety.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+__all__ = ["STORE_VERSION", "StoreError", "VerdictStore", "verdict_fingerprint"]
+
+STORE_VERSION = 1
+
+
+class StoreError(ValueError):
+    """The store file is unusable or was written for another configuration."""
+
+
+def verdict_fingerprint(config: DyDroidConfig) -> str:
+    """Identity of the configuration fields a payload verdict depends on.
+
+    Deliberately narrower than the farm's run fingerprint or the service
+    journal's whole-config fingerprint: detection and privacy verdicts are
+    pure functions of the payload bytes and the analyzer setup, so only
+    the analyzer knobs participate.  Changing the Monkey budget must not
+    throw away a week of DroidNative work.
+    """
+    raw = repr(
+        (
+            "verdict-store",
+            config.droidnative_threshold,
+            config.train_samples_per_family,
+            config.training_seed,
+            config.run_malware,
+            config.run_privacy,
+        )
+    ).encode("utf-8")
+    return hashlib.sha256(raw).hexdigest()[:16]
+
+
+def _detection_to_plain(detection: Optional[Detection]) -> Optional[Dict[str, object]]:
+    if detection is None:
+        return None
+    return {f.name: getattr(detection, f.name) for f in fields(detection)}
+
+
+def _detection_from_plain(data: Optional[Dict[str, object]]) -> Optional[Detection]:
+    return None if data is None else Detection(**data)
+
+
+def _leaks_to_plain(leaks: Tuple[PrivacyLeak, ...]) -> List[Dict[str, object]]:
+    return [{f.name: getattr(leak, f.name) for f in fields(leak)} for leak in leaks]
+
+
+def _leaks_from_plain(data: List[Dict[str, object]]) -> Tuple[PrivacyLeak, ...]:
+    return tuple(PrivacyLeak(**leak) for leak in data)
+
+
+@contextmanager
+def _file_lock(handle, exclusive: bool) -> Iterator[None]:
+    """Advisory whole-file lock; a no-op where ``fcntl`` is unavailable."""
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    fcntl.flock(handle.fileno(), fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+    try:
+        yield
+    finally:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
+class VerdictStore:
+    """Content-addressed detection/privacy verdicts shared across processes.
+
+    One instance per process (or per daemon, shared across its worker
+    threads); any number of instances may point at the same path.  Lookups
+    that miss the in-memory view re-scan the file tail first, so a verdict
+    published by a sibling shard is visible before this process recomputes
+    it.
+    """
+
+    def __init__(self, path: Union[str, Path], config: DyDroidConfig) -> None:
+        self.path = Path(path)
+        self.fingerprint = verdict_fingerprint(config)
+        #: digest -> serialized Detection (or None for computed-benign).
+        self._detections: Dict[str, Optional[Dict[str, object]]] = {}
+        #: digest -> serialized leak list.
+        self._privacy: Dict[str, List[Dict[str, object]]] = {}
+        self._offset = 0
+        self._header_checked = False
+        #: unparseable interior lines skipped during scans (external
+        #: tampering; the records are a cache, so skipping only costs a
+        #: recomputation).
+        self.corrupt_lines = 0
+        self._mutex = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # "a+b" creates the file if missing and opens O_APPEND: every
+        # write lands at the end regardless of the read position.
+        self._handle = self.path.open("a+b")
+        with self._mutex:
+            with _file_lock(self._handle, exclusive=True):
+                self._handle.seek(0, os.SEEK_END)
+                size = self._handle.tell()
+                if size == 0:
+                    self._write_line(
+                        {
+                            "kind": "header",
+                            "version": STORE_VERSION,
+                            "fingerprint": self.fingerprint,
+                        }
+                    )
+                else:
+                    self._seal_torn_tail(size)
+            self._refresh()
+        if not self._header_checked:
+            raise StoreError("{}: no store header found".format(self.path))
+
+    def _seal_torn_tail(self, size: int) -> None:
+        """Terminate a crash-torn final line (exclusive lock and mutex held).
+
+        A writer killed mid-append leaves a partial line with no newline.
+        Left alone, the next publish would concatenate onto it, corrupting
+        *both* records.  Sealing with a newline turns the torn tail into
+        an ordinary corrupt interior line, which scans skip.  Holding the
+        exclusive lock guarantees no live writer is mid-append, so a
+        missing final newline can only be crash debris.
+        """
+        self._handle.seek(size - 1)
+        if self._handle.read(1) != b"\n":
+            self._handle.write(b"\n")
+            self._handle.flush()
+
+    # -- scanning ----------------------------------------------------------------
+
+    def _refresh(self) -> None:
+        """Fold lines other writers appended since the last scan (mutex held)."""
+        with _file_lock(self._handle, exclusive=False):
+            self._handle.seek(0, os.SEEK_END)
+            size = self._handle.tell()
+            if size <= self._offset:
+                return
+            self._handle.seek(self._offset)
+            chunk = self._handle.read(size - self._offset)
+        cut = chunk.rfind(b"\n")
+        if cut < 0:
+            return  # only a torn tail so far; wait for the writer to finish
+        complete, self._offset = chunk[: cut + 1], self._offset + cut + 1
+        for raw in complete.splitlines():
+            try:
+                entry = json.loads(raw)
+            except json.JSONDecodeError:
+                self.corrupt_lines += 1
+                continue
+            if not isinstance(entry, dict):
+                self.corrupt_lines += 1
+                continue
+            kind = entry.get("kind")
+            if kind == "header":
+                self._check_header(entry)
+            elif kind == "detection" and "digest" in entry:
+                self._detections[entry["digest"]] = entry.get("verdict")
+            elif kind == "privacy" and "digest" in entry:
+                self._privacy[entry["digest"]] = entry.get("leaks") or []
+            else:
+                self.corrupt_lines += 1
+
+    def _check_header(self, entry: Dict[str, object]) -> None:
+        if entry.get("version") != STORE_VERSION:
+            raise StoreError(
+                "{}: unsupported store version {}".format(self.path, entry.get("version"))
+            )
+        if entry.get("fingerprint") != self.fingerprint:
+            raise StoreError(
+                "verdict store {} was written under a different analyzer "
+                "configuration; refusing to serve its verdicts".format(self.path)
+            )
+        self._header_checked = True
+
+    # -- appends -----------------------------------------------------------------
+
+    def _write_line(self, entry: Dict[str, object]) -> None:
+        self._handle.write(json.dumps(entry, sort_keys=True).encode("utf-8") + b"\n")
+        self._handle.flush()
+
+    def _publish(self, entry: Dict[str, object]) -> None:
+        with _file_lock(self._handle, exclusive=True):
+            self._write_line(entry)
+
+    # -- detection tier ----------------------------------------------------------
+
+    def get_detection(self, digest: str) -> Tuple[bool, Optional[Detection]]:
+        """``(found, verdict)``; ``(True, None)`` means computed-benign."""
+        with self._mutex:
+            if digest not in self._detections:
+                self._refresh()
+            if digest in self._detections:
+                return True, _detection_from_plain(self._detections[digest])
+            return False, None
+
+    def put_detection(self, digest: str, detection: Optional[Detection]) -> None:
+        payload = _detection_to_plain(detection)
+        with self._mutex:
+            if digest in self._detections:
+                return  # a sibling already published this digest
+            self._publish({"kind": "detection", "digest": digest, "verdict": payload})
+            self._detections[digest] = payload
+
+    # -- privacy tier ------------------------------------------------------------
+
+    def get_privacy(self, digest: str) -> Tuple[bool, Tuple[PrivacyLeak, ...]]:
+        with self._mutex:
+            if digest not in self._privacy:
+                self._refresh()
+            if digest in self._privacy:
+                return True, _leaks_from_plain(self._privacy[digest])
+            return False, ()
+
+    def put_privacy(self, digest: str, leaks: Tuple[PrivacyLeak, ...]) -> None:
+        payload = _leaks_to_plain(leaks)
+        with self._mutex:
+            if digest in self._privacy:
+                return
+            self._publish({"kind": "privacy", "digest": digest, "leaks": payload})
+            self._privacy[digest] = payload
+
+    # -- introspection / lifecycle -----------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        with self._mutex:
+            self._refresh()
+            return {"detection": len(self._detections), "privacy": len(self._privacy)}
+
+    def close(self) -> None:
+        with self._mutex:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "VerdictStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -274,6 +274,43 @@ class TestDownloadTrackerAndProvenance:
         report = _run_app(downloads_and_loads_app(), simple_payload_dex().to_bytes())
         assert "/data/data/com.example.demo/cache/payload.jar" in report.tracker.downloaded_files()
 
+    def test_reachability_is_one_pass_per_payload(self):
+        """Provenance is O(M) passes for M payloads, not O(N URLs * M).
+
+        ``is_remote`` used to walk per-URL and ``remote_sources`` repeated
+        the work; now one memoized reverse-reachability pass serves both.
+        """
+        tracker = DownloadTracker()
+        instrumentation = Instrumentation(block_file_ops=False)
+        tracker.attach(instrumentation)
+        from repro.runtime.instrumentation import FlowNode
+
+        n_urls, n_files = 10, 6
+        for u in range(n_urls):
+            url = FlowNode(
+                key="URL@{}".format(u), kind="URL", detail="http://x/{}".format(u)
+            )
+            for f in range(n_files):
+                file_node = FlowNode(
+                    key="file:/f{}".format(f), kind="File", detail="/f{}".format(f)
+                )
+                instrumentation.emit_flow(url, file_node, "URL->InputStream")
+
+        tracker.reachability_passes = 0
+        for f in range(n_files):
+            path = "/f{}".format(f)
+            assert tracker.is_remote(path)
+            assert len(tracker.remote_sources(path)) == n_urls
+        assert tracker.reachability_passes == n_files
+
+        # new evidence invalidates the memo; a re-query pays exactly one pass
+        extra = FlowNode(key="URL@x", kind="URL", detail="http://x/extra")
+        instrumentation.emit_flow(extra, FlowNode(
+            key="file:/f0", kind="File", detail="/f0"
+        ), "URL->InputStream")
+        assert len(tracker.remote_sources("/f0")) == n_urls + 1
+        assert tracker.reachability_passes == n_files + 1
+
 
 class TestEntityAttribution:
     def _event(self, call_site, package="com.example.demo"):

@@ -144,6 +144,49 @@ class TestCheckpointResume:
                 )
             )
 
+    def test_double_resume_after_torn_tail(self, serial_report, tmp_path):
+        """Resuming twice after a torn tail must not corrupt the journal.
+
+        Reopening in append mode after a torn write used to concatenate
+        the first resumed entry onto the torn fragment, so the *second*
+        resume lost that entry (or refused the file).  The torn tail is
+        now truncated before appending.
+        """
+        checkpoint = tmp_path / "journal.jsonl"
+        run_farm(farm_config(n_shards=8, checkpoint=str(checkpoint)))
+        lines = checkpoint.read_text().splitlines()
+        torn = lines[11][: len(lines[11]) // 2]
+        checkpoint.write_text("\n".join(lines[:11]) + "\n" + torn)
+
+        run_farm(farm_config(n_shards=8, checkpoint=str(checkpoint), resume=True))
+        # every line is complete JSON again: header + one per app
+        reread = checkpoint.read_text().splitlines()
+        assert len(reread) == 1 + N_APPS
+        for line in reread:
+            json.loads(line)
+
+        second = run_farm(
+            farm_config(n_shards=8, checkpoint=str(checkpoint), resume=True)
+        )
+        assert second.resumed_apps == N_APPS
+        assert second.metrics["apps_analyzed"] == 0
+        assert second.report.render_all() == serial_report.render_all()
+
+    def test_incomplete_entry_raises_typed_error(self, tmp_path):
+        checkpoint = tmp_path / "journal.jsonl"
+        run_farm(farm_config(n_apps=6, n_shards=2, checkpoint=str(checkpoint)))
+        with checkpoint.open("a") as handle:
+            handle.write('{"kind": "result", "index": 3}\n')  # no "analysis"
+        with pytest.raises(CheckpointError) as excinfo:
+            run_farm(
+                farm_config(
+                    n_apps=6, n_shards=2, checkpoint=str(checkpoint), resume=True
+                )
+            )
+        message = str(excinfo.value)
+        assert "journal.jsonl:8" in message
+        assert "analysis" in message
+
     def test_resume_without_checkpoint_rejected(self):
         with pytest.raises(ValueError):
             run_farm(farm_config(resume=True))

@@ -19,6 +19,7 @@ from repro.service import (
     AnalysisService,
     JobQueue,
     JobSpec,
+    QueueClosedError,
     QueueFullError,
     RateLimitedError,
     RateLimiter,
@@ -128,7 +129,9 @@ class TestJobQueue:
         queue = JobQueue(max_depth=4)
         queue.put("a")
         queue.close()
-        with pytest.raises(QueueFullError):
+        # Closed is distinct from full: there is no point retrying a
+        # dying daemon, so it must not be the 429-mapped QueueFullError.
+        with pytest.raises(QueueClosedError):
             queue.put("b")
         assert queue.get() == "a"
         assert queue.get() is None  # closed and empty
@@ -167,6 +170,45 @@ class TestRateLimiting:
             limiter.allow("anyone")
         assert limiter.tracked_clients() == 0
 
+    def test_eviction_does_not_reset_a_depleted_burst(self):
+        """Regression: tracking-map eviction used to be a free burst reset.
+
+        Plain LRU evicted the oldest bucket regardless of its tokens, so a
+        depleted client that went briefly quiet came back brand-new.  The
+        limiter now prefers evicting buckets that have refilled to full
+        (forgetting those is lossless).
+        """
+        now = [0.0]
+        limiter = RateLimiter(
+            rate_per_s=1.0, burst=2, clock=lambda: now[0], max_tracked=2
+        )
+        limiter.allow("alice")
+        limiter.allow("alice")  # alice's burst is now depleted
+        limiter.allow("bob")    # bob has one of two tokens left
+        now[0] = 1.0            # bob refills to full; alice has only 1
+        limiter.allow("carol")  # over capacity: must evict somebody
+        # bob -- the oldest *full* bucket -- was the victim, not alice
+        limiter.allow("alice")  # spends her single refilled token
+        with pytest.raises(RateLimitedError):
+            limiter.allow("alice")  # eviction pressure granted no fresh burst
+        assert limiter.tracked_clients() == 2
+
+    def test_eviction_falls_back_to_oldest_when_none_full(self):
+        now = [0.0]
+        limiter = RateLimiter(
+            rate_per_s=1.0, burst=1, clock=lambda: now[0], max_tracked=2
+        )
+        limiter.allow("alice")
+        limiter.allow("bob")
+        limiter.allow("carol")  # every bucket depleted: oldest (alice) goes
+        assert limiter.tracked_clients() == 2
+        with pytest.raises(RateLimitedError):
+            limiter.allow("bob")  # bob survived with his spent state intact
+
+    def test_max_tracked_validated(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate_per_s=1.0, burst=1, max_tracked=0)
+
 
 # -- unit: persistence -----------------------------------------------------------
 
@@ -198,6 +240,46 @@ class TestResultJournal:
         other = DyDroidConfig(train_samples_per_family=5, run_replays=False)
         with pytest.raises(ServicePersistError, match="different pipeline"):
             ResultJournal(path, other)
+
+    def test_double_restart_after_torn_tail(self, tmp_path):
+        """Restart after a torn write, append, restart again: no corruption.
+
+        The journal used to reopen in append mode with the torn fragment
+        still in place, so the first post-restart append concatenated onto
+        it and the *second* restart rejected the file.  The torn tail is
+        now truncated before reopening.
+        """
+        path = tmp_path / "service.jsonl"
+        journal = ResultJournal(path, pipeline_config())
+        journal.append_result("k1", "d1", "p1", 0.5, {})
+        journal.append_result("k2", "d2", "p2", 0.5, {})
+        journal.close()
+        content = path.read_bytes()
+        path.write_bytes(content[:-7])  # kill mid-write of the d2 record
+
+        second = ResultJournal(path, pipeline_config())
+        assert [e["digest"] for e in second.restored] == ["d1"]
+        second.append_result("k3", "d3", "p3", 0.5, {})
+        second.close()
+
+        third = ResultJournal(path, pipeline_config())
+        assert [e["digest"] for e in third.restored] == ["d1", "d3"]
+        third.close()
+        for line in path.read_text().splitlines():
+            json.loads(line)  # every surviving line is complete JSON
+
+    def test_incomplete_entry_names_file_and_line(self, tmp_path):
+        path = tmp_path / "service.jsonl"
+        journal = ResultJournal(path, pipeline_config())
+        journal.append_result("k", "d", "p", 0.1, {})
+        journal.close()
+        with path.open("a") as handle:
+            handle.write('{"kind": "result", "digest": "d2"}\n')  # no spec_key
+        with pytest.raises(ServicePersistError) as excinfo:
+            ResultJournal(path, pipeline_config())
+        message = str(excinfo.value)
+        assert "service.jsonl:3" in message
+        assert "spec_key" in message
 
     def test_corrupt_interior_line_is_an_error(self, tmp_path):
         path = tmp_path / "service.jsonl"
@@ -376,6 +458,24 @@ class TestPersistenceRestart:
             counters = client.stats()["counters"]
             assert counters["service.pipeline.runs"] == 0  # no recomputation
 
+    def test_restarted_daemon_reuses_verdict_store(self, tmp_path):
+        """A fresh daemon without a persist journal still skips analyzer work."""
+        store = str(tmp_path / "verdicts.jsonl")
+        with running_service(verdict_store=store) as (service, client):
+            client.wait(client.submit(SPEC)["job_id"])
+            assert client.stats()["verdict_store"]["path"] == store
+            cold_misses = service.registry.counter_value("store.detection.miss")
+            assert cold_misses > 0
+            assert service.registry.counter_value("store.detection.hit") == 0
+
+        with running_service(verdict_store=store) as (service, client):
+            client.wait(client.submit(SPEC)["job_id"])
+            # the pipeline ran again (no persist journal) but every verdict
+            # came out of the warm store
+            assert client.stats()["counters"]["service.pipeline.runs"] == 1
+            assert service.registry.counter_value("store.detection.miss") == 0
+            assert service.registry.counter_value("store.detection.hit") == cold_misses
+
     def test_config_mismatch_refuses_journal(self, tmp_path):
         journal = str(tmp_path / "service.jsonl")
         ResultJournal(journal, pipeline_config()).close()
@@ -406,6 +506,32 @@ class TestDrain:
             assert client.healthz()["status"] == "draining"
             rejected = client.submit({**SPEC, "index": 9}, expect_error=True)
             assert rejected["_status"] == 503
+
+    def test_closed_queue_submit_gets_503_not_429(self):
+        """The submit/close race: a closed queue is *draining*, not *full*.
+
+        ``put`` on a closed queue used to raise ``QueueFullError``, so the
+        HTTP layer answered 429 + Retry-After -- telling clients to retry
+        against a daemon that will never accept.  It now raises
+        ``QueueClosedError`` and submit answers 503 with the half-created
+        job rolled back.
+        """
+        service = AnalysisService(
+            ServiceConfig(workers=0, pipeline=pipeline_config())
+        )
+        service.start()
+        try:
+            service.queue.close()  # drain has begun but _draining isn't set yet
+            status, body, headers = service.submit(dict(SPEC))
+            assert status == 503
+            assert "Retry-After" not in headers
+            assert "draining" in body["error"]
+            assert service.registry.counter_value("service.rejected.draining") == 1
+            # the job created before the enqueue failed was rolled back
+            assert service.jobs.counts()["total"] == 0
+            assert len(service._inflight) == 0
+        finally:
+            service.drain(timeout=60.0)
 
     def test_serve_cli_drains_on_sigterm(self, tmp_path):
         """`repro serve` + SIGTERM: clean drain, exit code 0."""

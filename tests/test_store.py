@@ -1,0 +1,313 @@
+"""The cross-process verdict store: tiers, fingerprints, fleet-wide dedup."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import DyDroidConfig
+from repro.core.pipeline import DyDroid
+from repro.corpus.generator import generate_corpus
+from repro.farm import FarmConfig, run_farm
+from repro.observe import MetricsRegistry
+from repro.static_analysis.malware.droidnative import Detection
+from repro.static_analysis.privacy.flowdroid import PrivacyLeak
+from repro.store import StoreError, VerdictStore, verdict_fingerprint
+
+N_APPS = 24
+SEED = 19
+
+
+def pipeline_config(**overrides):
+    defaults = dict(train_samples_per_family=2, run_replays=False)
+    defaults.update(overrides)
+    return DyDroidConfig(**defaults)
+
+
+def farm_config(**kwargs):
+    defaults = dict(
+        n_apps=N_APPS,
+        corpus_seed=SEED,
+        workers=1,
+        pipeline=pipeline_config(),
+        backoff_s=0.0,
+    )
+    defaults.update(kwargs)
+    return FarmConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(N_APPS, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def serial_report(corpus):
+    return DyDroid(pipeline_config()).measure(corpus)
+
+
+DETECTION = Detection(
+    family="DroidKungFu",
+    score=0.97,
+    matched_sample_id="DroidKungFu-003",
+    matched_functions=9,
+    total_functions=10,
+)
+LEAK = PrivacyLeak(
+    data_type="imei",
+    category="device_id",
+    sink_class="java.net.URL",
+    sink_method="openConnection",
+    channel="network",
+    in_method="com.ads.Tracker.report",
+)
+
+
+# -- unit: fingerprint ------------------------------------------------------------
+
+
+class TestVerdictFingerprint:
+    def test_stable_for_equal_configs(self):
+        assert verdict_fingerprint(pipeline_config()) == verdict_fingerprint(
+            pipeline_config()
+        )
+
+    def test_ignores_non_verdict_knobs(self):
+        # Monkey/replay settings affect which payloads are *intercepted*,
+        # never what the verdict on given payload bytes is -- they must
+        # not invalidate a warm store.
+        base = verdict_fingerprint(pipeline_config())
+        assert verdict_fingerprint(pipeline_config(monkey_seed=99)) == base
+        assert verdict_fingerprint(pipeline_config(monkey_budget=1)) == base
+        assert verdict_fingerprint(pipeline_config(run_replays=True)) == base
+        assert verdict_fingerprint(pipeline_config(verdict_cache_capacity=1)) == base
+
+    def test_tracks_analyzer_knobs(self):
+        base = verdict_fingerprint(pipeline_config())
+        assert verdict_fingerprint(pipeline_config(droidnative_threshold=0.5)) != base
+        assert verdict_fingerprint(pipeline_config(train_samples_per_family=9)) != base
+        assert verdict_fingerprint(pipeline_config(training_seed=1)) != base
+        assert verdict_fingerprint(pipeline_config(run_privacy=False)) != base
+        assert verdict_fingerprint(pipeline_config(run_malware=False)) != base
+
+
+# -- unit: the store file ---------------------------------------------------------
+
+
+class TestVerdictStore:
+    def test_detection_roundtrip_including_benign(self, tmp_path):
+        with VerdictStore(tmp_path / "s.jsonl", pipeline_config()) as store:
+            assert store.get_detection("d1") == (False, None)
+            store.put_detection("d1", DETECTION)
+            store.put_detection("d2", None)  # computed-benign, not absent
+            assert store.get_detection("d1") == (True, DETECTION)
+            assert store.get_detection("d2") == (True, None)
+            assert store.get_detection("d3") == (False, None)
+
+    def test_privacy_roundtrip(self, tmp_path):
+        with VerdictStore(tmp_path / "s.jsonl", pipeline_config()) as store:
+            assert store.get_privacy("d1") == (False, ())
+            store.put_privacy("d1", (LEAK,))
+            store.put_privacy("d2", ())
+            assert store.get_privacy("d1") == (True, (LEAK,))
+            assert store.get_privacy("d2") == (True, ())
+
+    def test_verdicts_visible_across_instances(self, tmp_path):
+        """A sibling's published verdict is seen without reopening."""
+        path = tmp_path / "s.jsonl"
+        with VerdictStore(path, pipeline_config()) as writer, VerdictStore(
+            path, pipeline_config()
+        ) as reader:
+            assert reader.get_detection("d1") == (False, None)
+            writer.put_detection("d1", DETECTION)
+            # the reader's next miss re-scans the tail and finds it
+            assert reader.get_detection("d1") == (True, DETECTION)
+
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with VerdictStore(path, pipeline_config()) as store:
+            store.put_detection("d1", DETECTION)
+            store.put_privacy("d1", (LEAK,))
+        with VerdictStore(path, pipeline_config()) as store:
+            assert store.get_detection("d1") == (True, DETECTION)
+            assert store.get_privacy("d1") == (True, (LEAK,))
+            assert store.counts() == {"detection": 1, "privacy": 1}
+
+    def test_refuses_other_configuration(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        VerdictStore(path, pipeline_config()).close()
+        with pytest.raises(StoreError):
+            VerdictStore(path, pipeline_config(droidnative_threshold=0.5))
+
+    def test_torn_tail_and_corrupt_interior_are_skipped(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with VerdictStore(path, pipeline_config()) as store:
+            store.put_detection("d1", None)
+        with path.open("a") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"kind": "detection", "digest": "d2"')  # torn, no \n
+        with VerdictStore(path, pipeline_config()) as store:
+            assert store.get_detection("d1") == (True, None)
+            assert store.get_detection("d2") == (False, None)
+            # the junk line plus the torn tail, which open() seals with a
+            # newline so later appends cannot concatenate onto it
+            assert store.corrupt_lines == 2
+            # the cache heals itself: recomputing d2 appends a fresh line
+            store.put_detection("d2", DETECTION)
+        with VerdictStore(path, pipeline_config()) as store:
+            assert store.get_detection("d2") == (True, DETECTION)
+
+
+# -- integration: pipeline tiers --------------------------------------------------
+
+
+class TestPipelineStoreTiers:
+    def test_cold_then_warm_run(self, corpus, serial_report, tmp_path):
+        store_path = str(tmp_path / "verdicts.jsonl")
+
+        cold_registry = MetricsRegistry()
+        cold = DyDroid(
+            pipeline_config(), metrics=cold_registry, verdict_store=store_path
+        )
+        cold_report = cold.measure(corpus)
+        cold.close()
+        assert cold_report.render_all() == serial_report.render_all()
+        # cold store: every tier-1 miss is also a tier-2 miss, and the
+        # fleet-wide miss count equals the distinct digest count.
+        assert cold_registry.counter_value("store.detection.hit") == 0
+        assert cold_registry.counter_value(
+            "store.detection.miss"
+        ) == cold_registry.distinct_count("cache.detection.digests")
+        assert cold_registry.counter_value(
+            "store.privacy.miss"
+        ) == cold_registry.distinct_count("cache.privacy.digests")
+        assert cold_registry.histogram("stage.store").count > 0
+
+        warm_registry = MetricsRegistry()
+        warm = DyDroid(
+            pipeline_config(), metrics=warm_registry, verdict_store=store_path
+        )
+        warm_report = warm.measure(corpus)
+        warm.close()
+        assert warm_report.render_all() == serial_report.render_all()
+        assert warm_registry.counter_value("store.detection.miss") == 0
+        assert warm_registry.counter_value("store.privacy.miss") == 0
+        assert warm_registry.counter_value(
+            "store.detection.hit"
+        ) == warm_registry.distinct_count("cache.detection.digests")
+
+    def test_warm_run_never_invokes_analyzers(self, corpus, tmp_path, monkeypatch):
+        store_path = str(tmp_path / "verdicts.jsonl")
+        cold = DyDroid(pipeline_config(), verdict_store=store_path)
+        cold_report = cold.measure(corpus)
+        cold.close()
+        assert any(app.payloads for app in cold_report.apps)
+
+        def no_detect(self, binary, tracer=None):
+            raise AssertionError("DroidNative ran against a warm store")
+
+        def no_flow(dex, tracer=None):
+            raise AssertionError("FlowDroid ran against a warm store")
+
+        monkeypatch.setattr(
+            "repro.static_analysis.malware.droidnative.DroidNative.detect", no_detect
+        )
+        monkeypatch.setattr("repro.core.pipeline.analyze_dex", no_flow)
+        warm = DyDroid(pipeline_config(), verdict_store=store_path)
+        warm_report = warm.measure(corpus)
+        warm.close()
+        assert warm_report.render_all() == cold_report.render_all()
+
+    def test_instance_sharing_does_not_close_borrowed_store(self, tmp_path):
+        with VerdictStore(tmp_path / "s.jsonl", pipeline_config()) as shared:
+            pipeline = DyDroid(pipeline_config(), verdict_store=shared)
+            pipeline.close()  # borrowed, must stay open for other users
+            shared.put_detection("d1", None)
+            assert shared.get_detection("d1") == (True, None)
+
+
+# -- integration: farm fleet-wide dedup (the acceptance criterion) ---------------
+
+
+class TestFarmFleetWideDedup:
+    def test_four_shards_analyze_each_digest_exactly_once(
+        self, serial_report, tmp_path
+    ):
+        store_path = str(tmp_path / "verdicts.jsonl")
+        cold = run_farm(
+            farm_config(n_shards=4, verdict_store=store_path)
+        )
+        assert cold.report.render_all() == serial_report.render_all()
+        store = cold.metrics["verdict_store"]
+        cache = cold.metrics["verdict_cache"]
+        # store misses == distinct digest count: each distinct payload
+        # was computed exactly once across all four shards.
+        assert store["detection"]["misses"] == cache["detection"]["misses"]
+        assert store["privacy"]["misses"] == cache["privacy"]["misses"]
+        assert store["detection"]["misses"] > 0
+
+        warm = run_farm(
+            farm_config(n_shards=4, verdict_store=store_path)
+        )
+        assert warm.report.render_all() == serial_report.render_all()
+        warm_store = warm.metrics["verdict_store"]
+        assert warm_store["detection"]["misses"] == 0
+        assert warm_store["privacy"]["misses"] == 0
+        assert warm_store["detection"]["hits"] == cache["detection"]["misses"]
+
+    def test_resharding_with_shared_store_stays_deterministic(
+        self, serial_report, tmp_path
+    ):
+        store_path = str(tmp_path / "verdicts.jsonl")
+        for n_shards in (1, 3, 4):
+            result = run_farm(
+                farm_config(n_shards=n_shards, verdict_store=store_path)
+            )
+            assert result.report.render_all() == serial_report.render_all()
+
+    def test_store_config_mismatch_fails_the_run(self, tmp_path):
+        store_path = str(tmp_path / "verdicts.jsonl")
+        VerdictStore(store_path, pipeline_config(droidnative_threshold=0.5)).close()
+        # the coordinator validates before launching any shard
+        with pytest.raises(StoreError):
+            run_farm(farm_config(n_shards=2, verdict_store=store_path))
+
+
+# -- CLI ------------------------------------------------------------------------
+
+
+class TestStoreCli:
+    def test_measure_warm_store_reports_zero_misses(self, tmp_path, capsys):
+        store = tmp_path / "verdicts.jsonl"
+        metrics = tmp_path / "metrics.json"
+        argv = [
+            "measure", "--apps", str(N_APPS), "--seed", str(SEED),
+            "--train", "2", "--no-replays", "--table", "2",
+            "--verdict-store", str(store), "--metrics-out", str(metrics),
+        ]
+        assert main(argv) == 0
+        cold = json.loads(metrics.read_text())
+        assert cold["counters"]["store.detection.miss"] > 0
+        capsys.readouterr()
+
+        assert main(argv) == 0
+        warm = json.loads(metrics.read_text())
+        assert "store.detection.miss" not in warm["counters"]
+        assert warm["counters"]["store.detection.hit"] > 0
+        capsys.readouterr()
+
+    def test_farm_cli_accepts_verdict_store(self, tmp_path, capsys):
+        store = tmp_path / "verdicts.jsonl"
+        metrics = tmp_path / "metrics.json"
+        argv = [
+            "farm", "run", "--apps", "12", "--seed", str(SEED),
+            "--workers", "1", "--shards", "3", "--train", "2",
+            "--no-replays", "--table", "2",
+            "--verdict-store", str(store), "--metrics-out", str(metrics),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        capsys.readouterr()
+        summary = json.loads(metrics.read_text())["verdict_store"]
+        assert summary["detection"]["misses"] == 0
