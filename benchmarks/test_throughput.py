@@ -120,3 +120,74 @@ def test_service_warm_cache_throughput(benchmark, warm_service):
         return served
 
     assert benchmark(round_trips) == 20
+
+
+def test_lineage_warm_reanalysis(benchmark, tmp_path, monkeypatch):
+    """Cross-version dedup: only *changed* payloads reach the analyzers.
+
+    Analyzes a 3-version lineage fleet against one shared verdict store,
+    counting actual DroidNative/FlowDroid invocations per version.  From
+    version 2 on, the invocation count must equal the number of payload
+    digests that version introduced -- unchanged payloads ride the store.
+    The benchmarked stage is a fully warm reanalysis of the final
+    version, which must invoke zero analyzers.
+    """
+    from repro.evolution import EvolveConfig, LineageSpec, run_evolution
+    from repro.static_analysis.malware.droidnative import DroidNative
+    from repro.static_analysis.privacy import flowdroid
+
+    calls = {"n": 0}
+    real_detect = DroidNative.detect
+    real_flow = flowdroid.analyze_dex
+
+    def counting_detect(self, binary, tracer=None):
+        calls["n"] += 1
+        return real_detect(self, binary, tracer=tracer)
+
+    def counting_flow(dex, tracer=None):
+        calls["n"] += 1
+        return real_flow(dex, tracer=tracer)
+
+    monkeypatch.setattr(DroidNative, "detect", counting_detect)
+    monkeypatch.setattr("repro.core.pipeline.analyze_dex", counting_flow)
+
+    pipeline = DyDroidConfig(train_samples_per_family=2, run_replays=False)
+
+    def version_run(n_versions, store):
+        before = calls["n"]
+        result = run_evolution(
+            EvolveConfig(
+                n_apps=24, n_versions=n_versions, seed=31, workers=1,
+                spec=LineageSpec(malicious_hazard=0.2),
+                pipeline=pipeline, verdict_store=store,
+            )
+        )
+        return result, calls["n"] - before
+
+    # Cold v1..v3: per-version analyzer invocations must shrink to only
+    # the payloads each later version actually changed.  Separate stores
+    # keep both measurements cold.
+    store = str(tmp_path / "verdicts.jsonl")
+    _, cold_full = version_run(3, store)
+    _, v1_only = version_run(1, str(tmp_path / "v1-only.jsonl"))
+    incremental = cold_full - v1_only  # v2+v3 cost on top of v1
+    assert v1_only > 0
+    assert incremental < v1_only, (
+        "later versions re-analyzed more than a full cold v1: "
+        "{} vs {}".format(incremental, v1_only)
+    )
+
+    def warm_final_version():
+        before = calls["n"]
+        result, _ = version_run(3, store)
+        assert calls["n"] == before, "warm reanalysis invoked analyzers"
+        return result.metrics["snapshots_analyzed"]
+
+    assert benchmark(warm_final_version) == 72
+    record_table(
+        "Evolution",
+        "warm 3-version reanalysis of 24 lineages invoked 0 analyzers "
+        "(cold: {} invocations, incremental v2+v3: {})".format(
+            cold_full, incremental
+        ),
+    )

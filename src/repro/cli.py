@@ -9,6 +9,10 @@ Commands:
   content-addressed result cache; drains cleanly on SIGTERM);
 - ``submit``   -- send one job to a running daemon, optionally wait for it;
 - ``status``   -- daemon stats, or one job's lifecycle record;
+- ``evolve``   -- longitudinal measurement: ``run`` analyzes every version
+  of a seeded lineage fleet (shared verdict store dedups unchanged
+  payloads), ``diff`` prints behavior drift between adjacent snapshots,
+  ``report`` prints fleet evolution timelines;
 - ``corpus``   -- generate blueprints only and print ground-truth statistics;
 - ``analyze``  -- deep-dive one generated app (static + dynamic + verdicts);
 - ``families`` -- list the malware family corpus DroidNative trains on;
@@ -126,6 +130,51 @@ def build_parser() -> argparse.ArgumentParser:
     farm_run.add_argument("--json", action="store_true",
                           help="emit the full serialized report as JSON")
     _add_observe_flags(farm_run)
+
+    evolve = sub.add_parser("evolve", help="longitudinal (multi-version) measurement")
+    evolve_sub = evolve.add_subparsers(dest="evolve_command", required=True)
+    evolve_run = evolve_sub.add_parser(
+        "run", help="analyze every version of a seeded lineage fleet"
+    )
+    evolve_run.add_argument("--apps", type=int, default=120, help="lineages (packages)")
+    evolve_run.add_argument("--versions", type=int, default=3,
+                            help="versions per lineage")
+    evolve_run.add_argument("--seed", type=int, default=7)
+    evolve_run.add_argument("--workers", type=int, default=2,
+                            help="worker processes; 1 runs in-process")
+    evolve_run.add_argument("--shards", type=int, default=None,
+                            help="shards per version (default: 4x workers)")
+    evolve_run.add_argument("--hazard", type=float, default=0.05,
+                            help="per-version probability a benign app turns malicious")
+    evolve_run.add_argument("--warehouse", metavar="FILE",
+                            help="append-only snapshot warehouse; evolve "
+                                 "diff/report read from it")
+    evolve_run.add_argument("--verdict-store", metavar="FILE",
+                            help="shared verdict store: each distinct payload "
+                                 "digest is analyzed once across all versions")
+    evolve_run.add_argument("--metrics-out", metavar="FILE",
+                            help="write the JSON metrics summary here")
+    evolve_run.add_argument("--train", type=int, default=3,
+                            help="DroidNative samples per family")
+    evolve_run.add_argument("--no-replays", action="store_true",
+                            help="skip Table VIII replays")
+    evolve_run.add_argument("--json", action="store_true",
+                            help="emit diffs + timeline as JSON")
+    _add_observe_flags(evolve_run)
+    evolve_diff = evolve_sub.add_parser(
+        "diff", help="print behavior drift between adjacent warehouse snapshots"
+    )
+    evolve_diff.add_argument("--warehouse", metavar="FILE", required=True)
+    evolve_diff.add_argument("--package", default=None,
+                             help="restrict to one package")
+    evolve_diff.add_argument("--json", action="store_true",
+                             help="emit structured diffs as JSON")
+    evolve_report = evolve_sub.add_parser(
+        "report", help="print fleet evolution timelines from a warehouse"
+    )
+    evolve_report.add_argument("--warehouse", metavar="FILE", required=True)
+    evolve_report.add_argument("--json", action="store_true",
+                               help="emit the timeline as JSON")
 
     serve = sub.add_parser("serve", help="run the analysis-as-a-service daemon")
     serve.add_argument("--host", default="127.0.0.1")
@@ -318,6 +367,124 @@ def cmd_farm(args: argparse.Namespace) -> int:
         ),
         file=sys.stderr,
     )
+    return 0
+
+
+def _warehouse_diffs(warehouse, package: Optional[str] = None):
+    """Adjacent-version diffs from a warehouse, deterministic order."""
+    from repro.evolution import diff_analyses
+
+    packages = [package] if package else warehouse.packages()
+    diffs = []
+    for name in packages:
+        versions = warehouse.versions(name)
+        if not versions and package:
+            raise SystemExit("evolve diff: no snapshots for {!r}".format(package))
+        snapshots = [warehouse.get_analysis(name, code) for code in versions]
+        for old, new in zip(snapshots, snapshots[1:]):
+            diff = diff_analyses(old, new)
+            if not diff.is_empty:
+                diffs.append(diff)
+    return diffs
+
+
+def cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.evolution import (
+        EvolveConfig,
+        LineageSpec,
+        SnapshotWarehouse,
+        WarehouseError,
+        diff_digest,
+        load_warehouse_timeline,
+        run_evolution,
+    )
+
+    if args.evolve_command == "run":
+        from repro.observe import write_trace
+        from repro.store import StoreError
+
+        config = EvolveConfig(
+            n_apps=args.apps,
+            n_versions=args.versions,
+            seed=args.seed,
+            workers=args.workers,
+            n_shards=args.shards,
+            spec=LineageSpec(malicious_hazard=args.hazard),
+            pipeline=DyDroidConfig(
+                train_samples_per_family=args.train,
+                run_replays=not args.no_replays,
+            ),
+            warehouse=args.warehouse,
+            verdict_store=args.verdict_store,
+            trace=bool(args.trace_out),
+        )
+        try:
+            result = run_evolution(config)
+        except (StoreError, WarehouseError, ValueError) as exc:
+            raise SystemExit("evolve run: {}".format(exc))
+        if args.json:
+            _print_json(
+                {
+                    "diffs": [diff.to_dict() for diff in result.diffs],
+                    "diff_digest": result.diff_fingerprint,
+                    "timeline": result.timeline.to_dict(),
+                }
+            )
+        else:
+            for diff in result.diffs:
+                print(diff.render())
+            print(result.timeline.render())
+            print("[diff digest: {}]".format(result.diff_fingerprint))
+        if args.metrics_out:
+            _write_json(args.metrics_out, result.metrics)
+        if args.trace_out:
+            write_trace(result.spans, args.trace_out, fmt=args.trace_format)
+        print(
+            "[evolve: {} snapshots ({} apps x {} versions) in {:.1f}s, "
+            "{} drifted]".format(
+                result.metrics["snapshots_analyzed"],
+                config.n_apps,
+                config.n_versions,
+                result.metrics["wall_s"],
+                len(result.diffs),
+            ),
+            file=sys.stderr,
+        )
+        return 0
+
+    import os
+
+    if not os.path.exists(args.warehouse):
+        # read verbs must not conjure an empty warehouse into existence
+        raise SystemExit(
+            "evolve {}: no warehouse at {}".format(args.evolve_command, args.warehouse)
+        )
+    try:
+        warehouse = SnapshotWarehouse(args.warehouse)
+    except WarehouseError as exc:
+        raise SystemExit("evolve {}: {}".format(args.evolve_command, exc))
+    try:
+        if args.evolve_command == "diff":
+            diffs = _warehouse_diffs(warehouse, args.package)
+            if args.json:
+                _print_json(
+                    {
+                        "diffs": [diff.to_dict() for diff in diffs],
+                        "diff_digest": diff_digest(diffs),
+                    }
+                )
+            else:
+                for diff in diffs:
+                    print(diff.render())
+                print("[diff digest: {}]".format(diff_digest(diffs)))
+        else:  # report
+            timeline = load_warehouse_timeline(warehouse)
+            if args.json:
+                _print_json(timeline.to_dict())
+            else:
+                print(timeline.render())
+    finally:
+        warehouse.close()
     return 0
 
 
@@ -553,6 +720,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "measure": cmd_measure,
         "farm": cmd_farm,
+        "evolve": cmd_evolve,
         "serve": cmd_serve,
         "submit": cmd_submit,
         "status": cmd_status,

@@ -233,14 +233,15 @@ class DyDroid:
         # One reverse-reachability pass answers both provenance questions:
         # a payload is remote exactly when some URL spec flowed into it.
         sources = tuple(dynamic.tracker.remote_sources(payload.path))
+        digest = hashlib.sha256(payload.data).hexdigest()
         verdict = PayloadVerdict(
             path=payload.path,
             kind=payload.kind,
             entity=entity,
             provenance=Provenance.REMOTE if sources else Provenance.LOCAL,
             remote_sources=sources,
+            digest=digest,
         )
-        digest = hashlib.sha256(payload.data).hexdigest()
         self.metrics.counter("payload.kind." + payload.kind.value).inc()
 
         with self.tracer.span(

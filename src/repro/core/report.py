@@ -134,6 +134,9 @@ class PayloadVerdict:
     remote_sources: Tuple[str, ...] = ()
     detection: Optional[Detection] = None
     leaks: Tuple[PrivacyLeak, ...] = ()
+    #: sha256 of the payload bytes; the cross-version identity the
+    #: evolution differ tracks (empty on records predating this field).
+    digest: str = ""
 
     @property
     def is_malicious(self) -> bool:
@@ -148,6 +151,7 @@ class PayloadVerdict:
             "remote_sources": list(self.remote_sources),
             "detection": _detection_to_dict(self.detection) if self.detection else None,
             "leaks": [_plain_dict(leak) for leak in self.leaks],
+            "digest": self.digest,
         }
 
     @classmethod
@@ -160,6 +164,7 @@ class PayloadVerdict:
             remote_sources=tuple(data["remote_sources"]),
             detection=_detection_from_dict(data["detection"]) if data["detection"] else None,
             leaks=tuple(_leak_from_dict(leak) for leak in data["leaks"]),
+            digest=data.get("digest", ""),
         )
 
 
@@ -182,6 +187,10 @@ class AppAnalysis:
     corpus_index: int = -1
 
     # -- derived views -----------------------------------------------------------
+
+    @property
+    def version_code(self) -> int:
+        return self.metadata.version_code
 
     @property
     def has_dex_dcl_code(self) -> bool:

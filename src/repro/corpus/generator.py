@@ -21,7 +21,7 @@ score the analyses against what was actually generated.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.android.apk import Apk
@@ -98,6 +98,10 @@ class AppBlueprint:
     # privacy (Table X)
     uses_google_ads: bool = False
     leak_types: Tuple[str, ...] = ()
+    #: pinned analytics-SDK vendor; ``None`` lets the assembly rng choose.
+    #: Lineage mutations (:mod:`repro.evolution.lineage`) pin it so an SDK
+    #: swap changes exactly one payload across versions.
+    sdk_vendor: Optional[str] = None
 
 
 @dataclass
@@ -117,6 +121,10 @@ class AppRecord:
     @property
     def release_time_ms(self) -> int:
         return self.metadata.release_time_ms
+
+    @property
+    def version_code(self) -> int:
+        return self.metadata.version_code
 
 
 class CorpusGenerator:
@@ -322,7 +330,20 @@ class CorpusGenerator:
 
     # -- phase 2: assembly ---------------------------------------------------------
 
-    def build_record(self, blueprint: AppBlueprint) -> AppRecord:
+    def build_record(
+        self,
+        blueprint: AppBlueprint,
+        version_code: Optional[int] = None,
+        release_offset_ms: int = 0,
+    ) -> AppRecord:
+        """Assemble one APK; ``version_code``/``release_offset_ms`` stamp a
+        lineage version on top of the base (version 1) identity.
+
+        The assembly rng is keyed by ``(seed, index)`` only, so an app
+        whose blueprint is unchanged between versions emits byte-identical
+        payloads -- the invariant cross-version verdict dedup rests on.
+        Only the manifest/metadata version stamp differs.
+        """
         rng = random.Random("app-{}-{}".format(self.seed, blueprint.index))
         meta_rng = random.Random("meta-{}-{}".format(self.seed, blueprint.index))
         metadata = sample_metadata(
@@ -333,6 +354,12 @@ class CorpusGenerator:
             blueprint.category,
             DEFAULT_TIME_MS,
         )
+        if version_code is not None or release_offset_ms:
+            metadata = replace(
+                metadata,
+                version_code=version_code if version_code is not None else metadata.version_code,
+                release_time_ms=metadata.release_time_ms + release_offset_ms,
+            )
         ctx = BehaviorContext(
             rng=rng, package=blueprint.package, release_time_ms=metadata.release_time_ms
         )
@@ -340,6 +367,10 @@ class CorpusGenerator:
             apk = self._build_packed_apk(rng, blueprint, ctx)
         else:
             apk = self._build_regular_apk(rng, blueprint, ctx)
+        if version_code is not None:
+            manifest = apk.manifest
+            manifest.version_code = version_code
+            apk.put_manifest(manifest)
         if blueprint.anti_decompilation:
             apk.enable_anti_decompilation()
         if blueprint.anti_repackaging:
@@ -413,7 +444,15 @@ class CorpusGenerator:
         if needs_generic_sdk:
             # Even with no sensitive tracking, the SDK still loads its
             # payload at runtime (an empty leak list is a clean payload).
-            stub = sdks.build_analytics_sdk(ctx, list(blueprint.leak_types))
+            # The vendor draw happens unconditionally so a pinned
+            # ``sdk_vendor`` (lineage SDK swap) leaves the rng stream --
+            # and therefore every *other* payload's bytes -- unchanged.
+            drawn_vendor = ctx.rng.choice(sdks.ANALYTICS_VENDORS)
+            stub = sdks.build_analytics_sdk(
+                ctx,
+                list(blueprint.leak_types),
+                vendor=blueprint.sdk_vendor or drawn_vendor,
+            )
             dex.classes.append(stub.dex_class)
             stub_calls.append((stub.entry_class, stub.entry_method))
         if blueprint.native_dcl_reachable and blueprint.native_entity in ("third", "both"):
@@ -747,6 +786,23 @@ class CorpusGenerator:
                 "corpus of {} apps has no indices {}".format(n_apps, out_of_range)
             )
         return [self.build_record(blueprints[index]) for index in indices]
+
+    def lineage(self, n_apps: int, n_versions: int, spec=None):
+        """Plan a deterministic multi-version lineage for every package.
+
+        Returns one :class:`repro.evolution.lineage.AppLineage` per app:
+        version 1 is the plain corpus blueprint, each later version
+        applies seeded mutations (DCL added/dropped, SDK swapped, payload
+        gone remote, turned malicious) with monotone ``version_code`` /
+        ``release_time_ms`` stamps.  Build any version with
+        :func:`repro.evolution.lineage.build_version_record`.
+        """
+        # Imported here: repro.evolution imports this module at top level.
+        from repro.evolution.lineage import plan_lineages
+
+        return plan_lineages(
+            n_apps, n_versions, seed=self.seed, profile=self.profile, spec=spec
+        )
 
 
 def _sample_mix(rng: random.Random, mix: Dict[str, float]) -> str:

@@ -41,6 +41,9 @@ class AppMetadata:
     n_ratings: int
     avg_rating: float
     release_time_ms: int
+    #: store-page version; single-snapshot corpora stay at 1, lineage
+    #: versions (:mod:`repro.evolution`) count up monotonically.
+    version_code: int = 1
 
 
 def _lognormal_with_mean(rng: random.Random, mean: float) -> float:

@@ -1,0 +1,418 @@
+"""Structured diffing of two per-version snapshots of the same package.
+
+``diff_analyses(old, new)`` compares what DyDroid concluded about two
+versions of one app and emits typed :class:`DriftFinding` records, each
+placed in a severity bucket:
+
+====================  ==========  =============================================
+finding kind          severity    meaning
+====================  ==========  =============================================
+dcl_introduced        suspicious  an update gained its first DCL code
+dcl_call_sites        benign      the set of DCL call-site classes changed
+dcl_dropped           benign      an update removed all DCL code
+payload_added         benign      a new payload path was intercepted
+payload_removed       benign      a payload path stopped loading
+payload_digest        benign      same path, different bytes (digest churn)
+provenance_remote     suspicious  a payload flipped local -> remote fetch
+provenance_local      benign      a payload flipped remote -> local
+verdict_malicious     critical    a payload (or the app) flipped
+                                  benign -> malicious
+verdict_cleared       benign      a previously malicious payload went clean
+leaks_added           suspicious  new privacy-leak data types appear
+leaks_removed         benign      leak data types disappeared
+obfuscation_added     suspicious  new obfuscation/packing techniques
+obfuscation_removed   benign      techniques disappeared
+decompile_failed      suspicious  the new version resists decompilation
+outcome_changed       benign      dynamic-analysis outcome bucket moved
+====================  ==========  =============================================
+
+The diff's overall severity is the **max** over its findings, which gives
+the monotonicity property the tests pin down: adding a malicious verdict
+flip to any diff can only raise (never lower) the bucket.  Two identical
+snapshots always produce an empty diff.
+
+``diff_digest`` hashes a canonical JSON rendering of a diff list, giving
+``repro evolve diff`` a single stable fingerprint: two runs over the same
+lineage must print the same digest, byte for byte.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.report import AppAnalysis, PayloadVerdict
+from repro.dynamic.provenance import Provenance
+
+__all__ = [
+    "DriftFinding",
+    "DriftSeverity",
+    "SnapshotDiff",
+    "diff_analyses",
+    "diff_digest",
+]
+
+
+class DriftSeverity(enum.IntEnum):
+    """Ordered drift buckets; a diff's severity is the max of its findings."""
+
+    NONE = 0        #: no change at all
+    BENIGN = 1      #: ordinary update churn
+    SUSPICIOUS = 2  #: escalation worth an analyst's eyes
+    CRITICAL = 3    #: the app turned malicious
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class DriftFinding:
+    """One typed observation about what changed between two versions."""
+
+    kind: str
+    severity: DriftSeverity
+    detail: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "severity": self.severity.label,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class SnapshotDiff:
+    """Everything that drifted between two versions of one package."""
+
+    package: str
+    old_version: int
+    new_version: int
+    findings: List[DriftFinding] = field(default_factory=list)
+
+    @property
+    def severity(self) -> DriftSeverity:
+        return max(
+            (finding.severity for finding in self.findings),
+            default=DriftSeverity.NONE,
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "package": self.package,
+            "old_version": self.old_version,
+            "new_version": self.new_version,
+            "severity": self.severity.label,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def render(self) -> str:
+        lines = [
+            "{} v{} -> v{}: {} ({} finding{})".format(
+                self.package,
+                self.old_version,
+                self.new_version,
+                self.severity.label,
+                len(self.findings),
+                "" if len(self.findings) == 1 else "s",
+            )
+        ]
+        for finding in self.findings:
+            lines.append(
+                "  [{}] {}: {}".format(
+                    finding.severity.label, finding.kind, finding.detail
+                )
+            )
+        return "\n".join(lines)
+
+
+def _call_sites(analysis: AppAnalysis) -> Tuple[frozenset, frozenset]:
+    prefilter = analysis.prefilter
+    if prefilter is None:
+        return frozenset(), frozenset()
+    return (
+        frozenset(prefilter.dex_call_site_classes),
+        frozenset(prefilter.native_call_site_classes),
+    )
+
+
+def _payloads_by_path(analysis: AppAnalysis) -> Dict[str, PayloadVerdict]:
+    by_path: Dict[str, PayloadVerdict] = {}
+    for payload in analysis.payloads:
+        by_path.setdefault(payload.path, payload)
+    return by_path
+
+
+def _leak_types(analysis: AppAnalysis) -> frozenset:
+    return frozenset(analysis.leaked_types())
+
+
+def _techniques(analysis: AppAnalysis) -> frozenset:
+    profile = analysis.obfuscation
+    return frozenset(profile.techniques()) if profile else frozenset()
+
+
+def _fmt(values) -> str:
+    return ", ".join(sorted(values))
+
+
+def diff_analyses(old: AppAnalysis, new: AppAnalysis) -> SnapshotDiff:
+    """Structured behavior drift between two snapshots of one package."""
+    if old.package != new.package:
+        raise ValueError(
+            "cannot diff different packages ({} vs {})".format(
+                old.package, new.package
+            )
+        )
+    diff = SnapshotDiff(
+        package=old.package,
+        old_version=old.version_code,
+        new_version=new.version_code,
+    )
+    out = diff.findings.append
+
+    # -- decompilation resistance ------------------------------------------------
+    if old.decompile_failed != new.decompile_failed:
+        if new.decompile_failed:
+            out(
+                DriftFinding(
+                    "decompile_failed",
+                    DriftSeverity.SUSPICIOUS,
+                    "new version resists decompilation",
+                )
+            )
+        else:
+            out(
+                DriftFinding(
+                    "decompile_restored",
+                    DriftSeverity.BENIGN,
+                    "new version decompiles again",
+                )
+            )
+
+    # -- DCL call-site set changes -------------------------------------------------
+    old_has_dcl = old.has_dex_dcl_code or old.has_native_dcl_code
+    new_has_dcl = new.has_dex_dcl_code or new.has_native_dcl_code
+    if not old_has_dcl and new_has_dcl:
+        out(
+            DriftFinding(
+                "dcl_introduced",
+                DriftSeverity.SUSPICIOUS,
+                "update gained its first dynamic-code-loading call site",
+            )
+        )
+    elif old_has_dcl and not new_has_dcl:
+        out(
+            DriftFinding(
+                "dcl_dropped", DriftSeverity.BENIGN, "update removed all DCL code"
+            )
+        )
+    old_dex_sites, old_native_sites = _call_sites(old)
+    new_dex_sites, new_native_sites = _call_sites(new)
+    for side, old_sites, new_sites in (
+        ("dex", old_dex_sites, new_dex_sites),
+        ("native", old_native_sites, new_native_sites),
+    ):
+        added, removed = new_sites - old_sites, old_sites - new_sites
+        if added:
+            out(
+                DriftFinding(
+                    "dcl_call_sites",
+                    DriftSeverity.BENIGN,
+                    "{} call sites added: {}".format(side, _fmt(added)),
+                )
+            )
+        if removed:
+            out(
+                DriftFinding(
+                    "dcl_call_sites",
+                    DriftSeverity.BENIGN,
+                    "{} call sites removed: {}".format(side, _fmt(removed)),
+                )
+            )
+
+    # -- per-payload transitions ---------------------------------------------------
+    old_payloads = _payloads_by_path(old)
+    new_payloads = _payloads_by_path(new)
+    for path in sorted(new_payloads.keys() - old_payloads.keys()):
+        out(
+            DriftFinding(
+                "payload_added",
+                DriftSeverity.BENIGN,
+                "new payload intercepted: {}".format(path),
+            )
+        )
+    for path in sorted(old_payloads.keys() - new_payloads.keys()):
+        out(
+            DriftFinding(
+                "payload_removed",
+                DriftSeverity.BENIGN,
+                "payload no longer loads: {}".format(path),
+            )
+        )
+    for path in sorted(old_payloads.keys() & new_payloads.keys()):
+        before, after = old_payloads[path], new_payloads[path]
+        if before.digest and after.digest and before.digest != after.digest:
+            out(
+                DriftFinding(
+                    "payload_digest",
+                    DriftSeverity.BENIGN,
+                    "{}: bytes changed ({}.. -> {}..)".format(
+                        path, before.digest[:12], after.digest[:12]
+                    ),
+                )
+            )
+        if before.provenance != after.provenance:
+            if after.provenance is Provenance.REMOTE:
+                out(
+                    DriftFinding(
+                        "provenance_remote",
+                        DriftSeverity.SUSPICIOUS,
+                        "{}: local -> remote fetch ({})".format(
+                            path, _fmt(after.remote_sources) or "unknown source"
+                        ),
+                    )
+                )
+            else:
+                out(
+                    DriftFinding(
+                        "provenance_local",
+                        DriftSeverity.BENIGN,
+                        "{}: remote -> locally bundled".format(path),
+                    )
+                )
+
+    # -- verdict flips (app-level so path churn cannot hide a flip) -----------------
+    old_families = {
+        p.detection.family for p in old.malicious_payloads() if p.detection
+    }
+    new_families = {
+        p.detection.family for p in new.malicious_payloads() if p.detection
+    }
+    if not old_families and new_families:
+        out(
+            DriftFinding(
+                "verdict_malicious",
+                DriftSeverity.CRITICAL,
+                "benign -> malicious ({})".format(_fmt(new_families)),
+            )
+        )
+    elif old_families and not new_families:
+        out(
+            DriftFinding(
+                "verdict_cleared",
+                DriftSeverity.BENIGN,
+                "previously malicious payloads ({}) are gone".format(
+                    _fmt(old_families)
+                ),
+            )
+        )
+    elif new_families - old_families:
+        out(
+            DriftFinding(
+                "verdict_malicious",
+                DriftSeverity.CRITICAL,
+                "new malware families: {}".format(_fmt(new_families - old_families)),
+            )
+        )
+
+    # -- privacy-leak drift ----------------------------------------------------------
+    old_leaks, new_leaks = _leak_types(old), _leak_types(new)
+    if new_leaks - old_leaks:
+        out(
+            DriftFinding(
+                "leaks_added",
+                DriftSeverity.SUSPICIOUS,
+                "new leaked data types: {}".format(_fmt(new_leaks - old_leaks)),
+            )
+        )
+    if old_leaks - new_leaks:
+        out(
+            DriftFinding(
+                "leaks_removed",
+                DriftSeverity.BENIGN,
+                "no longer leaked: {}".format(_fmt(old_leaks - new_leaks)),
+            )
+        )
+
+    # -- obfuscation drift -------------------------------------------------------------
+    old_tech, new_tech = _techniques(old), _techniques(new)
+    if new_tech - old_tech:
+        out(
+            DriftFinding(
+                "obfuscation_added",
+                DriftSeverity.SUSPICIOUS,
+                "new techniques: {}".format(_fmt(new_tech - old_tech)),
+            )
+        )
+    if old_tech - new_tech:
+        out(
+            DriftFinding(
+                "obfuscation_removed",
+                DriftSeverity.BENIGN,
+                "dropped techniques: {}".format(_fmt(old_tech - new_tech)),
+            )
+        )
+
+    # -- vulnerability drift -------------------------------------------------------------
+    old_vulns = {(f.code_kind, f.category.value) for f in old.vulnerabilities}
+    new_vulns = {(f.code_kind, f.category.value) for f in new.vulnerabilities}
+    for kind, category in sorted(new_vulns - old_vulns):
+        out(
+            DriftFinding(
+                "vulnerability_added",
+                DriftSeverity.SUSPICIOUS,
+                "new risky load: {}/{}".format(kind, category),
+            )
+        )
+    for kind, category in sorted(old_vulns - new_vulns):
+        out(
+            DriftFinding(
+                "vulnerability_removed",
+                DriftSeverity.BENIGN,
+                "risky load gone: {}/{}".format(kind, category),
+            )
+        )
+
+    # -- dynamic outcome ------------------------------------------------------------------
+    old_outcome = old.outcome.value if old.outcome else None
+    new_outcome = new.outcome.value if new.outcome else None
+    if old_outcome != new_outcome:
+        out(
+            DriftFinding(
+                "outcome_changed",
+                DriftSeverity.BENIGN,
+                "dynamic outcome {} -> {}".format(
+                    old_outcome or "not-run", new_outcome or "not-run"
+                ),
+            )
+        )
+
+    return diff
+
+
+def diff_digest(diffs: List[SnapshotDiff]) -> str:
+    """Stable fingerprint of a whole diff set (sorted, canonical JSON)."""
+    canonical = sorted(
+        (diff.to_dict() for diff in diffs),
+        key=lambda d: (d["package"], d["old_version"], d["new_version"]),
+    )
+    raw = json.dumps(canonical, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(raw).hexdigest()
+
+
+def classify_pair(
+    old: Optional[AppAnalysis], new: AppAnalysis
+) -> Optional[SnapshotDiff]:
+    """Diff helper tolerating a missing predecessor (first version)."""
+    if old is None:
+        return None
+    return diff_analyses(old, new)

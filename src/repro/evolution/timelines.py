@@ -1,0 +1,219 @@
+"""Fleet-level evolution statistics over a warehouse of snapshots.
+
+Three longitudinal questions the single-snapshot tables cannot answer:
+
+- **first-seen DCL**: at which version did each package first carry DCL
+  code?  (The paper's review-then-change threat needs DCL to *appear*
+  after version 1 -- ``introduced_after_v1`` counts exactly those.)
+- **payload-digest survival**: how long does a given payload binary live
+  across an app's versions?  Long-lived digests are what makes the
+  cross-version verdict store pay off; churning digests are update noise
+  or evasion.
+- **verdict flips per SDK entity**: when an app turns malicious, is the
+  flipped payload the developer's own code or a third-party SDK's?
+
+``build_timeline`` consumes snapshots grouped per package (oldest version
+first, as :func:`load_warehouse_timeline` produces from a warehouse) and
+returns a :class:`FleetTimeline` that renders as text or exports as plain
+data for ``repro evolve report --json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.report import AppAnalysis
+
+from repro.evolution.warehouse import SnapshotWarehouse
+
+__all__ = ["FleetTimeline", "PackageTimeline", "build_timeline", "load_warehouse_timeline"]
+
+
+@dataclass
+class PackageTimeline:
+    """Evolution facts for one package across its stored versions."""
+
+    package: str
+    version_codes: List[int] = field(default_factory=list)
+    #: version_code of the first snapshot carrying DCL code, if any.
+    first_dcl_version: Optional[int] = None
+    #: version_code of the first snapshot with a malicious payload, if any.
+    first_malicious_version: Optional[int] = None
+    #: payload digest -> number of versions it appeared in.
+    digest_lifetimes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_versions(self) -> int:
+        return len(self.version_codes)
+
+    @property
+    def dcl_introduced_after_v1(self) -> bool:
+        return (
+            self.first_dcl_version is not None
+            and bool(self.version_codes)
+            and self.first_dcl_version != self.version_codes[0]
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "package": self.package,
+            "version_codes": list(self.version_codes),
+            "first_dcl_version": self.first_dcl_version,
+            "first_malicious_version": self.first_malicious_version,
+            "dcl_introduced_after_v1": self.dcl_introduced_after_v1,
+            "digest_lifetimes": dict(sorted(self.digest_lifetimes.items())),
+        }
+
+
+@dataclass
+class FleetTimeline:
+    """Aggregated evolution statistics across every tracked package."""
+
+    packages: List[PackageTimeline] = field(default_factory=list)
+    #: entity label -> {"transitions": adjacent version pairs carrying that
+    #: entity's payloads, "flips": pairs where that entity's payloads
+    #: turned malicious}.
+    entity_flips: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def n_packages(self) -> int:
+        return len(self.packages)
+
+    @property
+    def n_snapshots(self) -> int:
+        return sum(timeline.n_versions for timeline in self.packages)
+
+    def survival_summary(self) -> Dict[str, object]:
+        """How long payload digests live, fleet-wide."""
+        lifetimes = [
+            lifetime
+            for timeline in self.packages
+            for lifetime in timeline.digest_lifetimes.values()
+        ]
+        if not lifetimes:
+            return {"digests": 0, "mean_versions": 0.0, "full_lifetime": 0}
+        max_versions = max(timeline.n_versions for timeline in self.packages)
+        return {
+            "digests": len(lifetimes),
+            "mean_versions": round(sum(lifetimes) / len(lifetimes), 3),
+            #: digests present in every version of a max-length lineage.
+            "full_lifetime": sum(1 for life in lifetimes if life == max_versions),
+        }
+
+    def flip_rates(self) -> Dict[str, Dict[str, object]]:
+        rates: Dict[str, Dict[str, object]] = {}
+        for entity, counts in sorted(self.entity_flips.items()):
+            transitions = counts.get("transitions", 0)
+            flips = counts.get("flips", 0)
+            rates[entity] = {
+                "transitions": transitions,
+                "flips": flips,
+                "rate": round(flips / transitions, 4) if transitions else 0.0,
+            }
+        return rates
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n_packages": self.n_packages,
+            "n_snapshots": self.n_snapshots,
+            "dcl_introduced_after_v1": sum(
+                1 for timeline in self.packages if timeline.dcl_introduced_after_v1
+            ),
+            "first_malicious": {
+                timeline.package: timeline.first_malicious_version
+                for timeline in self.packages
+                if timeline.first_malicious_version is not None
+            },
+            "digest_survival": self.survival_summary(),
+            "verdict_flip_rate_per_entity": self.flip_rates(),
+            "packages": [timeline.to_dict() for timeline in self.packages],
+        }
+
+    def render(self) -> str:
+        survival = self.survival_summary()
+        lines = [
+            "EVOLUTION TIMELINE: {} packages, {} snapshots".format(
+                self.n_packages, self.n_snapshots
+            ),
+            "  DCL introduced after v1:  {}".format(
+                sum(1 for t in self.packages if t.dcl_introduced_after_v1)
+            ),
+            "  turned malicious:         {}".format(
+                sum(1 for t in self.packages if t.first_malicious_version is not None)
+            ),
+            "  payload digests tracked:  {} (mean lifetime {} versions, "
+            "{} alive in every version)".format(
+                survival["digests"],
+                survival["mean_versions"],
+                survival["full_lifetime"],
+            ),
+            "  verdict flip rate per SDK entity:",
+        ]
+        rates = self.flip_rates()
+        if not rates:
+            lines.append("    (no payload-carrying version transitions)")
+        for entity, row in rates.items():
+            lines.append(
+                "    {:<12} {}/{} transitions flipped ({:.2%})".format(
+                    entity, row["flips"], row["transitions"], row["rate"]
+                )
+            )
+        return "\n".join(lines)
+
+
+def build_timeline(
+    snapshots_by_package: Dict[str, List[AppAnalysis]]
+) -> FleetTimeline:
+    """Aggregate per-package snapshot lists (oldest first) into fleet stats."""
+    fleet = FleetTimeline()
+    for package in sorted(snapshots_by_package):
+        snapshots = snapshots_by_package[package]
+        timeline = PackageTimeline(package=package)
+        previous: Optional[AppAnalysis] = None
+        for analysis in snapshots:
+            timeline.version_codes.append(analysis.version_code)
+            if timeline.first_dcl_version is None and (
+                analysis.has_dex_dcl_code or analysis.has_native_dcl_code
+            ):
+                timeline.first_dcl_version = analysis.version_code
+            if timeline.first_malicious_version is None and analysis.malicious_payloads():
+                timeline.first_malicious_version = analysis.version_code
+            for digest in {p.digest for p in analysis.payloads if p.digest}:
+                timeline.digest_lifetimes[digest] = (
+                    timeline.digest_lifetimes.get(digest, 0) + 1
+                )
+            if previous is not None:
+                _count_entity_flips(fleet.entity_flips, previous, analysis)
+            previous = analysis
+        fleet.packages.append(timeline)
+    return fleet
+
+
+def _count_entity_flips(
+    counters: Dict[str, Dict[str, int]], old: AppAnalysis, new: AppAnalysis
+) -> None:
+    """Per-entity malicious flips across one adjacent version pair."""
+    old_malicious_entities = {p.entity for p in old.malicious_payloads()}
+    for entity in {p.entity for p in new.payloads}:
+        bucket = counters.setdefault(
+            entity.value, {"transitions": 0, "flips": 0}
+        )
+        bucket["transitions"] += 1
+        flipped = any(
+            p.entity is entity
+            for p in new.malicious_payloads()
+        ) and entity not in old_malicious_entities
+        if flipped:
+            bucket["flips"] += 1
+
+
+def load_warehouse_timeline(warehouse: SnapshotWarehouse) -> FleetTimeline:
+    """Build the fleet timeline straight from a warehouse on disk."""
+    snapshots: Dict[str, List[AppAnalysis]] = {}
+    for package in warehouse.packages():
+        snapshots[package] = [
+            warehouse.get_analysis(package, version_code)
+            for version_code in warehouse.versions(package)
+        ]
+    return build_timeline(snapshots)

@@ -1,0 +1,336 @@
+"""The snapshot warehouse: per-version analyses, durable and diffable.
+
+An evolution run produces one :class:`~repro.core.report.AppAnalysis` per
+``(package, version_code)``; the warehouse is their append-only home,
+borrowing the concurrency discipline of :mod:`repro.store.verdicts`:
+
+- appends take an exclusive ``fcntl.flock`` around one buffered
+  write+flush of a complete line (``O_APPEND``, so lines land atomically);
+- a crash-torn final line is sealed with a newline on open (under the
+  exclusive lock, a missing final newline can only be crash debris) and
+  then skipped as an ordinary corrupt line;
+- reads happen under a shared lock and only through the last complete
+  newline.
+
+File layout (one JSON document per line)::
+
+    {"kind": "header", "version": 1, "serialization": 1}
+    {"kind": "snapshot", "package": "...", "version_code": 7, "analysis": {...}}
+    {"kind": "index", "entries": {"<package>@<version_code>": <byte offset>, ...}}
+
+The trailing ``index`` line is the in-file index: :meth:`seal` (also run
+by ``close``) appends one mapping every snapshot key to the byte offset
+of its line.  A reader whose *last complete line* is an index trusts it
+and skips the full scan; any append after that invalidates the fast path
+simply by no longer being the last line, in which case opening falls back
+to a full scan (stale interior index lines are ignored).  Either way the
+in-memory index holds offsets only -- ``get`` seeks and parses a single
+line, so opening a multi-gigabyte warehouse never materializes every
+snapshot.
+
+Snapshots are immutable: appending a key that already exists is a no-op
+(first write wins), which makes warm re-runs idempotent -- the file, and
+therefore ``repro evolve diff`` output, is byte-stable across repeats.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.core.report import SERIALIZATION_VERSION, AppAnalysis
+
+try:  # POSIX only; elsewhere the warehouse degrades to thread-safety.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+__all__ = ["WAREHOUSE_VERSION", "SnapshotWarehouse", "WarehouseError"]
+
+WAREHOUSE_VERSION = 1
+
+
+class WarehouseError(ValueError):
+    """The warehouse file is unusable or from an incompatible writer."""
+
+
+@contextmanager
+def _file_lock(handle, exclusive: bool) -> Iterator[None]:
+    """Advisory whole-file lock; a no-op where ``fcntl`` is unavailable."""
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    fcntl.flock(handle.fileno(), fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+    try:
+        yield
+    finally:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
+def _key(package: str, version_code: int) -> str:
+    return "{}@{}".format(package, version_code)
+
+
+class SnapshotWarehouse:
+    """Append-only store of per-version analyses keyed by (package, version)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        #: key -> byte offset of the snapshot line.
+        self._index: Dict[str, int] = {}
+        self._header_checked = False
+        self.corrupt_lines = 0
+        #: True when the last open used the trailing index line instead of
+        #: a full scan (exposed for tests and ``evolve report`` curiosity).
+        self.fast_opened = False
+        self._sealed = False
+        #: file size as of our last write/scan; lets ``seal`` notice (and
+        #: fold in) snapshots a sibling writer appended meanwhile, so the
+        #: trailing index never drops someone else's data.
+        self._end = 0
+        self._mutex = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a+b")
+        with self._mutex:
+            with _file_lock(self._handle, exclusive=True):
+                self._handle.seek(0, os.SEEK_END)
+                size = self._handle.tell()
+                if size == 0:
+                    self._write_line(
+                        {
+                            "kind": "header",
+                            "version": WAREHOUSE_VERSION,
+                            "serialization": SERIALIZATION_VERSION,
+                        }
+                    )
+                    self._header_checked = True
+                    return
+                self._seal_torn_tail(size)
+                self._load(size)
+                self._end = size
+        if not self._header_checked:
+            raise WarehouseError("{}: no warehouse header found".format(self.path))
+
+    # -- open-time scanning ------------------------------------------------------
+
+    def _seal_torn_tail(self, size: int) -> None:
+        """Terminate a crash-torn final line (exclusive lock held)."""
+        self._handle.seek(size - 1)
+        if self._handle.read(1) != b"\n":
+            self._handle.write(b"\n")
+            self._handle.flush()
+
+    def _load(self, size: int) -> None:
+        """Build the key->offset index: trailing-index fast path, else scan."""
+        self._handle.seek(0)
+        data = self._handle.read(size)
+        cut = data.rfind(b"\n")
+        if cut < 0:
+            raise WarehouseError("{}: unreadable warehouse".format(self.path))
+        last_start = data.rfind(b"\n", 0, cut) + 1
+        last_line = data[last_start : cut + 1]
+        entry = self._parse(last_line)
+        if entry and entry.get("kind") == "index" and isinstance(entry.get("entries"), dict):
+            # Fast path: the writer sealed after its last append, so the
+            # trailing index is complete.  The header still gets checked.
+            first = self._parse(data[: data.find(b"\n") + 1])
+            if first:
+                self._dispatch_header(first)
+            self._index = {str(k): int(v) for k, v in entry["entries"].items()}
+            self.fast_opened = True
+            # The trailing index already covers everything: read-only opens
+            # must not grow the file with another identical index on close.
+            self._sealed = True
+            return
+        offset = 0
+        for raw in data.splitlines(keepends=True):
+            entry = self._parse(raw)
+            if entry is None:
+                self.corrupt_lines += 1
+            else:
+                kind = entry.get("kind")
+                if kind == "header":
+                    self._dispatch_header(entry)
+                elif (
+                    kind == "snapshot"
+                    and "package" in entry
+                    and "version_code" in entry
+                ):
+                    key = _key(entry["package"], entry["version_code"])
+                    # first write wins: duplicates are later, identical noise
+                    self._index.setdefault(key, offset)
+                elif kind == "index":
+                    pass  # stale interior index from an earlier seal
+                else:
+                    self.corrupt_lines += 1
+            offset += len(raw)
+
+    def _parse(self, raw: bytes) -> Optional[Dict[str, object]]:
+        try:
+            entry = json.loads(raw)
+        except json.JSONDecodeError:
+            return None
+        return entry if isinstance(entry, dict) else None
+
+    def _dispatch_header(self, entry: Dict[str, object]) -> None:
+        if entry.get("kind") != "header":
+            raise WarehouseError("{}: first line is not a header".format(self.path))
+        if entry.get("version") != WAREHOUSE_VERSION:
+            raise WarehouseError(
+                "{}: unsupported warehouse version {}".format(
+                    self.path, entry.get("version")
+                )
+            )
+        if entry.get("serialization") != SERIALIZATION_VERSION:
+            raise WarehouseError(
+                "{}: snapshots use report serialization {}, this build "
+                "reads {}".format(
+                    self.path, entry.get("serialization"), SERIALIZATION_VERSION
+                )
+            )
+        self._header_checked = True
+
+    # -- appends -----------------------------------------------------------------
+
+    def _write_line(self, entry: Dict[str, object]) -> int:
+        """Write one line at EOF; returns the offset it landed at."""
+        self._handle.seek(0, os.SEEK_END)
+        offset = self._handle.tell()
+        self._handle.write(json.dumps(entry, sort_keys=True).encode("utf-8") + b"\n")
+        self._handle.flush()
+        self._end = self._handle.tell()
+        return offset
+
+    def _fold_tail(self) -> None:
+        """Index snapshots a sibling appended past our horizon (lock held)."""
+        self._handle.seek(0, os.SEEK_END)
+        size = self._handle.tell()
+        if size <= self._end:
+            return
+        self._handle.seek(self._end)
+        data = self._handle.read(size - self._end)
+        torn = not data.endswith(b"\n")
+        if torn:
+            # Exclusive lock held: a missing final newline is crash debris
+            # from a dead sibling.  Seal it so whatever we write next
+            # cannot concatenate onto it.
+            self._handle.write(b"\n")
+            self._handle.flush()
+        offset = self._end
+        for raw in data.splitlines(keepends=True):
+            if raw.endswith(b"\n"):
+                entry = self._parse(raw)
+                if (
+                    entry
+                    and entry.get("kind") == "snapshot"
+                    and "package" in entry
+                    and "version_code" in entry
+                ):
+                    key = _key(entry["package"], entry["version_code"])
+                    self._index.setdefault(key, offset)
+            offset += len(raw)
+        self._end = offset + (1 if torn else 0)
+
+    def append(self, analysis: Union[AppAnalysis, Dict[str, object]]) -> bool:
+        """Store one snapshot; returns False if its key already exists."""
+        if isinstance(analysis, AppAnalysis):
+            analysis = analysis.to_dict()
+        package = analysis["package"]
+        version_code = int(analysis.get("metadata", {}).get("version_code", 1))
+        key = _key(package, version_code)
+        with self._mutex:
+            if key in self._index:
+                return False
+            with _file_lock(self._handle, exclusive=True):
+                # Catch up on sibling appends first: _write_line advances
+                # our horizon past them, and one may even hold this key
+                # (first write wins across processes too).
+                self._fold_tail()
+                if key in self._index:
+                    return False
+                offset = self._write_line(
+                    {
+                        "kind": "snapshot",
+                        "package": package,
+                        "version_code": version_code,
+                        "analysis": analysis,
+                    }
+                )
+            self._index[key] = offset
+            self._sealed = False
+        return True
+
+    def seal(self) -> None:
+        """Append the in-file index so the next open can skip the scan."""
+        with self._mutex:
+            if self._sealed or self._handle.closed:
+                return
+            with _file_lock(self._handle, exclusive=True):
+                self._fold_tail()
+                self._write_line({"kind": "index", "entries": dict(self._index)})
+            self._sealed = True
+
+    # -- reads -------------------------------------------------------------------
+
+    def get(self, package: str, version_code: int) -> Dict[str, object]:
+        """The serialized analysis dict stored for one snapshot key."""
+        key = _key(package, version_code)
+        with self._mutex:
+            if key not in self._index:
+                raise KeyError(key)
+            offset = self._index[key]
+            with _file_lock(self._handle, exclusive=False):
+                self._handle.seek(offset)
+                raw = self._handle.readline()
+        entry = self._parse(raw)
+        if not entry or entry.get("kind") != "snapshot":
+            raise WarehouseError(
+                "{}: offset {} for {} does not hold a snapshot".format(
+                    self.path, offset, key
+                )
+            )
+        return entry["analysis"]
+
+    def get_analysis(self, package: str, version_code: int) -> AppAnalysis:
+        return AppAnalysis.from_dict(self.get(package, version_code))
+
+    def __contains__(self, key: Tuple[str, int]) -> bool:
+        package, version_code = key
+        with self._mutex:
+            return _key(package, version_code) in self._index
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._index)
+
+    def packages(self) -> List[str]:
+        with self._mutex:
+            return sorted({key.rsplit("@", 1)[0] for key in self._index})
+
+    def versions(self, package: str) -> List[int]:
+        """Stored version codes for one package, ascending."""
+        prefix = package + "@"
+        with self._mutex:
+            return sorted(
+                int(key.rsplit("@", 1)[1])
+                for key in self._index
+                if key.startswith(prefix)
+            )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        self.seal()
+        with self._mutex:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "SnapshotWarehouse":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

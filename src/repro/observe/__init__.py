@@ -36,6 +36,7 @@ from repro.observe.metrics import (
     Gauge,
     LatencyHistogram,
     MetricsRegistry,
+    evolution_summary,
     verdict_cache_summary,
     verdict_store_summary,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "TRACE_FORMATS",
     "Tracer",
     "digest_line",
+    "evolution_summary",
     "load_spans",
     "merge_span_lists",
     "render_summary",

@@ -266,6 +266,25 @@ def verdict_store_summary(registry: MetricsRegistry) -> Dict[str, Dict[str, int]
     return summary
 
 
+def evolution_summary(registry: MetricsRegistry) -> Dict[str, object]:
+    """Longitudinal-run numbers from the ``evolution.*`` counters.
+
+    ``snapshots`` counts every (package, version) analysis, ``mutated``
+    the versions whose blueprint drifted from its predecessor, and
+    ``drift`` buckets the adjacent-version diffs by their severity label
+    (``none`` means the pair produced no findings at all).
+    """
+    return {
+        "snapshots": registry.counter_value("evolution.apps"),
+        "mutated_versions": registry.counter_value("evolution.mutated_versions"),
+        "versions": registry.counter_value("evolution.versions"),
+        "drift": {
+            severity: registry.counter_value("evolution.drift.{}".format(severity))
+            for severity in ("none", "benign", "suspicious", "critical")
+        },
+    }
+
+
 def iter_bucket_bounds() -> Iterable[float]:
     """The histogram bucket ladder (exported for tests and docs)."""
     return _BUCKET_BOUNDS

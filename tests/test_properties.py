@@ -245,3 +245,115 @@ def test_native_library_roundtrip(function_specs):
     parsed = NativeLibrary.from_bytes(library.to_bytes())
     assert parsed.exported_names() == library.exported_names()
     assert binary_signatures(parsed) == binary_signatures(library)
+
+
+# -- evolution differ / warehouse properties ---------------------------------------------------
+
+import json
+
+from repro.core.report import AppAnalysis, PayloadVerdict
+from repro.corpus.metadata import AppMetadata
+from repro.dynamic.interceptor import PayloadKind
+from repro.dynamic.provenance import Entity, Provenance
+from repro.evolution import DriftSeverity, SnapshotWarehouse, diff_analyses
+from repro.static_analysis.malware.droidnative import Detection
+from repro.static_analysis.prefilter import PrefilterResult
+
+hex_digests = st.text(alphabet="0123456789abcdef", min_size=64, max_size=64)
+
+payload_paths = st.builds(
+    "/data/data/com.example/files/{}.jar".format, identifiers
+)
+
+
+@st.composite
+def payload_verdicts(draw):
+    malicious = draw(st.booleans())
+    return PayloadVerdict(
+        path=draw(payload_paths),
+        kind=draw(st.sampled_from(list(PayloadKind))),
+        entity=draw(st.sampled_from(list(Entity))),
+        provenance=draw(st.sampled_from(list(Provenance))),
+        remote_sources=tuple(draw(st.lists(identifiers, max_size=2))),
+        detection=Detection(
+            family=draw(identifiers),
+            score=0.9,
+            matched_sample_id="s",
+            matched_functions=1,
+            total_functions=1,
+        )
+        if malicious
+        else None,
+        digest=draw(hex_digests),
+    )
+
+
+@st.composite
+def app_analyses(draw):
+    return AppAnalysis(
+        package="com.example.app",
+        metadata=AppMetadata(
+            category="Tools",
+            downloads=draw(st.integers(0, 10**7)),
+            n_ratings=draw(st.integers(0, 10**5)),
+            avg_rating=4.0,
+            release_time_ms=draw(st.integers(10**12, 2 * 10**12)),
+            version_code=draw(st.integers(1, 50)),
+        ),
+        decompile_failed=draw(st.booleans()),
+        prefilter=PrefilterResult(
+            has_dex_dcl=draw(st.booleans()),
+            has_native_dcl=draw(st.booleans()),
+            dex_call_site_classes=draw(st.lists(class_names, max_size=3)),
+            native_call_site_classes=draw(st.lists(class_names, max_size=2)),
+        ),
+        payloads=draw(
+            st.lists(payload_verdicts(), max_size=4, unique_by=lambda p: p.path)
+        ),
+    )
+
+
+@given(app_analyses())
+@settings(max_examples=60, deadline=None)
+def test_diff_of_identical_snapshots_is_empty(app):
+    diff = diff_analyses(app, app)
+    assert diff.is_empty
+    assert diff.severity is DriftSeverity.NONE
+
+
+@given(app_analyses(), app_analyses(), payload_paths, hex_digests)
+@settings(max_examples=60, deadline=None)
+def test_adding_a_malicious_flip_never_lowers_severity(old, new, path, digest):
+    # strip malicious payloads from both sides so the flip is the delta
+    old.payloads = [p for p in old.payloads if p.detection is None]
+    new.payloads = [p for p in new.payloads if p.detection is None]
+    baseline = diff_analyses(old, new).severity
+    new.payloads = new.payloads + [
+        PayloadVerdict(
+            path=path,
+            kind=PayloadKind.DEX,
+            entity=Entity.THIRD_PARTY,
+            provenance=Provenance.LOCAL,
+            detection=Detection("evil", 0.9, "s", 1, 1),
+            digest=digest,
+        )
+    ]
+    escalated = diff_analyses(old, new).severity
+    assert escalated >= baseline
+    assert escalated is DriftSeverity.CRITICAL
+
+
+@given(app_analyses())
+@settings(max_examples=25, deadline=None)
+def test_warehouse_round_trip_is_byte_identical(app):
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = "{}/w.jsonl".format(tmp)
+        with SnapshotWarehouse(path) as warehouse:
+            assert warehouse.append(app)
+        with SnapshotWarehouse(path) as warehouse:
+            stored = warehouse.get(app.package, app.version_code)
+        assert json.dumps(stored, sort_keys=True) == json.dumps(
+            app.to_dict(), sort_keys=True
+        )
