@@ -78,6 +78,56 @@ def test_full_pipeline_throughput(benchmark, slice_corpus):
     )
 
 
+def test_firewall_enforcement_overhead(benchmark, tmp_path):
+    """The cost of inline enforcement: firewall on vs off, warm store.
+
+    The firewall's pitch is that complete mediation rides the hooks the
+    measurement pipeline already pays for, so enforcement should be nearly
+    free.  A cold un-enforced pass warms the shared verdict store (and
+    provides the reference timing); the benched stage is the same corpus
+    re-measured under the ``default`` policy, where every load additionally
+    runs the rule chain plus a digest lookup against the warm store.
+    """
+    import time
+    from dataclasses import replace
+
+    from repro.store.verdicts import VerdictStore
+
+    records = generate_corpus(40, seed=7)
+    base = DyDroidConfig(train_samples_per_family=2, run_replays=False)
+    unenforced = replace(base, firewall_policy="", quarantine_dir="")
+    enforced = replace(base, firewall_policy="default")
+
+    store = VerdictStore(str(tmp_path / "verdicts.sqlite"), base)
+    try:
+        start = time.perf_counter()
+        DyDroid(unenforced, verdict_store=store).measure(records)
+        baseline_s = time.perf_counter() - start
+
+        def defended_pass():
+            return DyDroid(enforced, verdict_store=store).measure(records)
+
+        report = benchmark(defended_pass)
+    finally:
+        store.close()
+
+    table = report.defense_table()
+    assert table["policies"] == ["default"]
+    assert table["loads_denied"] + table["loads_quarantined"] >= 1
+    enforced_s = benchmark.stats.stats.mean
+    record_table(
+        "Defense",
+        "enforced pipeline over 40 apps: {:.2f}s/round vs {:.2f}s unenforced "
+        "({:+.0%} overhead); {} loads denied, {} quarantined".format(
+            enforced_s,
+            baseline_s,
+            enforced_s / baseline_s - 1 if baseline_s else 0.0,
+            table["loads_denied"],
+            table["loads_quarantined"],
+        ),
+    )
+
+
 @pytest.fixture(scope="module")
 def warm_service():
     """A running daemon whose cache already holds the benched spec."""

@@ -13,6 +13,11 @@ Commands:
   of a seeded lineage fleet (shared verdict store dedups unchanged
   payloads), ``diff`` prints behavior drift between adjacent snapshots,
   ``report`` prints fleet evolution timelines;
+- ``defend``   -- active defense: ``eval`` scores the enforced DCL firewall
+  on a seeded corpus (blocked-hazard rate vs. benign breakage), ``replay``
+  re-detonates quarantined payloads in a sandbox VM, ``debloat`` shelves
+  statically unreachable DCL call sites, ``policies`` lists the named
+  enforcement policies;
 - ``corpus``   -- generate blueprints only and print ground-truth statistics;
 - ``analyze``  -- deep-dive one generated app (static + dynamic + verdicts);
 - ``families`` -- list the malware family corpus DroidNative trains on;
@@ -176,6 +181,43 @@ def build_parser() -> argparse.ArgumentParser:
     evolve_report.add_argument("--json", action="store_true",
                                help="emit the timeline as JSON")
 
+    defend = sub.add_parser("defend", help="active defense: firewall, quarantine, debloat")
+    defend_sub = defend.add_subparsers(dest="defend_command", required=True)
+    defend_eval = defend_sub.add_parser(
+        "eval", help="score enforcement on a seeded corpus (baseline vs. defended)"
+    )
+    defend_eval.add_argument("--apps", type=int, default=120, help="corpus size")
+    defend_eval.add_argument("--seed", type=int, default=7)
+    defend_eval.add_argument("--policy", default="default",
+                             help="enforcement policy (see `defend policies`)")
+    defend_eval.add_argument("--verdict-store", metavar="FILE",
+                             help="shared verdict store; the baseline phase warms "
+                                  "it and the known-malware rule reads it")
+    defend_eval.add_argument("--quarantine-dir", metavar="DIR",
+                             help="preserve quarantined payload bytes here")
+    defend_eval.add_argument("--workers", type=int, default=1,
+                             help="worker processes; >1 runs both phases on the farm")
+    defend_eval.add_argument("--train", type=int, default=3,
+                             help="DroidNative samples per family")
+    defend_eval.add_argument("--json", action="store_true",
+                             help="emit the full scorecard as JSON")
+    defend_replay = defend_sub.add_parser(
+        "replay", help="re-detonate quarantined payloads in a sandbox VM"
+    )
+    defend_replay.add_argument("--quarantine-dir", metavar="DIR", required=True)
+    defend_replay.add_argument("--digest", default=None,
+                               help="replay only this payload (default: all)")
+    defend_replay.add_argument("--json", action="store_true")
+    defend_debloat = defend_sub.add_parser(
+        "debloat", help="shelve statically unreachable DCL call sites"
+    )
+    defend_debloat.add_argument("--apps", type=int, default=120, help="corpus size")
+    defend_debloat.add_argument("--seed", type=int, default=7)
+    defend_debloat.add_argument("--index", type=int, default=None,
+                                help="debloat only this corpus index")
+    defend_debloat.add_argument("--json", action="store_true")
+    defend_sub.add_parser("policies", help="list the named enforcement policies")
+
     serve = sub.add_parser("serve", help="run the analysis-as-a-service daemon")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8787,
@@ -199,6 +241,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="DroidNative samples per family")
     serve.add_argument("--no-replays", action="store_true",
                        help="skip Table VIII replays")
+    serve.add_argument("--policy", default="",
+                       help="default firewall policy for jobs that do not "
+                            "name one (see `defend policies`)")
+    serve.add_argument("--quarantine-dir", metavar="DIR", default="",
+                       help="preserve payloads the firewall quarantines here")
     _add_observe_flags(serve)
     serve.add_argument("--metrics-out", metavar="FILE",
                        help="write the final metrics registry here on drain")
@@ -220,6 +267,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --wait: also print the full analysis JSON")
     submit.add_argument("--timeout", type=float, default=120.0,
                         help="--wait deadline in seconds")
+    submit.add_argument("--policy", default="",
+                        help="analyze under this firewall policy "
+                             "(per-tenant submit-time setting)")
 
     status = sub.add_parser("status", help="daemon stats, or one job's record")
     status.add_argument("--host", default="127.0.0.1")
@@ -508,9 +558,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         verdict_store=args.verdict_store,
         cache_capacity=args.cache_capacity,
         pipeline=DyDroidConfig(
-            train_samples_per_family=args.train, run_replays=not args.no_replays
+            train_samples_per_family=args.train,
+            run_replays=not args.no_replays,
+            firewall_policy=args.policy,
+            quarantine_dir=args.quarantine_dir,
         ),
     )
+    if args.policy:
+        from repro.defense.firewall import get_policy
+
+        try:
+            get_policy(args.policy)
+        except ValueError as exc:
+            raise SystemExit("serve: {}".format(exc))
     service = AnalysisService(config)
     try:
         service.start()
@@ -580,6 +640,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
         "n_apps": args.apps,
         "index": args.index,
     }
+    if args.policy:
+        spec["policy"] = args.policy
     try:
         response = client.submit(spec, client=args.client, priority=args.priority)
         if args.wait and response["state"] != "done":
@@ -695,6 +757,116 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_defend(args: argparse.Namespace) -> int:
+    from repro.defense.firewall import POLICIES, QuarantineStore, replay_quarantined
+    from repro.store import StoreError
+
+    if args.defend_command == "eval":
+        from repro.defense.evaluation import evaluate_defense
+
+        started = time.perf_counter()
+        try:
+            evaluation = evaluate_defense(
+                args.apps,
+                seed=args.seed,
+                policy=args.policy,
+                verdict_store=args.verdict_store or "",
+                quarantine_dir=args.quarantine_dir or "",
+                config=DyDroidConfig(train_samples_per_family=args.train),
+                workers=args.workers,
+            )
+        except (StoreError, ValueError) as exc:
+            raise SystemExit("defend eval: {}".format(exc))
+        if args.json:
+            _print_json(evaluation.to_dict())
+        else:
+            print(evaluation.render())
+            print()
+            print(evaluation.defended_report.render_defense_table())
+        print(
+            "[defend eval: {} apps x2 phases in {:.1f}s; {}/{} hazards blocked, "
+            "{} benign broken]".format(
+                args.apps,
+                time.perf_counter() - started,
+                len(evaluation.blocked_hazards),
+                len(evaluation.exposed_hazards),
+                len(evaluation.broken_benign),
+            ),
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.defend_command == "replay":
+        import os
+
+        if not os.path.isdir(args.quarantine_dir):
+            raise SystemExit(
+                "defend replay: no quarantine directory at {}".format(args.quarantine_dir)
+            )
+        store = QuarantineStore(args.quarantine_dir)
+        digests = [args.digest] if args.digest else store.digests()
+        if args.digest and args.digest not in store.digests():
+            raise SystemExit(
+                "defend replay: no quarantined payload {}".format(args.digest)
+            )
+        results = [replay_quarantined(store, digest) for digest in digests]
+        if args.json:
+            _print_json(results)
+        else:
+            for result in results:
+                print("payload {} ({}, rule {})".format(
+                    result["digest"][:16], result["kind"], result["rule"]))
+                print("  original path:", result["source_path"])
+                print("  sandbox load: ", "error: " + result["error"]
+                      if result["error"] else "ok")
+                print("  events:        dex={} native={}".format(
+                    result["dex_events"], result["native_events"]))
+                for line in result["logcat"]:
+                    print("  logcat:", line)
+                for exfil in result["exfiltrated"]:
+                    print("  EXFIL: {} ({} bytes)".format(exfil["url"], exfil["n_bytes"]))
+        return 0
+
+    if args.defend_command == "debloat":
+        from repro.defense.debloat import debloat_corpus
+
+        generator = CorpusGenerator(seed=args.seed)
+        blueprints = generator.sample_blueprints(args.apps)
+        if args.index is not None:
+            if not 0 <= args.index < len(blueprints):
+                raise SystemExit(
+                    "index out of range (corpus has {} apps)".format(len(blueprints))
+                )
+            blueprints = [blueprints[args.index]]
+        records = [generator.build_record(blueprint) for blueprint in blueprints]
+        pairs = debloat_corpus(records)
+        manifests = [manifest for _, manifest in pairs]
+        if args.json:
+            _print_json([manifest.to_dict() for manifest in manifests])
+        else:
+            for manifest in manifests:
+                if not manifest.rewritten:
+                    continue
+                print("{}: shelved {} site(s), kept {} reachable".format(
+                    manifest.package, len(manifest.shelved),
+                    manifest.reachable_loader_sites))
+                for site in manifest.shelved:
+                    print("  - {}.{} [{}] in {}".format(
+                        site.class_name, site.method_name,
+                        site.mechanism, site.dex_entry))
+            print("[debloat: {}/{} apps rewritten, {} site(s) shelved]".format(
+                sum(1 for m in manifests if m.rewritten), len(manifests),
+                sum(len(m.shelved) for m in manifests)))
+        return 0
+
+    # policies
+    for name in sorted(POLICIES):
+        policy = POLICIES[name]
+        mode = "enforce" if policy.enforce else "observe"
+        print("{:<10} [{}] {}".format(name, mode, policy.description))
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.observe import load_spans, render_summary
 
@@ -721,6 +893,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "measure": cmd_measure,
         "farm": cmd_farm,
         "evolve": cmd_evolve,
+        "defend": cmd_defend,
         "serve": cmd_serve,
         "submit": cmd_submit,
         "status": cmd_status,

@@ -38,3 +38,11 @@ class DyDroidConfig:
     #: privacy verdict caches, so unbounded corpus runs stay bounded in
     #: memory.
     verdict_cache_capacity: int = 4096
+    #: named enforcement policy for the inline DCL firewall
+    #: (:data:`repro.defense.firewall.POLICIES`); "" analyzes without
+    #: enforcement.  Deliberately NOT part of the verdict-store
+    #: fingerprint -- payload verdicts are the same whether or not loads
+    #: were blocked, so warm stores stay valid across both modes.
+    firewall_policy: str = ""
+    #: directory where QUARANTINE verdicts preserve payload bytes.
+    quarantine_dir: str = ""

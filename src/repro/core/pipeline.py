@@ -168,6 +168,7 @@ class DyDroid:
                     events_run=dynamic.events_run,
                     intercepted=len(dynamic.intercepted),
                 )
+            self._count_defense(dynamic)
 
         # 4. obfuscation profile (native confirmed by the dynamic output).
         with stage(self.tracer, self.metrics, "obfuscation"):
@@ -209,6 +210,26 @@ class DyDroid:
                 analysis.replay_loaded = self._replay(record)
         return analysis
 
+    def _count_defense(self, dynamic: DynamicReport) -> None:
+        """Fold one session's enforcement outcomes into ``defense.*`` counters."""
+        blocked = 0
+        for decision in dynamic.firewall_decisions:
+            self.metrics.counter("defense.loads_checked").inc()
+            if decision.verdict == "deny":
+                self.metrics.counter("defense.loads_denied").inc()
+            elif decision.verdict == "quarantine":
+                self.metrics.counter("defense.loads_quarantined").inc()
+            else:
+                continue
+            blocked += 1
+            self.metrics.counter("defense.rule." + decision.rule).inc()
+        if blocked:
+            self.metrics.counter("defense.apps_blocked").inc()
+        if dynamic.dcl.rejected_events:
+            self.metrics.counter("defense.secure_loader_rejections").inc(
+                len(dynamic.dcl.rejected_events)
+            )
+
     def _engine_options(self, record: AppRecord) -> EngineOptions:
         return EngineOptions(
             monkey_seed=self.config.monkey_seed,
@@ -218,6 +239,9 @@ class DyDroid:
             release_time_ms=record.release_time_ms,
             companions=record.companions,
             remote_resources=record.remote_resources,
+            firewall_policy=self.config.firewall_policy or None,
+            quarantine_dir=self.config.quarantine_dir or None,
+            verdict_store=self.verdict_store,
         )
 
     def _verdict_for(

@@ -60,6 +60,15 @@ class DynamicDigest:
     storage_cleanups: int = 0
     methods_total: int = 0
     methods_executed: int = 0
+    #: enforcement policy in effect ("" = firewall off) and the firewall's
+    #: per-load audit trail, as plain dicts (see
+    #: :class:`repro.defense.firewall.FirewallDecision`).
+    firewall_policy: str = ""
+    firewall_decisions: List[Dict[str, str]] = field(default_factory=list)
+    loads_denied: int = 0
+    loads_quarantined: int = 0
+    #: developer-side secure-loader refusals observed during the session.
+    loads_rejected: int = 0
 
     @classmethod
     def from_report(cls, report: "DynamicLike") -> "DynamicDigest":
@@ -76,6 +85,11 @@ class DynamicDigest:
             storage_cleanups=report.storage_cleanups,
             methods_total=report.methods_total,
             methods_executed=report.methods_executed,
+            firewall_policy=report.firewall_policy,
+            firewall_decisions=[d.to_dict() for d in report.firewall_decisions],
+            loads_denied=report.loads_denied,
+            loads_quarantined=report.loads_quarantined,
+            loads_rejected=len(report.dcl.rejected_events),
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -87,6 +101,12 @@ class DynamicDigest:
     def from_dict(cls, data: Dict[str, object]) -> "DynamicDigest":
         data = dict(data)
         data["outcome"] = DynamicOutcome(data["outcome"])
+        # records predating the defense subsystem lack these fields.
+        data.setdefault("firewall_policy", "")
+        data.setdefault("firewall_decisions", [])
+        data.setdefault("loads_denied", 0)
+        data.setdefault("loads_quarantined", 0)
+        data.setdefault("loads_rejected", 0)
         return cls(**data)
 
 
@@ -288,6 +308,13 @@ class AppAnalysis:
 
 def _pct(count: int, total: int) -> str:
     return "{:.2%}".format(count / total) if total else "n/a"
+
+
+def _decision_fields(decision) -> Tuple[str, str]:
+    """(verdict, rule) from a live FirewallDecision or its digest dict."""
+    if isinstance(decision, dict):
+        return str(decision.get("verdict", "")), str(decision.get("rule", ""))
+    return decision.verdict, decision.rule
 
 
 @dataclass
@@ -692,6 +719,64 @@ class MeasurementReport:
             )
         return "\n".join(lines)
 
+    # -- defense: firewall enforcement outcomes --------------------------------------------------------------------
+
+    def defense_table(self) -> Dict[str, object]:
+        """Enforcement outcomes carried on the per-app dynamic results.
+
+        Aggregates identically from live :class:`DynamicReport` objects and
+        deserialized :class:`DynamicDigest` records, so defended farm runs
+        merge to the same numbers as a defended serial run.
+        """
+        policies: Set[str] = set()
+        denied = quarantined = rejected = apps_blocked = 0
+        by_rule: Dict[str, int] = {}
+        for app in self.apps:
+            dynamic = app.dynamic
+            if dynamic is None:
+                continue
+            if dynamic.firewall_policy:
+                policies.add(dynamic.firewall_policy)
+            blocked_here = 0
+            for decision in dynamic.firewall_decisions:
+                verdict, rule = _decision_fields(decision)
+                if verdict == "deny":
+                    denied += 1
+                elif verdict == "quarantine":
+                    quarantined += 1
+                else:
+                    continue
+                blocked_here += 1
+                by_rule[rule] = by_rule.get(rule, 0) + 1
+            if blocked_here:
+                apps_blocked += 1
+            rejected += dynamic.loads_rejected
+        return {
+            "policies": sorted(policies),
+            "apps_blocked": apps_blocked,
+            "loads_denied": denied,
+            "loads_quarantined": quarantined,
+            "secure_loader_rejections": rejected,
+            "by_rule": dict(sorted(by_rule.items())),
+        }
+
+    def render_defense_table(self) -> str:
+        table = self.defense_table()
+        lines = [
+            "DEFENSE: DCL firewall enforcement under policy [{}] over {} applications".format(
+                ", ".join(table["policies"]) or "off", self.n_total
+            ),
+            "{:<28}{:>10}".format("Apps with blocked loads", "{} ({})".format(
+                table["apps_blocked"], _pct(table["apps_blocked"], self.n_total)
+            )),
+            "{:<28}{:>10}".format("Loads denied", table["loads_denied"]),
+            "{:<28}{:>10}".format("Loads quarantined", table["loads_quarantined"]),
+            "{:<28}{:>10}".format("Secure-loader rejections", table["secure_loader_rejections"]),
+        ]
+        for rule, count in table["by_rule"].items():
+            lines.append("  rule {:<22}{:>10}".format(rule, count))
+        return "\n".join(lines)
+
     # -- machine-readable export -------------------------------------------------------------------------------------
 
     def to_dict(self, include_apps: bool = False) -> Dict[str, object]:
@@ -728,6 +813,7 @@ class MeasurementReport:
             "table8_runtime_configs": self.runtime_config_table(),
             "table9_vulnerabilities": vulnerability,
             "table10_privacy": self.privacy_table(),
+            "defense_enforcement": self.defense_table(),
         }
 
     @classmethod
@@ -760,17 +846,20 @@ class MeasurementReport:
     # -- everything --------------------------------------------------------------------------------------------------
 
     def render_all(self) -> str:
-        return "\n\n".join(
-            [
-                self.render_dynamic_summary(),
-                self.render_popularity(),
-                self.render_entity_table(),
-                self.render_remote_fetch(),
-                self.render_obfuscation_table(),
-                self.render_fig3(),
-                self.render_malware_table(),
-                self.render_runtime_config_table(),
-                self.render_vulnerability_table(),
-                self.render_privacy_table(),
-            ]
-        )
+        blocks = [
+            self.render_dynamic_summary(),
+            self.render_popularity(),
+            self.render_entity_table(),
+            self.render_remote_fetch(),
+            self.render_obfuscation_table(),
+            self.render_fig3(),
+            self.render_malware_table(),
+            self.render_runtime_config_table(),
+            self.render_vulnerability_table(),
+            self.render_privacy_table(),
+        ]
+        # Only defended runs grow the extra block, keeping undefended
+        # output byte-identical to the pre-firewall pipeline.
+        if self.defense_table()["policies"]:
+            blocks.append(self.render_defense_table())
+        return "\n\n".join(blocks)

@@ -4,18 +4,49 @@ The paper's conclusion: "The security verification of DCL is needed from
 the app developer and OS vendors."  Its related work points at Grab'n Run
 (Falsina et al., ACSAC 2015) -- a drop-in library that verifies loaded code
 before execution.  This package implements both ends of that remedy inside
-the simulated ecosystem:
+the simulated ecosystem, plus the active-enforcement layer behind
+``repro defend``:
 
 - :mod:`repro.defense.secure_loader` -- a developer-side drop-in:
   :class:`SecureDexClassLoader` verifies payload digests/signatures against
   a pinned manifest before delegating to the real loader, closing the
   Table IX code-injection hole;
-- :mod:`repro.defense.policy` -- an OS/market-side enforcement layer:
-  a provenance policy engine that watches DCL events + the download tracker
-  and blocks (or reports) loads violating the Google Play content policy
-  (remotely fetched code) or loading from foreign-writable locations.
+- :mod:`repro.defense.policy` -- the rule layer: a provenance policy engine
+  that scores DCL events against the download tracker, the manifest, and
+  the VFS (remote code, foreign-writable and world-writable load paths);
+- :mod:`repro.defense.firewall` -- *inline* enforcement of those rules at
+  the VM's complete-mediation hook points, with per-tenant
+  :class:`PolicyDocument` selection, verdict-store-backed known-malware
+  quarantine, and sandboxed replay of quarantined payloads;
+- :mod:`repro.defense.debloat` -- a static rewriter that shelves DCL call
+  sites no manifest entry point can reach (guard-stub replacement);
+- :mod:`repro.defense.evaluation` -- the defended-corpus harness scoring
+  blocked-hazard rate against benign breakage (``repro defend eval``).
 """
 
+from repro.defense.debloat import (
+    RewriteManifest,
+    ShelvedSite,
+    debloat_apk,
+    debloat_corpus,
+)
+from repro.defense.evaluation import (
+    AppDefenseOutcome,
+    DefenseEvaluation,
+    evaluate_defense,
+    hazard_kind,
+)
+from repro.defense.firewall import (
+    POLICIES,
+    DclFirewall,
+    FirewallDecision,
+    PolicyDocument,
+    QuarantineStore,
+    get_policy,
+    known_malware_rule,
+    policy_names,
+    replay_quarantined,
+)
 from repro.defense.policy import (
     PolicyDecision,
     PolicyEngine,
@@ -31,13 +62,30 @@ from repro.defense.secure_loader import (
 )
 
 __all__ = [
+    "AppDefenseOutcome",
     "CodeVerificationError",
+    "DclFirewall",
+    "DefenseEvaluation",
+    "FirewallDecision",
+    "POLICIES",
     "PayloadManifest",
     "PolicyDecision",
+    "PolicyDocument",
     "PolicyEngine",
     "PolicyRule",
     "PolicyVerdict",
+    "QuarantineStore",
+    "RewriteManifest",
     "SecureDexClassLoader",
+    "ShelvedSite",
+    "debloat_apk",
+    "debloat_corpus",
     "default_policy",
+    "evaluate_defense",
+    "get_policy",
+    "hazard_kind",
+    "known_malware_rule",
+    "policy_names",
+    "replay_quarantined",
     "sign_payload",
 ]

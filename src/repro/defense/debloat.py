@@ -1,0 +1,208 @@
+"""DCL debloating: shelve loader call sites no entry point can reach.
+
+The firewall (:mod:`repro.defense.firewall`) mediates loads that *happen*;
+debloating removes the ones that never legitimately can.  A large share of
+DCL-capable apps carry loader code that is statically unreachable -- dead
+plugin paths, abandoned A/B experiments, copy-pasted SDK leftovers (the
+paper's prefilter-vs-runtime gap).  Every such site is pure attack surface:
+a confused-deputy bug or a partial code-injection primitive only needs *one*
+reachable path to an existing ``DexClassLoader`` constructor.
+
+``debloat_apk`` statically rewrites an :class:`Apk`:
+
+1. decompile and compute the call-graph closure from the manifest entry
+   points (:func:`repro.static_analysis.callgraph.reachable_methods`);
+2. find unreachable methods whose bodies construct a DEX class loader or
+   call the JNI native-load surface;
+3. *shelve* each one -- the original body is renamed to ``<name>$shelved``
+   (kept loadable, so reflection-probing apps still resolve the class) and
+   a guard stub that only logs takes its place under the original name;
+4. repack, refusing integrity-protected apps exactly like the
+   permission rewriter (:class:`~repro.static_analysis.rewriter.RepackagingError`).
+
+The rewrite is conservative by construction: reachable loader sites are
+never touched, so a debloated benign app behaves identically under the VM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.android.apk import ANTI_REPACKAGING_ENTRY, Apk
+from repro.android.builders import MethodBuilder
+from repro.android.dex import DexFile, DexMethod
+from repro.static_analysis.callgraph import reachable_methods
+from repro.static_analysis.decompiler import Decompiler
+from repro.static_analysis.prefilter import (
+    NATIVE_LOAD_METHODS,
+    _is_loader_ctor,
+)
+from repro.static_analysis.rewriter import RepackagingError
+
+#: suffix appended to a shelved method's name; the guard stub takes the
+#: original name so every existing call site (there are none reachable,
+#: but dispatch tables do not know that) resolves to the no-op.
+SHELVED_SUFFIX = "$shelved"
+
+_NATIVE_LOAD_KEYS = frozenset(NATIVE_LOAD_METHODS)
+
+
+@dataclass(frozen=True)
+class ShelvedSite:
+    """One debloated call site: where it was and why it qualified."""
+
+    class_name: str
+    method_name: str
+    #: "dex" (loader constructor), "native" (JNI load), or "both".
+    mechanism: str
+    dex_entry: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "class": self.class_name,
+            "method": self.method_name,
+            "mechanism": self.mechanism,
+            "dex_entry": self.dex_entry,
+        }
+
+
+@dataclass
+class RewriteManifest:
+    """What a debloating pass did to one APK."""
+
+    package: str
+    shelved: List[ShelvedSite] = field(default_factory=list)
+    #: loader-bearing methods left alone because an entry point reaches them.
+    reachable_loader_sites: int = 0
+
+    @property
+    def rewritten(self) -> bool:
+        return bool(self.shelved)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "package": self.package,
+            "rewritten": self.rewritten,
+            "shelved": [site.to_dict() for site in self.shelved],
+            "reachable_loader_sites": self.reachable_loader_sites,
+        }
+
+
+def _loader_mechanism(method: DexMethod) -> str:
+    """'' when the method has no DCL surface, else dex/native/both."""
+    has_dex = False
+    has_native = False
+    for ref in method.invoked_refs():
+        if _is_loader_ctor(ref):
+            has_dex = True
+        elif (ref.class_name, ref.name) in _NATIVE_LOAD_KEYS:
+            has_native = True
+    if has_dex and has_native:
+        return "both"
+    if has_dex:
+        return "dex"
+    if has_native:
+        return "native"
+    return ""
+
+
+def _guard_stub(method: DexMethod) -> DexMethod:
+    """A body-compatible stand-in that logs the suppressed load and returns."""
+    builder = MethodBuilder(
+        method.name,
+        method.class_name,
+        arity=method.arity,
+        is_static=method.is_static,
+        is_public=method.is_public,
+    )
+    tag = builder.new_string("repro.defense")
+    message = builder.new_string(
+        "debloated: dynamic load site {}.{} shelved".format(
+            method.class_name, method.name
+        )
+    )
+    builder.call_void("android.util.Log", "d", tag, message)
+    builder.ret_void()
+    return builder.build()
+
+
+def debloat_apk(apk: Apk) -> Tuple[Apk, RewriteManifest]:
+    """Shelve every statically unreachable DCL call site of ``apk``.
+
+    Returns ``(rewritten_apk, manifest)``; when nothing qualifies the
+    returned APK is the original object, untouched.  Raises
+    :class:`RepackagingError` for integrity-protected apps (the repacked
+    archive could not match the embedded record) and propagates
+    :class:`~repro.static_analysis.decompiler.DecompilationError` for
+    anti-decompilation samples -- both populations stay firewall-only.
+    """
+    program = Decompiler(strict=True).decompile(apk)
+    manifest = RewriteManifest(package=program.manifest.package)
+    reachable = reachable_methods(program)
+
+    # Map each parsed DexFile back to its archive entry so only touched
+    # entries are reserialized (dex_entries() and decompile() share order).
+    entry_names = [path for path, _ in apk.dex_entries()]
+    touched: Dict[str, DexFile] = {}
+
+    for entry_name, dex in zip(entry_names, program.dex_files):
+        for cls in dex.classes:
+            shelved_here: List[DexMethod] = []
+            for method in cls.methods:
+                mechanism = _loader_mechanism(method)
+                if not mechanism or method.name.endswith(SHELVED_SUFFIX):
+                    continue
+                if (cls.name, method.name) in reachable:
+                    manifest.reachable_loader_sites += 1
+                    continue
+                manifest.shelved.append(
+                    ShelvedSite(cls.name, method.name, mechanism, entry_name)
+                )
+                stub = _guard_stub(method)
+                method.name = method.name + SHELVED_SUFFIX
+                shelved_here.append(stub)
+                touched[entry_name] = dex
+            cls.methods.extend(shelved_here)
+
+    if not manifest.rewritten:
+        return apk, manifest
+    if apk.is_anti_repackaging:
+        raise RepackagingError(
+            "integrity-protected package {} cannot be debloated".format(
+                manifest.package
+            )
+        )
+
+    rewritten = apk.clone()
+    for entry_name, dex in touched.items():
+        rewritten.entries[entry_name] = dex.to_bytes()
+    # A real repack re-signs; drop any stale integrity record (none when the
+    # guard above holds, but clone defensively like the permission rewriter).
+    rewritten.entries.pop(ANTI_REPACKAGING_ENTRY, None)
+    return rewritten, manifest
+
+
+def debloat_corpus(records) -> List[Tuple[object, RewriteManifest]]:
+    """Debloat every record of a corpus, skipping undecompilable apps.
+
+    Returns ``(record, manifest)`` pairs where ``record.apk`` has been
+    replaced by its rewritten form; apps that cannot be rewritten
+    (anti-decompilation, anti-repackaging) are returned unchanged with an
+    empty manifest so callers can count them.
+    """
+    from dataclasses import replace
+
+    from repro.static_analysis.decompiler import DecompilationError
+
+    out = []
+    for record in records:
+        try:
+            rewritten, manifest = debloat_apk(record.apk)
+        except (DecompilationError, RepackagingError):
+            out.append((record, RewriteManifest(package=record.package)))
+            continue
+        if manifest.rewritten:
+            record = replace(record, apk=rewritten)
+        out.append((record, manifest))
+    return out

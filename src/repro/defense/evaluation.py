@@ -1,0 +1,338 @@
+"""Defended-corpus evaluation: blocked-hazard rate vs. benign breakage.
+
+The paper measures what dynamically loaded code *does*; this harness
+measures what an inline enforcement layer would have *prevented* -- and,
+just as importantly, what it would have broken.  ``evaluate_defense`` runs
+the same seeded corpus through the pipeline twice:
+
+1. **baseline** -- firewall off.  This is the reference behavior per app
+   (did it crash on its own? what loaded?) and, because the interceptor
+   dumps every payload, it warms the shared :class:`VerdictStore` with
+   detection verdicts the defended phase's ``known-malware`` rule reads.
+2. **defended** -- firewall on under the named policy, against the *same*
+   verdict store.
+
+Scoring is against corpus ground truth (each app's
+:class:`~repro.corpus.generator.AppBlueprint`):
+
+- a **hazard** is an app planted with a remote-fetch payload, a malware
+  carrier, or a code-injection-vulnerable load; it counts as *exposed*
+  when its baseline run actually performed a dynamic load (env-gated
+  malware that never triggers exposes nothing to block);
+- an exposed hazard is **blocked** when the defended run denied or
+  quarantined at least one of its loads;
+- a benign app is **broken** when the defended run blocked any of its
+  loads *or* ended in a worse outcome than its own baseline (an app that
+  was crashy before enforcement is not breakage).
+
+Both phases run in-process by default; ``workers > 1`` routes them
+through the farm coordinator instead (policy and store path travel inside
+:class:`~repro.core.config.DyDroidConfig`, which the verdict fingerprint
+deliberately ignores, so both phases share one store either way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import DyDroidConfig
+from repro.core.report import MeasurementReport, _decision_fields
+from repro.corpus.generator import AppBlueprint, CorpusGenerator
+from repro.defense.firewall import get_policy
+
+#: outcome quality ladder for the breakage comparison (higher is better).
+_OUTCOME_RANK = {
+    "rewriting-failure": 0,
+    "no-activity": 1,
+    "crash": 1,
+    "exercised": 2,
+}
+
+
+def hazard_kind(blueprint: AppBlueprint) -> str:
+    """Ground-truth hazard class of a blueprint ("" for benign apps)."""
+    if blueprint.malware_family:
+        return "known-malware"
+    if blueprint.is_baidu_remote:
+        return "remote-code"
+    if blueprint.vuln_kind:
+        return "code-injection"
+    return ""
+
+
+@dataclass
+class AppDefenseOutcome:
+    """Before/after scoring for one app."""
+
+    package: str
+    corpus_index: int
+    hazard: str  # "" = benign
+    exposed: bool
+    baseline_outcome: str
+    defended_outcome: str
+    blocked_loads: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def blocked(self) -> bool:
+        return bool(self.blocked_loads)
+
+    @property
+    def broken(self) -> bool:
+        """Benign app harmed by enforcement (blocked or degraded)."""
+        if self.hazard:
+            return False
+        if self.blocked:
+            return True
+        before = _OUTCOME_RANK.get(self.baseline_outcome, 2)
+        after = _OUTCOME_RANK.get(self.defended_outcome, 2)
+        return after < before
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "package": self.package,
+            "corpus_index": self.corpus_index,
+            "hazard": self.hazard,
+            "exposed": self.exposed,
+            "baseline_outcome": self.baseline_outcome,
+            "defended_outcome": self.defended_outcome,
+            "blocked_loads": [list(pair) for pair in self.blocked_loads],
+            "blocked": self.blocked,
+            "broken": self.broken,
+        }
+
+
+@dataclass
+class DefenseEvaluation:
+    """Corpus-level enforcement scorecard."""
+
+    policy: str
+    n_apps: int
+    seed: int
+    outcomes: List[AppDefenseOutcome] = field(default_factory=list)
+    defended_report: Optional[MeasurementReport] = None
+
+    # -- aggregates ------------------------------------------------------------
+
+    @property
+    def exposed_hazards(self) -> List[AppDefenseOutcome]:
+        return [o for o in self.outcomes if o.hazard and o.exposed]
+
+    @property
+    def blocked_hazards(self) -> List[AppDefenseOutcome]:
+        return [o for o in self.exposed_hazards if o.blocked]
+
+    @property
+    def broken_benign(self) -> List[AppDefenseOutcome]:
+        return [o for o in self.outcomes if o.broken]
+
+    @property
+    def blocked_hazard_rate(self) -> float:
+        exposed = self.exposed_hazards
+        return len(self.blocked_hazards) / len(exposed) if exposed else 0.0
+
+    @property
+    def benign_breakage_rate(self) -> float:
+        benign = [o for o in self.outcomes if not o.hazard]
+        return len(self.broken_benign) / len(benign) if benign else 0.0
+
+    def hazards_by_kind(self) -> Dict[str, Dict[str, int]]:
+        table: Dict[str, Dict[str, int]] = {}
+        for outcome in self.exposed_hazards:
+            row = table.setdefault(outcome.hazard, {"exposed": 0, "blocked": 0})
+            row["exposed"] += 1
+            row["blocked"] += int(outcome.blocked)
+        return table
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "n_apps": self.n_apps,
+            "seed": self.seed,
+            "exposed_hazards": len(self.exposed_hazards),
+            "blocked_hazards": len(self.blocked_hazards),
+            "blocked_hazard_rate": round(self.blocked_hazard_rate, 4),
+            "benign_apps": sum(1 for o in self.outcomes if not o.hazard),
+            "broken_benign": len(self.broken_benign),
+            "benign_breakage_rate": round(self.benign_breakage_rate, 4),
+            "by_kind": self.hazards_by_kind(),
+            "apps": [o.to_dict() for o in self.outcomes],
+        }
+
+    def render(self) -> str:
+        """The paper-style before/after enforcement table."""
+        lines = [
+            "DEFENSE EVALUATION: policy [{}] over {} applications (seed {})".format(
+                self.policy, self.n_apps, self.seed
+            ),
+            "=" * 74,
+            "{:<26}{:>12}{:>12}{:>12}".format(
+                "Hazard class", "Exposed", "Blocked", "Rate"
+            ),
+            "-" * 74,
+        ]
+        for kind in sorted(self.hazards_by_kind()):
+            row = self.hazards_by_kind()[kind]
+            rate = row["blocked"] / row["exposed"] if row["exposed"] else 0.0
+            lines.append(
+                "{:<26}{:>12}{:>12}{:>11.0%}".format(
+                    kind, row["exposed"], row["blocked"], rate
+                )
+            )
+        lines.append("-" * 74)
+        lines.append(
+            "{:<26}{:>12}{:>12}{:>11.0%}".format(
+                "All hazards",
+                len(self.exposed_hazards),
+                len(self.blocked_hazards),
+                self.blocked_hazard_rate,
+            )
+        )
+        benign = sum(1 for o in self.outcomes if not o.hazard)
+        lines.append(
+            "{:<26}{:>12}{:>12}{:>11.0%}".format(
+                "Benign apps broken",
+                benign,
+                len(self.broken_benign),
+                self.benign_breakage_rate,
+            )
+        )
+        return "\n".join(lines)
+
+
+# -- the harness ---------------------------------------------------------------
+
+
+def _outcome_value(analysis) -> str:
+    outcome = analysis.outcome if analysis is not None else None
+    if outcome is None:
+        return ""
+    return getattr(outcome, "value", outcome)
+
+
+def _had_any_load(analysis) -> bool:
+    """Whether the (baseline) session performed any mediated load.
+
+    ``dex_loaded``/``native_loaded`` exist on both the live
+    :class:`DynamicReport` and its serialized digest, so farm runs score
+    identically to in-process ones; firewall decisions cover observe-mode
+    baselines where a load was mediated but the flags predate the field.
+    """
+    if analysis is None or analysis.dynamic is None:
+        return False
+    dynamic = analysis.dynamic
+    return bool(
+        getattr(dynamic, "dex_loaded", False)
+        or getattr(dynamic, "native_loaded", False)
+        or dynamic.firewall_decisions
+    )
+
+
+def _blocked_loads(analysis) -> List[Tuple[str, str]]:
+    if analysis is None or analysis.dynamic is None:
+        return []
+    blocked = []
+    for decision in analysis.dynamic.firewall_decisions:
+        verdict, rule = _decision_fields(decision)
+        if verdict != "allow":
+            blocked.append((verdict, rule))
+    return blocked
+
+
+def _measure_in_process(
+    config: DyDroidConfig, store, n_apps: int, seed: int
+) -> MeasurementReport:
+    from repro.core.pipeline import DyDroid
+
+    corpus = CorpusGenerator(seed=seed).generate(n_apps)
+    return DyDroid(config, verdict_store=store).measure(corpus)
+
+
+def _measure_on_farm(
+    config: DyDroidConfig, store_path: str, n_apps: int, seed: int, workers: int
+) -> MeasurementReport:
+    from repro.farm.coordinator import FarmConfig, run_farm
+
+    result = run_farm(
+        FarmConfig(
+            n_apps=n_apps,
+            corpus_seed=seed,
+            workers=workers,
+            pipeline=config,
+            verdict_store=store_path,
+        )
+    )
+    return result.report
+
+
+def evaluate_defense(
+    n_apps: int,
+    seed: int = 7,
+    policy: str = "default",
+    verdict_store: str = "",
+    quarantine_dir: str = "",
+    config: Optional[DyDroidConfig] = None,
+    workers: int = 1,
+) -> DefenseEvaluation:
+    """Run the two-phase (baseline, defended) evaluation on a seeded corpus.
+
+    ``verdict_store`` is required for the ``known-malware`` rule to have
+    verdicts to read; without a path the two phases share an in-memory
+    store-less pipeline and that rule never fires.
+    """
+    get_policy(policy)  # fail fast on unknown names
+    from dataclasses import replace
+
+    base_config = config or DyDroidConfig()
+    baseline_config = replace(
+        base_config, firewall_policy="", quarantine_dir="", run_replays=False
+    )
+    defended_config = replace(
+        base_config,
+        firewall_policy=policy,
+        quarantine_dir=quarantine_dir,
+        run_replays=False,
+    )
+
+    if workers > 1:
+        if not verdict_store:
+            raise ValueError("farm evaluation requires a --verdict-store path")
+        baseline = _measure_on_farm(
+            baseline_config, verdict_store, n_apps, seed, workers
+        )
+        defended = _measure_on_farm(
+            defended_config, verdict_store, n_apps, seed, workers
+        )
+    else:
+        from repro.store.verdicts import VerdictStore
+
+        store = VerdictStore(verdict_store, base_config) if verdict_store else None
+        try:
+            baseline = _measure_in_process(baseline_config, store, n_apps, seed)
+            defended = _measure_in_process(defended_config, store, n_apps, seed)
+        finally:
+            if store is not None:
+                store.close()
+
+    blueprints = CorpusGenerator(seed=seed).sample_blueprints(n_apps)
+    baseline_by_index = {a.corpus_index: a for a in baseline.apps}
+    defended_by_index = {a.corpus_index: a for a in defended.apps}
+
+    evaluation = DefenseEvaluation(
+        policy=policy, n_apps=n_apps, seed=seed, defended_report=defended
+    )
+    for blueprint in blueprints:
+        before = baseline_by_index.get(blueprint.index)
+        after = defended_by_index.get(blueprint.index)
+        evaluation.outcomes.append(
+            AppDefenseOutcome(
+                package=blueprint.package,
+                corpus_index=blueprint.index,
+                hazard=hazard_kind(blueprint),
+                exposed=_had_any_load(before),
+                baseline_outcome=_outcome_value(before),
+                defended_outcome=_outcome_value(after),
+                blocked_loads=_blocked_loads(after),
+            )
+        )
+    return evaluation

@@ -1,0 +1,391 @@
+"""The enforced DCL firewall: inline policy decisions at the mediation points.
+
+:mod:`repro.defense.policy` scores DCL events *after* a session; this module
+promotes the same rules to *inline enforcement*.  The VM's complete-mediation
+hook points (:mod:`repro.runtime.classloader` for bytecode,
+:mod:`repro.runtime.jni` for native code) consult an attached
+:class:`DclFirewall` between logging a load event and actually defining any
+code; a DENY or QUARANTINE verdict raises
+:class:`~repro.runtime.objects.FirewallDeniedException` -- an app-catchable
+``java.lang.SecurityException`` -- so the hostile payload never executes
+while the host app continues degraded.
+
+What enforcement keys on, per the paper's security findings:
+
+- **provenance** -- download-tracker reachability (remotely fetched code is
+  the Google Play content-policy violation, Table V);
+- **vulnerability class** -- foreign-writable / world-writable load paths
+  (the Table IX code-injection surface);
+- **payload digest** -- a live lookup in the cross-shard
+  :class:`~repro.store.verdicts.VerdictStore`: payloads DroidNative already
+  convicted anywhere in the fleet are quarantined on sight;
+- **per-tenant policy** -- a named :class:`PolicyDocument` selects the rule
+  set and whether verdicts are enforced or merely observed.
+
+QUARANTINE preserves the payload bytes (content-addressed, replayable via
+:func:`replay_quarantined`) before blocking, so analysts keep the evidence
+the block would otherwise destroy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.defense.policy import (
+    PolicyContext,
+    PolicyEngine,
+    PolicyRule,
+    PolicyVerdict,
+    default_policy,
+)
+from repro.runtime.instrumentation import DexLoadEvent, NativeLoadEvent
+from repro.runtime.objects import FirewallDeniedException
+from repro.runtime.vfs import is_external
+
+__all__ = [
+    "DclFirewall",
+    "FirewallDecision",
+    "PolicyDocument",
+    "QuarantineStore",
+    "get_policy",
+    "known_malware_rule",
+    "policy_names",
+    "replay_quarantined",
+]
+
+
+# -- verdict-store-backed rule -------------------------------------------------
+
+
+def known_malware_rule(store) -> PolicyRule:
+    """Quarantine payloads whose digest the fleet already convicted.
+
+    ``store`` is a :class:`~repro.store.verdicts.VerdictStore` (duck-typed:
+    anything with ``get_detection(digest)``) or ``None``.  A *computed
+    benign* record -- ``(True, None)`` -- deliberately does not match, so
+    packers' decrypted-but-clean payloads load normally; only a positive
+    DroidNative detection quarantines.
+    """
+
+    def check(context: PolicyContext, path: str) -> Optional[str]:
+        if store is None or context.vfs is None:
+            return None
+        try:
+            data = context.vfs.read(path)
+        except FileNotFoundError:
+            return None
+        digest = hashlib.sha256(data).hexdigest()
+        found, detection = store.get_detection(digest)
+        if found and detection is not None:
+            return "payload digest {} is known malware ({})".format(
+                digest[:16], detection.family
+            )
+        return None
+
+    return PolicyRule("known-malware", check, PolicyVerdict.QUARANTINE)
+
+
+def _rule_external_any(context: PolicyContext, path: str) -> Optional[str]:
+    """Strict-policy extra: no code from shared external storage, any SDK."""
+    if is_external(path):
+        return "loads from shared external storage (strict policy)"
+    return None
+
+
+# -- per-tenant policy documents -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class PolicyDocument:
+    """A named, per-tenant enforcement policy.
+
+    ``build_rules(verdict_store)`` materializes the rule list -- a factory
+    rather than a static list because the known-malware rule closes over
+    the live verdict store of whichever pipeline attaches the firewall.
+    ``enforce=False`` turns the firewall into a monitor: every decision is
+    still recorded (and quarantine still preserves bytes) but nothing is
+    raised into the app.
+    """
+
+    name: str
+    description: str
+    build_rules: Callable[[Optional[object]], List[PolicyRule]]
+    enforce: bool = True
+
+
+def _default_rules(store: Optional[object]) -> List[PolicyRule]:
+    return [known_malware_rule(store)] + default_policy()
+
+
+def _strict_rules(store: Optional[object]) -> List[PolicyRule]:
+    return [known_malware_rule(store)] + default_policy() + [
+        PolicyRule("external-storage", _rule_external_any)
+    ]
+
+
+POLICIES: Dict[str, PolicyDocument] = {
+    "default": PolicyDocument(
+        "default",
+        "quarantine fleet-convicted payloads; deny remote / foreign-writable / "
+        "world-writable loads",
+        _default_rules,
+    ),
+    "strict": PolicyDocument(
+        "strict",
+        "the default rules plus a blanket ban on external-storage code",
+        _strict_rules,
+    ),
+    "observe": PolicyDocument(
+        "observe",
+        "record every verdict without enforcing any (monitor mode)",
+        _default_rules,
+        enforce=False,
+    ),
+}
+
+
+def policy_names() -> List[str]:
+    return sorted(POLICIES)
+
+
+def get_policy(name: str) -> PolicyDocument:
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown firewall policy {!r} (known: {})".format(
+                name, ", ".join(policy_names())
+            )
+        )
+
+
+# -- decisions -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FirewallDecision:
+    """One inline verdict, as carried on reports through JSON round-trips."""
+
+    path: str
+    verdict: str                      # PolicyVerdict value: allow|deny|quarantine
+    rule: str
+    reason: str
+    policy: str
+    kind: str                         # "dex" | "native"
+
+    @property
+    def blocked(self) -> bool:
+        return self.verdict != PolicyVerdict.ALLOW.value
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "path": self.path,
+            "verdict": self.verdict,
+            "rule": self.rule,
+            "reason": self.reason,
+            "policy": self.policy,
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, str]) -> "FirewallDecision":
+        return cls(
+            path=data["path"],
+            verdict=data["verdict"],
+            rule=data["rule"],
+            reason=data.get("reason", ""),
+            policy=data.get("policy", ""),
+            kind=data.get("kind", "dex"),
+        )
+
+
+# -- quarantine ----------------------------------------------------------------
+
+
+class QuarantineStore:
+    """Content-addressed payload jail: ``<digest>.bin`` + ``<digest>.json``.
+
+    Writes are idempotent by construction (the digest names the content),
+    so concurrent farm shards quarantining the same SDK payload never
+    conflict; the ``.bin`` lands via a per-writer temp file + atomic rename.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def put(self, data: bytes, decision: FirewallDecision) -> str:
+        digest = hashlib.sha256(data).hexdigest()
+        bin_path = self.directory / (digest + ".bin")
+        if not bin_path.exists():
+            tmp = bin_path.with_suffix(".bin.tmp{}".format(id(self)))
+            tmp.write_bytes(data)
+            tmp.replace(bin_path)
+        meta_path = self.directory / (digest + ".json")
+        if not meta_path.exists():
+            record = {"digest": digest, "size": len(data)}
+            record.update(decision.to_dict())
+            meta_path.write_text(json.dumps(record, indent=1, sort_keys=True))
+        return digest
+
+    def digests(self) -> List[str]:
+        return sorted(p.stem for p in self.directory.glob("*.bin"))
+
+    def metadata(self, digest: str) -> Dict[str, object]:
+        return json.loads((self.directory / (digest + ".json")).read_text())
+
+    def read_payload(self, digest: str) -> bytes:
+        return (self.directory / (digest + ".bin")).read_bytes()
+
+    def __len__(self) -> int:
+        return len(self.digests())
+
+
+# -- the firewall --------------------------------------------------------------
+
+
+class DclFirewall:
+    """Inline enforcement attached to one VM session (``vm.firewall``).
+
+    The runtime hooks call :meth:`check_dex_load` / :meth:`check_native_load`
+    after emitting the instrumentation event (so measurement -- and the code
+    interceptor's payload dump -- always happen) but before any code is
+    defined or any native intrinsic runs.
+    """
+
+    def __init__(
+        self,
+        policy: PolicyDocument,
+        context: PolicyContext,
+        verdict_store=None,
+        quarantine: Optional[QuarantineStore] = None,
+    ) -> None:
+        self.policy = policy
+        self.context = context
+        self.engine = PolicyEngine(policy.build_rules(verdict_store))
+        self.quarantine = quarantine
+        #: every inline verdict of the session, ALLOWs included (the audit
+        #: trail the report serializes).
+        self.decisions: List[FirewallDecision] = []
+
+    def check_dex_load(self, event: DexLoadEvent) -> None:
+        for path in event.dex_paths:
+            self._check(path, "dex")
+
+    def check_native_load(self, event: NativeLoadEvent) -> None:
+        self._check(event.lib_path, "native")
+
+    def _check(self, path: str, kind: str) -> None:
+        decision = self.engine.decide(self.context, path)
+        recorded = FirewallDecision(
+            path=path,
+            verdict=decision.verdict.value,
+            rule=decision.rule,
+            reason=decision.reason,
+            policy=self.policy.name,
+            kind=kind,
+        )
+        self.decisions.append(recorded)
+        if decision.verdict is PolicyVerdict.ALLOW:
+            return
+        if decision.verdict is PolicyVerdict.QUARANTINE and self.quarantine is not None:
+            self._preserve(path, recorded)
+        if self.policy.enforce:
+            raise FirewallDeniedException(
+                "DCL firewall [{}]: {} load of {} blocked by rule "
+                "{!r}: {}".format(
+                    self.policy.name, kind, path, decision.rule, decision.reason
+                ),
+                decision=recorded,
+            )
+
+    def _preserve(self, path: str, decision: FirewallDecision) -> None:
+        if self.context.vfs is None:
+            return
+        try:
+            data = self.context.vfs.read(path)
+        except FileNotFoundError:
+            return
+        self.quarantine.put(data, decision)
+
+
+# -- quarantine replay ---------------------------------------------------------
+
+_SANDBOX_PACKAGE = "com.repro.sandbox"
+
+
+def replay_quarantined(
+    store: QuarantineStore, digest: str
+) -> Dict[str, object]:
+    """Re-detonate one quarantined payload in a disposable sandbox VM.
+
+    Builds a throwaway host app on a fresh device (no firewall attached),
+    drops the preserved bytes into the sandbox's private storage, and loads
+    them through the same hooked API the original app used -- so analysts
+    observe exactly what the block prevented (logcat, exfiltration,
+    instrumentation events) without the original app or market access.
+    """
+    from repro.android.apk import Apk
+    from repro.android.bytecode import MethodRef
+    from repro.android.dex import DexFile
+    from repro.android.manifest import AndroidManifest
+    from repro.dynamic.dcl_logger import DclLogger
+    from repro.runtime.device import Device
+    from repro.runtime.instrumentation import Instrumentation
+    from repro.runtime.objects import VMException, VMObject
+    from repro.runtime.vm import DalvikVM
+
+    meta = store.metadata(digest)
+    data = store.read_payload(digest)
+    kind = str(meta.get("kind", "dex"))
+    basename = str(meta.get("path", "payload.bin")).rsplit("/", 1)[-1]
+    sandbox_path = "/data/data/{}/files/{}".format(_SANDBOX_PACKAGE, basename)
+
+    device = Device()
+    instrumentation = Instrumentation()
+    logger = DclLogger().attach(instrumentation)
+    vm = DalvikVM(device, instrumentation)
+    host = Apk.build(
+        AndroidManifest(package=_SANDBOX_PACKAGE, min_sdk=21, permissions=set(), components=[]),
+        dex_files=[DexFile()],
+    )
+    vm.install_app(host)
+    device.vfs.write(sandbox_path, data, owner=_SANDBOX_PACKAGE)
+
+    error: Optional[str] = None
+    try:
+        if kind == "native":
+            vm.invoke(MethodRef("java.lang.Runtime", "load", 2), [None, sandbox_path])
+        else:
+            loader = VMObject("dalvik.system.DexClassLoader")
+            vm.invoke(
+                MethodRef("dalvik.system.DexClassLoader", "<init>", 5),
+                [
+                    loader,
+                    sandbox_path,
+                    "/data/data/{}/cache".format(_SANDBOX_PACKAGE),
+                    None,
+                    None,
+                ],
+            )
+    except VMException as exc:
+        error = str(exc)
+
+    return {
+        "digest": digest,
+        "kind": kind,
+        "source_path": meta.get("path", ""),
+        "rule": meta.get("rule", ""),
+        "sandbox_path": sandbox_path,
+        "dex_events": len(logger.dex_events),
+        "native_events": len(logger.native_events),
+        "logcat": list(device.logcat),
+        "exfiltrated": [
+            {"url": url, "n_bytes": n} for url, n in device.network.exfil_log
+        ],
+        "error": error,
+    }

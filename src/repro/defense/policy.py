@@ -32,6 +32,9 @@ LoadEvent = Union[DexLoadEvent, NativeLoadEvent]
 class PolicyVerdict(enum.Enum):
     ALLOW = "allow"
     DENY = "deny"
+    #: block the load but preserve the payload bytes for offline analysis
+    #: (the firewall's :class:`~repro.defense.firewall.QuarantineStore`).
+    QUARANTINE = "quarantine"
 
 
 @dataclass(frozen=True)
@@ -59,16 +62,22 @@ RuleFn = Callable[[PolicyContext, str], Optional[str]]
 
 @dataclass(frozen=True)
 class PolicyRule:
-    """A named predicate: returns a denial reason for a path, or None."""
+    """A named predicate: returns a denial reason for a path, or None.
+
+    ``action`` is the verdict a match produces; the default DENY keeps the
+    original two-argument construction (and all advisory uses) unchanged,
+    while firewall rules may escalate to QUARANTINE.
+    """
 
     name: str
     check: RuleFn
+    action: PolicyVerdict = PolicyVerdict.DENY
 
     def evaluate(self, context: PolicyContext, path: str) -> PolicyDecision:
         reason = self.check(context, path)
         if reason is None:
             return PolicyDecision(self.name, PolicyVerdict.ALLOW, path)
-        return PolicyDecision(self.name, PolicyVerdict.DENY, path, reason)
+        return PolicyDecision(self.name, self.action, path, reason)
 
 
 # -- built-in rules ------------------------------------------------------------
@@ -137,10 +146,28 @@ class PolicyEngine:
             self.evaluate_event(context, event)
         return self.denials()
 
+    def decide(self, context: PolicyContext, path: str) -> PolicyDecision:
+        """First-match verdict for one path (the firewall's inline query).
+
+        Unlike :meth:`evaluate_event` -- which records *every* rule's
+        opinion for post-hoc reporting -- enforcement wants exactly one
+        actionable answer per load, so rule order is significant and the
+        first matching rule wins.  Falls through to ALLOW.
+        """
+        for rule in self.rules:
+            decision = rule.evaluate(context, path)
+            if decision.verdict is not PolicyVerdict.ALLOW:
+                self.decisions.append(decision)
+                return decision
+        decision = PolicyDecision("default", PolicyVerdict.ALLOW, path)
+        self.decisions.append(decision)
+        return decision
+
     def denials(self) -> List[PolicyDecision]:
-        return [d for d in self.decisions if d.verdict is PolicyVerdict.DENY]
+        return [d for d in self.decisions if d.verdict is not PolicyVerdict.ALLOW]
 
     def would_block(self, path: str) -> bool:
         return any(
-            d.path == path and d.verdict is PolicyVerdict.DENY for d in self.decisions
+            d.path == path and d.verdict is not PolicyVerdict.ALLOW
+            for d in self.decisions
         )

@@ -103,6 +103,21 @@ class SecureDexClassLoader:
             self.manifest.verify(payload_name, data)
         except CodeVerificationError as exc:
             self.rejected_loads.append(dex_path)
+            # Surface the refusal on the instrumentation bus: a prevented
+            # load leaves no DexLoadEvent, so without this the defense's
+            # saves are invisible to measurement.
+            from repro.runtime.instrumentation import LoadRejectedEvent
+
+            ctx = self.vm.context
+            self.vm.instrumentation.emit_load_rejected(
+                LoadRejectedEvent(
+                    path=dex_path,
+                    payload_name=payload_name,
+                    reason=str(exc),
+                    app_package=ctx.package if ctx else "",
+                    timestamp_ms=self.vm.device.now_ms(),
+                )
+            )
             raise VMException("java.lang.SecurityException", str(exc))
         self.verified_loads.append(dex_path)
 

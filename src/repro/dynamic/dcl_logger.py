@@ -14,6 +14,7 @@ from typing import List, Set
 from repro.runtime.instrumentation import (
     DexLoadEvent,
     Instrumentation,
+    LoadRejectedEvent,
     NativeLoadEvent,
 )
 
@@ -24,10 +25,13 @@ class DclLogger:
 
     dex_events: List[DexLoadEvent] = field(default_factory=list)
     native_events: List[NativeLoadEvent] = field(default_factory=list)
+    #: developer-side secure-loader refusals (loads that never happened).
+    rejected_events: List[LoadRejectedEvent] = field(default_factory=list)
 
     def attach(self, instrumentation: Instrumentation) -> "DclLogger":
         instrumentation.on_dex_load(self.dex_events.append)
         instrumentation.on_native_load(self.native_events.append)
+        instrumentation.on_load_rejected(self.rejected_events.append)
         return self
 
     # -- queries -------------------------------------------------------------
@@ -39,6 +43,20 @@ class DclLogger:
     @property
     def has_native_dcl(self) -> bool:
         return bool(self.native_events)
+
+    @property
+    def has_rejections(self) -> bool:
+        return bool(self.rejected_events)
+
+    def rejected_paths(self) -> List[str]:
+        """Distinct paths the secure loader refused, in first-seen order."""
+        seen: Set[str] = set()
+        ordered: List[str] = []
+        for event in self.rejected_events:
+            if event.path not in seen:
+                seen.add(event.path)
+                ordered.append(event.path)
+        return ordered
 
     def dex_paths(self) -> List[str]:
         """Distinct bytecode paths loaded, in first-seen order."""

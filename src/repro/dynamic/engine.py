@@ -43,7 +43,7 @@ from repro.runtime.device import (
     EnvironmentConfig,
 )
 from repro.runtime.instrumentation import Instrumentation
-from repro.runtime.objects import VMException, VMObject
+from repro.runtime.objects import FirewallDeniedException, VMException, VMObject
 from repro.runtime.vm import BudgetExceededError, DalvikVM
 from repro.static_analysis.rewriter import RepackagingError, ensure_external_write
 
@@ -78,6 +78,14 @@ class EngineOptions:
     companions: Tuple[Apk, ...] = ()
     #: URL -> payload bytes hosted on the simulated network.
     remote_resources: Dict[str, bytes] = field(default_factory=dict)
+    #: named :data:`repro.defense.firewall.POLICIES` entry; None leaves the
+    #: session unenforced (pure measurement, the pre-firewall behaviour).
+    firewall_policy: Optional[str] = None
+    #: where QUARANTINE verdicts preserve payload bytes (content-addressed).
+    quarantine_dir: Optional[str] = None
+    #: live verdict store consulted by the known-malware firewall rule;
+    #: duck-typed to avoid importing the store at engine-import time.
+    verdict_store: Optional[object] = None
 
 
 @dataclass
@@ -104,10 +112,28 @@ class DynamicReport:
     #: coverage problem").
     methods_total: int = 0
     methods_executed: int = 0
+    #: enforcement policy in effect ("" when the firewall was off).
+    firewall_policy: str = ""
+    #: every inline :class:`repro.defense.firewall.FirewallDecision` of the
+    #: session (a live reference to the firewall's audit trail).
+    firewall_decisions: List = field(default_factory=list)
 
     @property
     def method_coverage(self) -> float:
         return self.methods_executed / self.methods_total if self.methods_total else 0.0
+
+    @property
+    def loads_denied(self) -> int:
+        return sum(1 for d in self.firewall_decisions if d.verdict == "deny")
+
+    @property
+    def loads_quarantined(self) -> int:
+        return sum(1 for d in self.firewall_decisions if d.verdict == "quarantine")
+
+    @property
+    def loads_rejected(self) -> int:
+        """Developer-side secure-loader refusals observed this session."""
+        return len(self.dcl.rejected_events)
 
     @property
     def dex_loaded(self) -> bool:
@@ -171,6 +197,7 @@ class AppExecutionEngine:
             remote_resources=len(opts.remote_resources),
         ):
             device, vm, logger, interceptor, tracker = self._provision(prepared, opts)
+        firewall = getattr(vm, "firewall", None)
         report = DynamicReport(
             package=package,
             outcome=DynamicOutcome.EXERCISED,
@@ -178,6 +205,10 @@ class AppExecutionEngine:
             rewritten=rewritten,
             dcl=logger,
             tracker=tracker,
+            firewall_policy=opts.firewall_policy or "",
+            # A live reference: decisions the firewall records during the
+            # session appear on the report without further plumbing.
+            firewall_decisions=firewall.decisions if firewall is not None else [],
         )
 
         with self.tracer.span("engine.container"):
@@ -246,6 +277,30 @@ class AppExecutionEngine:
         for companion in opts.companions:
             device.install(companion)
         vm.install_app(apk, release_time_ms=opts.release_time_ms)
+        if opts.firewall_policy:
+            # Lazy import: repro.defense pulls in this package's __init__
+            # via the policy module, so importing it at engine-import time
+            # would cycle.
+            from repro.defense.firewall import (
+                DclFirewall,
+                QuarantineStore,
+                get_policy,
+            )
+            from repro.defense.policy import PolicyContext
+
+            vm.firewall = DclFirewall(
+                policy=get_policy(opts.firewall_policy),
+                context=PolicyContext(
+                    app_package=apk.package,
+                    manifest=apk.manifest,
+                    tracker=tracker,
+                    vfs=device.vfs,
+                ),
+                verdict_store=opts.verdict_store,
+                quarantine=QuarantineStore(opts.quarantine_dir)
+                if opts.quarantine_dir
+                else None,
+            )
         return device, vm, logger, interceptor, tracker
 
     def _run_application_container(
@@ -333,6 +388,11 @@ class AppExecutionEngine:
             return True
         except BudgetExceededError:
             # A looping handler: the watchdog kills the event, not the app.
+            return True
+        except FirewallDeniedException:
+            # A blocked load the app did not catch unwinds only the current
+            # entry point: the app continues degraded (the firewall's
+            # contract), and the session is NOT a crash.
             return True
         except VMException as exc:
             if "ENOSPC" in exc.message and not retried:

@@ -11,7 +11,9 @@ order.  ``to_dict`` is the structured JSON summary ``repro farm run
 
 :class:`LatencyHistogram` moved to :mod:`repro.observe.metrics`;
 importing it from here still works but emits a :class:`DeprecationWarning`
-via module-level ``__getattr__`` (PEP 562).
+via module-level ``__getattr__`` (PEP 562).  The shim is scheduled for
+removal in 2.0 -- new code should import
+``from repro.observe.metrics import LatencyHistogram`` directly.
 """
 
 from __future__ import annotations
@@ -32,9 +34,9 @@ __all__ = ["FarmMetrics", "LatencyHistogram"]
 def __getattr__(name: str):
     if name == "LatencyHistogram":
         warnings.warn(
-            "repro.farm.metrics.LatencyHistogram moved to "
-            "repro.observe.metrics.LatencyHistogram; this re-export will be "
-            "removed in a future release",
+            "repro.farm.metrics.LatencyHistogram is deprecated and this "
+            "re-export will be removed in repro 2.0; use "
+            "'from repro.observe.metrics import LatencyHistogram' instead",
             DeprecationWarning,
             stacklevel=2,
         )

@@ -36,6 +36,7 @@ from repro.observe.metrics import (
     Gauge,
     LatencyHistogram,
     MetricsRegistry,
+    defense_summary,
     evolution_summary,
     verdict_cache_summary,
     verdict_store_summary,
@@ -63,6 +64,7 @@ __all__ = [
     "StageStats",
     "TRACE_FORMATS",
     "Tracer",
+    "defense_summary",
     "digest_line",
     "evolution_summary",
     "load_spans",

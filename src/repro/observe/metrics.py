@@ -22,6 +22,8 @@ __all__ = [
     "Gauge",
     "LatencyHistogram",
     "MetricsRegistry",
+    "defense_summary",
+    "evolution_summary",
     "verdict_cache_summary",
     "verdict_store_summary",
 ]
@@ -281,6 +283,35 @@ def evolution_summary(registry: MetricsRegistry) -> Dict[str, object]:
         "drift": {
             severity: registry.counter_value("evolution.drift.{}".format(severity))
             for severity in ("none", "benign", "suspicious", "critical")
+        },
+    }
+
+
+def defense_summary(registry: MetricsRegistry) -> Dict[str, object]:
+    """Enforcement numbers from the ``defense.*`` counters.
+
+    ``loads_checked`` counts every inline firewall verdict (ALLOWs
+    included), ``loads_denied``/``loads_quarantined`` the blocking ones,
+    ``apps_blocked`` the apps with at least one blocked load, and
+    ``by_rule`` attributes blocks to the policy rule that fired.
+    ``secure_loader_rejections`` counts the developer-side saves
+    (:class:`~repro.defense.secure_loader.SecureDexClassLoader` refusals),
+    which never reach the firewall because the load never happens.
+    """
+    counters = registry.to_dict()["counters"]
+    prefix = "defense.rule."
+    return {
+        "loads_checked": registry.counter_value("defense.loads_checked"),
+        "loads_denied": registry.counter_value("defense.loads_denied"),
+        "loads_quarantined": registry.counter_value("defense.loads_quarantined"),
+        "apps_blocked": registry.counter_value("defense.apps_blocked"),
+        "secure_loader_rejections": registry.counter_value(
+            "defense.secure_loader_rejections"
+        ),
+        "by_rule": {
+            name[len(prefix):]: value
+            for name, value in counters.items()
+            if name.startswith(prefix)
         },
     }
 

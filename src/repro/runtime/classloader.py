@@ -60,17 +60,23 @@ def _construct_loader(
     app_paths = [p for p in paths if not is_system(p)]
 
     if app_paths:
-        vm.instrumentation.emit_dex_load(
-            DexLoadEvent(
-                dex_paths=tuple(app_paths),
-                odex_dir=optimized_dir,
-                loader_kind=kind,
-                call_site=call_site_class(vm.stack_trace()),
-                stack=vm.stack_trace(),
-                app_package=ctx.package if ctx else "",
-                timestamp_ms=vm.device.now_ms(),
-            )
+        event = DexLoadEvent(
+            dex_paths=tuple(app_paths),
+            odex_dir=optimized_dir,
+            loader_kind=kind,
+            call_site=call_site_class(vm.stack_trace()),
+            stack=vm.stack_trace(),
+            app_package=ctx.package if ctx else "",
+            timestamp_ms=vm.device.now_ms(),
         )
+        vm.instrumentation.emit_dex_load(event)
+        # Inline enforcement (repro.defense.firewall): the event is logged
+        # and the interceptor has dumped the payload, but no class has been
+        # defined yet -- a DENY/QUARANTINE verdict raises an app-catchable
+        # SecurityException before any loaded code can run.
+        firewall = getattr(vm, "firewall", None)
+        if firewall is not None:
+            firewall.check_dex_load(event)
 
     defined: List[str] = []
     for path in paths:

@@ -51,6 +51,23 @@ class NativeLoadEvent:
 
 
 @dataclass(frozen=True)
+class LoadRejectedEvent:
+    """A developer-side secure-loader refusal (digest/signature mismatch).
+
+    Emitted by :class:`repro.defense.secure_loader.SecureDexClassLoader`
+    when verification fails, so measurement counts the saves the defense
+    produced -- loads that never happened are otherwise invisible to the
+    DCL log.
+    """
+
+    path: str
+    payload_name: str
+    reason: str
+    app_package: str
+    timestamp_ms: int
+
+
+@dataclass(frozen=True)
 class FlowNode:
     """A node in the download-tracker flow graph: type @ hash code."""
 
@@ -90,6 +107,7 @@ class Instrumentation:
         self._dex_listeners: List[Callable[[DexLoadEvent], None]] = []
         self._native_listeners: List[Callable[[NativeLoadEvent], None]] = []
         self._flow_listeners: List[Callable[[FlowEdge], None]] = []
+        self._rejection_listeners: List[Callable[[LoadRejectedEvent], None]] = []
 
     # -- subscription -----------------------------------------------------------
 
@@ -101,6 +119,9 @@ class Instrumentation:
 
     def on_flow_edge(self, callback: Callable[[FlowEdge], None]) -> None:
         self._flow_listeners.append(callback)
+
+    def on_load_rejected(self, callback: Callable[[LoadRejectedEvent], None]) -> None:
+        self._rejection_listeners.append(callback)
 
     # -- emission (called by the framework implementations) -----------------------
 
@@ -120,6 +141,10 @@ class Instrumentation:
         edge = FlowEdge(src=src, dst=dst, rule=rule)
         for callback in self._flow_listeners:
             callback(edge)
+
+    def emit_load_rejected(self, event: LoadRejectedEvent) -> None:
+        for callback in self._rejection_listeners:
+            callback(event)
 
     # -- file-op mediation ----------------------------------------------------------
 

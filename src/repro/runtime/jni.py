@@ -78,16 +78,20 @@ def _load_path(vm, path: Any, api: str) -> None:
 
     if not is_system(path):
         ctx = vm.context
-        vm.instrumentation.emit_native_load(
-            NativeLoadEvent(
-                lib_path=path,
-                api=api,
-                call_site=call_site_class(vm.stack_trace()),
-                stack=vm.stack_trace(),
-                app_package=ctx.package if ctx else "",
-                timestamp_ms=vm.device.now_ms(),
-            )
+        event = NativeLoadEvent(
+            lib_path=path,
+            api=api,
+            call_site=call_site_class(vm.stack_trace()),
+            stack=vm.stack_trace(),
+            app_package=ctx.package if ctx else "",
+            timestamp_ms=vm.device.now_ms(),
         )
+        vm.instrumentation.emit_native_load(event)
+        # Inline enforcement: block before the library is parsed, so no
+        # intrinsic (decrypt stubs, ptrace hooks, exfiltration) ever runs.
+        firewall = getattr(vm, "firewall", None)
+        if firewall is not None:
+            firewall.check_native_load(event)
     else:
         return  # system libraries: trusted, no event, no intrinsic execution
 

@@ -46,6 +46,24 @@ class VMException(Exception):
         self.message = message
 
 
+class FirewallDeniedException(VMException):
+    """A DCL blocked by the enforcement firewall (:mod:`repro.defense.firewall`).
+
+    Thrown out of the hooked loader constructors as an app-catchable
+    ``java.lang.SecurityException``: apps with a try/catch keep running
+    degraded, and apps without one unwind only the current entry point --
+    the Python subclass survives interpreted frames (the VM re-raises
+    exceptions bare), so the execution engine can tell a firewall denial
+    from a genuine app crash.
+    """
+
+    def __init__(self, reason: str, decision=None) -> None:
+        super().__init__("java.lang.SecurityException", reason)
+        #: the :class:`~repro.defense.firewall.FirewallDecision` behind the
+        #: denial, for session reporting.
+        self.decision = decision
+
+
 def as_bool(value: Any) -> bool:
     """Java booleans are ints in DEX; normalize truthiness."""
     if value is None:

@@ -268,16 +268,26 @@ class AnalysisService:
 
     # -- execution (scheduler worker thread) -----------------------------------
 
-    def _pipeline_for_thread(self) -> DyDroid:
-        pipeline = getattr(self._local, "pipeline", None)
+    def _pipeline_for_thread(self, policy: str = "") -> DyDroid:
+        # One pipeline per (worker thread, firewall policy): tenants that
+        # submit under different policies must not share enforcement
+        # config, but everything expensive (DroidNative training, caches)
+        # stays thread-resident.
+        pipelines = getattr(self._local, "pipelines", None)
+        if pipelines is None:
+            pipelines = self._local.pipelines = {}
+        pipeline = pipelines.get(policy)
         if pipeline is None:
+            config = self.config.pipeline
+            if policy and policy != config.firewall_policy:
+                from dataclasses import replace
+
+                config = replace(config, firewall_policy=policy)
             # Every worker thread borrows the daemon's one store instance
             # (VerdictStore is internally locked), so a verdict computed
             # by any worker -- or any prior daemon -- is reused by all.
-            pipeline = DyDroid(
-                self.config.pipeline, verdict_store=self.verdict_store
-            )
-            self._local.pipeline = pipeline
+            pipeline = DyDroid(config, verdict_store=self.verdict_store)
+            pipelines[policy] = pipeline
         return pipeline
 
     def execute(self, job_id: str, worker_id: int) -> None:
@@ -297,6 +307,11 @@ class AnalysisService:
                 with stage(tracer, registry, "service.build"):
                     record = job.spec.build_record()
                 digest = record.apk.sha256()
+                if job.spec.policy:
+                    # Enforcement outcomes are part of the result: the same
+                    # APK bytes under a different policy is a different
+                    # content-cache entry.
+                    digest = "{}-{}".format(digest, job.spec.policy)
                 job.digest = digest
                 cached = self.cache.get(digest)
                 if cached is not None:
@@ -306,7 +321,7 @@ class AnalysisService:
                     analysis_dict = cached
                     hit = True
                 else:
-                    pipeline = self._pipeline_for_thread()
+                    pipeline = self._pipeline_for_thread(job.spec.policy)
                     pipeline.tracer = tracer
                     pipeline.metrics = registry
                     with stage(tracer, registry, "service.analyze"):

@@ -48,6 +48,10 @@ class JobSpec:
     n_apps: int = 0
     index: int = -1
     apk_b64: str = ""
+    #: per-tenant firewall policy name ("" = the daemon's default config);
+    #: part of the submission identity -- the same app analyzed under two
+    #: policies is two different results.
+    policy: str = ""
 
     # -- construction ----------------------------------------------------------
 
@@ -57,6 +61,18 @@ class JobSpec:
         if not isinstance(payload, dict):
             raise SpecError("submission body must be a JSON object")
         kind = payload.get("kind", "corpus")
+        policy = payload.get("policy", "")
+        if not isinstance(policy, str):
+            raise SpecError("'policy' must be a string")
+        if policy:
+            from repro.defense.firewall import policy_names
+
+            if policy not in policy_names():
+                raise SpecError(
+                    "unknown firewall policy {!r} (known: {})".format(
+                        policy, ", ".join(policy_names())
+                    )
+                )
         if kind == "corpus":
             try:
                 seed = int(payload["seed"])
@@ -74,7 +90,9 @@ class JobSpec:
                 raise SpecError(
                     "index {} out of range for a corpus of {} apps".format(index, n_apps)
                 )
-            return cls(kind="corpus", seed=seed, n_apps=n_apps, index=index)
+            return cls(
+                kind="corpus", seed=seed, n_apps=n_apps, index=index, policy=policy
+            )
         if kind == "apk":
             raw = payload.get("apk_b64")
             if not isinstance(raw, str) or not raw:
@@ -87,33 +105,44 @@ class JobSpec:
                 Apk.from_bytes(data)
             except ApkFormatError as exc:
                 raise SpecError("apk_b64 does not decode to an APK: {}".format(exc))
-            return cls(kind="apk", apk_b64=raw)
+            return cls(kind="apk", apk_b64=raw, policy=policy)
         raise SpecError("unknown spec kind {!r}".format(kind))
 
     # -- identity --------------------------------------------------------------
 
     def key(self) -> str:
-        """Stable submission identity (dedup / coalescing key)."""
+        """Stable submission identity (dedup / coalescing key).
+
+        ``policy`` enters the canonical form only when set, so keys of
+        policy-less submissions are byte-identical to those of daemons
+        (and journals) that predate the field.
+        """
         if self.kind == "apk":
             # identical bytes submitted under different encodings dedupe.
             raw = b"apk:" + base64.b64decode(self.apk_b64)
+            if self.policy:
+                raw += b":policy:" + self.policy.encode("utf-8")
         else:
-            raw = json.dumps(
-                {"kind": "corpus", "seed": self.seed,
-                 "n_apps": self.n_apps, "index": self.index},
-                sort_keys=True,
-            ).encode("utf-8")
+            canonical = {"kind": "corpus", "seed": self.seed,
+                         "n_apps": self.n_apps, "index": self.index}
+            if self.policy:
+                canonical["policy"] = self.policy
+            raw = json.dumps(canonical, sort_keys=True).encode("utf-8")
         return hashlib.sha256(raw).hexdigest()[:16]
 
     def to_dict(self) -> Dict[str, object]:
         if self.kind == "apk":
-            return {"kind": "apk", "apk_sha256_prefix": self.key()}
-        return {
-            "kind": "corpus",
-            "seed": self.seed,
-            "n_apps": self.n_apps,
-            "index": self.index,
-        }
+            body: Dict[str, object] = {"kind": "apk", "apk_sha256_prefix": self.key()}
+        else:
+            body = {
+                "kind": "corpus",
+                "seed": self.seed,
+                "n_apps": self.n_apps,
+                "index": self.index,
+            }
+        if self.policy:
+            body["policy"] = self.policy
+        return body
 
     # -- materialization (worker side) -----------------------------------------
 

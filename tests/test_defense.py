@@ -1,9 +1,20 @@
-"""Tests for the DCL defenses: secure loader and policy engine."""
+"""Tests for the DCL defenses: secure loader, policy engine, firewall, debloat."""
 
 import pytest
 
 from repro.android.apk import Apk
 from repro.android.dex import DexFile
+from repro.defense.debloat import (
+    SHELVED_SUFFIX,
+    debloat_apk,
+    debloat_corpus,
+)
+from repro.defense.evaluation import evaluate_defense, hazard_kind
+from repro.defense.firewall import (
+    QuarantineStore,
+    known_malware_rule,
+    replay_quarantined,
+)
 from repro.defense.policy import (
     PolicyContext,
     PolicyEngine,
@@ -17,13 +28,19 @@ from repro.defense.secure_loader import (
     SecureDexClassLoader,
     sign_payload,
 )
-from repro.dynamic.engine import AppExecutionEngine, EngineOptions
+from repro.dynamic.dcl_logger import DclLogger
+from repro.dynamic.engine import AppExecutionEngine, DynamicOutcome, EngineOptions
 from repro.runtime.device import Device
 from repro.runtime.instrumentation import DexLoadEvent, Instrumentation
 from repro.runtime.objects import VMException
 from repro.runtime.vm import DalvikVM
 
-from tests.helpers import build_manifest, downloads_and_loads_app, simple_payload_dex
+from tests.helpers import (
+    build_manifest,
+    downloads_and_loads_app,
+    local_loader_app,
+    simple_payload_dex,
+)
 
 
 class TestPayloadManifest:
@@ -193,3 +210,437 @@ class TestPolicyEngine:
             "foreign-writable",
             "world-writable-file",
         ]
+
+
+class TestBuiltinRuleGating:
+    """The built-in rules keyed off manifest SDK level and VFS state."""
+
+    def _context(self, min_sdk=14, vfs=None, package="com.app"):
+        return PolicyContext(
+            app_package=package,
+            manifest=build_manifest(package, min_sdk=min_sdk),
+            vfs=vfs,
+        )
+
+    def test_external_storage_gated_on_pre_kitkat_sdk(self):
+        # Table IX: external storage is only an injection surface when the
+        # app still runs on pre-4.4 devices.
+        pre = PolicyEngine().decide(self._context(min_sdk=14), "/mnt/sdcard/p.jar")
+        assert pre.rule == "foreign-writable"
+        assert pre.verdict is PolicyVerdict.DENY
+        post = PolicyEngine().decide(self._context(min_sdk=21), "/mnt/sdcard/p.jar")
+        assert post.verdict is PolicyVerdict.ALLOW
+
+    def test_foreign_internal_storage_denied_at_any_sdk(self):
+        decision = PolicyEngine().decide(
+            self._context(min_sdk=21), "/data/data/com.other/files/p.jar"
+        )
+        assert decision.rule == "foreign-writable"
+        assert "com.other" in decision.reason
+
+    def test_world_writable_file_detected_through_vfs(self):
+        device = Device()
+        path = "/data/data/com.app/shared/p.jar"
+        device.vfs.write(path, b"x", owner="com.app", world_writable=True)
+        decision = PolicyEngine().decide(self._context(vfs=device.vfs), path)
+        assert decision.rule == "world-writable-file"
+        assert decision.verdict is PolicyVerdict.DENY
+
+    def test_world_writable_rule_needs_vfs_and_mode_bit(self):
+        # No VFS in context -> rule cannot fire.
+        path = "/data/data/com.app/files/p.jar"
+        assert PolicyEngine().decide(self._context(vfs=None), path).verdict is PolicyVerdict.ALLOW
+        # File present but not world-writable -> allow.
+        device = Device()
+        device.vfs.write(path, b"x", owner="com.app")
+        assert (
+            PolicyEngine().decide(self._context(vfs=device.vfs), path).verdict
+            is PolicyVerdict.ALLOW
+        )
+
+
+class TestDecideSemantics:
+    """decide() is first-match; evaluate_event records every rule."""
+
+    def _context(self):
+        return PolicyContext(app_package="com.app", manifest=build_manifest("com.app"))
+
+    def test_first_matching_rule_wins_and_order_matters(self):
+        first = PolicyRule("first", lambda ctx, p: "hit")
+        second = PolicyRule("second", lambda ctx, p: "hit", PolicyVerdict.QUARANTINE)
+        assert PolicyEngine([first, second]).decide(self._context(), "/x").rule == "first"
+        flipped = PolicyEngine([second, first]).decide(self._context(), "/x")
+        assert flipped.rule == "second"
+        assert flipped.verdict is PolicyVerdict.QUARANTINE
+
+    def test_later_rules_not_consulted_after_match(self):
+        calls = []
+
+        def tracing(name, reason):
+            return PolicyRule(name, lambda ctx, p: calls.append(name) or reason)
+
+        engine = PolicyEngine([tracing("a", "deny"), tracing("b", "deny")])
+        engine.decide(self._context(), "/x")
+        assert calls == ["a"]
+
+    def test_falls_through_to_allow(self):
+        engine = PolicyEngine([PolicyRule("never", lambda ctx, p: None)])
+        decision = engine.decide(self._context(), "/x")
+        assert decision.verdict is PolicyVerdict.ALLOW
+        assert decision.rule == "default"
+        # The ALLOW is recorded on the audit trail but is not a denial.
+        assert engine.decisions == [decision]
+        assert not engine.would_block("/x")
+
+    def test_two_positional_construction_defaults_to_deny(self):
+        rule = PolicyRule("legacy", lambda ctx, p: "reason")
+        assert rule.action is PolicyVerdict.DENY
+        decision = rule.evaluate(self._context(), "/x")
+        assert decision.verdict is PolicyVerdict.DENY
+
+    def test_quarantine_action_carried_through_evaluate(self):
+        rule = PolicyRule("jail", lambda ctx, p: "reason", PolicyVerdict.QUARANTINE)
+        assert rule.evaluate(self._context(), "/x").verdict is PolicyVerdict.QUARANTINE
+        # Non-matching paths still come back ALLOW regardless of action.
+        benign = PolicyRule("jail", lambda ctx, p: None, PolicyVerdict.QUARANTINE)
+        assert benign.evaluate(self._context(), "/x").verdict is PolicyVerdict.ALLOW
+
+
+class _StubDetection:
+    family = "stub-family"
+
+
+class _ConvictingStore:
+    """Duck-typed VerdictStore: every digest is known malware."""
+
+    def get_detection(self, digest):
+        return True, _StubDetection()
+
+
+class _BenignStore:
+    """Computed-benign record: found, but no detection."""
+
+    def get_detection(self, digest):
+        return True, None
+
+
+class TestKnownMalwareRule:
+    def _context(self, vfs):
+        return PolicyContext(
+            app_package="com.app", manifest=build_manifest("com.app"), vfs=vfs
+        )
+
+    def _vfs_with(self, path, data=b"payload"):
+        device = Device()
+        device.vfs.write(path, data, owner="com.app")
+        return device.vfs
+
+    def test_positive_detection_quarantines(self):
+        path = "/data/data/com.app/files/p.jar"
+        rule = known_malware_rule(_ConvictingStore())
+        decision = rule.evaluate(self._context(self._vfs_with(path)), path)
+        assert decision.verdict is PolicyVerdict.QUARANTINE
+        assert "stub-family" in decision.reason
+
+    def test_computed_benign_record_does_not_match(self):
+        path = "/data/data/com.app/files/p.jar"
+        rule = known_malware_rule(_BenignStore())
+        decision = rule.evaluate(self._context(self._vfs_with(path)), path)
+        assert decision.verdict is PolicyVerdict.ALLOW
+
+    def test_missing_store_or_file_is_allow(self):
+        path = "/data/data/com.app/files/p.jar"
+        assert (
+            known_malware_rule(None)
+            .evaluate(self._context(self._vfs_with(path)), path)
+            .verdict
+            is PolicyVerdict.ALLOW
+        )
+        assert (
+            known_malware_rule(_ConvictingStore())
+            .evaluate(self._context(Device().vfs), "/nope.jar")
+            .verdict
+            is PolicyVerdict.ALLOW
+        )
+
+
+REMOTE_URL = "http://cdn.sdk-demo.com/payload.jar"
+
+
+class TestFirewallEnforcement:
+    def _run_remote(self, policy):
+        apk = downloads_and_loads_app()
+        options = EngineOptions(
+            remote_resources={REMOTE_URL: simple_payload_dex().to_bytes()},
+            firewall_policy=policy,
+        )
+        return AppExecutionEngine(options).run(apk)
+
+    def test_deny_blocks_payload_but_app_continues(self):
+        report = self._run_remote("default")
+        # The hostile payload never executed...
+        assert not any("loaded-code-ran" in line for line in report.logcat)
+        # ...but the session is not a crash: the app continues degraded.
+        assert report.outcome is DynamicOutcome.EXERCISED
+        assert report.firewall_policy == "default"
+        assert report.loads_denied >= 1
+        assert any(
+            d.verdict == "deny" and d.rule == "remote-code"
+            for d in report.firewall_decisions
+        )
+
+    def test_denied_load_still_measured(self):
+        # Complete mediation: the firewall decides after the DCL log and
+        # interceptor have seen the event, so enforcement never blinds
+        # measurement.
+        report = self._run_remote("default")
+        assert report.dcl.dex_events
+        assert report.intercepted
+
+    def test_observe_mode_records_without_blocking(self):
+        report = self._run_remote("observe")
+        assert any("loaded-code-ran" in line for line in report.logcat)
+        assert report.loads_denied >= 1  # verdicts recorded, not enforced
+
+    def test_unenforced_baseline_has_no_decisions(self):
+        report = self._run_remote(None)
+        assert report.firewall_policy == ""
+        assert report.firewall_decisions == []
+        assert any("loaded-code-ran" in line for line in report.logcat)
+
+    def test_quarantine_preserves_payload_and_replays(self, tmp_path):
+        apk, payload = local_loader_app()
+        options = EngineOptions(
+            firewall_policy="default",
+            verdict_store=_ConvictingStore(),
+            quarantine_dir=str(tmp_path),
+        )
+        report = AppExecutionEngine(options).run(apk)
+        assert report.loads_quarantined >= 1
+        assert not any("loaded-code-ran" in line for line in report.logcat)
+
+        store = QuarantineStore(tmp_path)
+        assert len(store) == 1
+        digest = store.digests()[0]
+        meta = store.metadata(digest)
+        assert meta["rule"] == "known-malware"
+        assert store.read_payload(digest) == payload.to_bytes()
+
+        replay = replay_quarantined(store, digest)
+        assert replay["dex_events"] >= 1
+        assert replay["error"] is None
+        assert replay["rule"] == "known-malware"
+        assert replay["sandbox_path"].startswith("/data/data/com.repro.sandbox/")
+
+    def test_benign_verdict_store_lets_local_code_run(self, tmp_path):
+        apk, _ = local_loader_app()
+        options = EngineOptions(
+            firewall_policy="default",
+            verdict_store=_BenignStore(),
+            quarantine_dir=str(tmp_path),
+        )
+        report = AppExecutionEngine(options).run(apk)
+        assert any("loaded-code-ran" in line for line in report.logcat)
+        assert report.loads_denied == 0 and report.loads_quarantined == 0
+        assert QuarantineStore(tmp_path).digests() == []
+
+
+class TestSecureLoaderRejectionEvents:
+    def test_rejection_surfaces_on_the_dcl_log(self):
+        device = Device()
+        instrumentation = Instrumentation()
+        logger = DclLogger().attach(instrumentation)
+        vm = DalvikVM(device, instrumentation)
+        vm.install_app(
+            Apk.build(build_manifest("com.victim.app"), dex_files=[DexFile()])
+        )
+        path = "/data/data/com.victim.app/files/plugin.jar"
+        device.vfs.write(
+            path, simple_payload_dex("com.b.B").to_bytes(), owner="com.victim.app"
+        )
+        manifest = PayloadManifest(signing_key=b"k")
+        manifest.pin("plugin", simple_payload_dex("com.a.A").to_bytes())
+        loader = SecureDexClassLoader(manifest, vm)
+        with pytest.raises(VMException):
+            loader.load_class("plugin", path, "/odex", "com.b.B")
+        assert logger.has_rejections
+        assert logger.rejected_paths() == [path]
+        (event,) = logger.rejected_events
+        assert event.payload_name == "plugin"
+        assert "plugin" in event.reason
+
+
+def _loader_app(package="com.example.debloat", dead_sites=True):
+    """An activity with one reachable loader site; optionally two dead ones."""
+    from repro.android.builders import MethodBuilder, class_builder
+    from tests.helpers import emit_load_dex
+
+    activity_name = "{}.MainActivity".format(package)
+    activity = class_builder(activity_name, superclass="android.app.Activity")
+
+    on_create = MethodBuilder("onCreate", activity_name, arity=1)
+    emit_load_dex(
+        on_create,
+        "/data/data/{}/cache/live.jar".format(package),
+        "/data/data/{}/cache/odex".format(package),
+    )
+    on_create.ret_void()
+    activity.add_method(on_create.build())
+
+    if dead_sites:
+        dead_dex = MethodBuilder("legacyPluginPath", activity_name, arity=1)
+        emit_load_dex(
+            dead_dex,
+            "/data/data/{}/cache/old.jar".format(package),
+            "/data/data/{}/cache/odex".format(package),
+        )
+        dead_dex.ret_void()
+        activity.add_method(dead_dex.build())
+
+        dead_native = MethodBuilder("legacyNativeInit", activity_name, arity=0)
+        dead_native.call_void(
+            "java.lang.System", "loadLibrary", dead_native.new_string("legacy")
+        )
+        dead_native.ret_void()
+        activity.add_method(dead_native.build())
+
+    dex = DexFile(classes=[activity])
+    return Apk.build(build_manifest(package), dex_files=[dex])
+
+
+class TestDebloat:
+    def _methods_by_name(self, apk):
+        from repro.static_analysis.decompiler import Decompiler
+
+        program = Decompiler(strict=True).decompile(apk)
+        return {
+            m.name: m
+            for dex in program.dex_files
+            for cls in dex.classes
+            for m in cls.methods
+        }
+
+    def test_shelves_unreachable_sites_and_keeps_reachable_ones(self):
+        from repro.defense.debloat import _loader_mechanism
+
+        apk = _loader_app()
+        rewritten, manifest = debloat_apk(apk)
+        assert rewritten is not apk
+        assert manifest.rewritten
+        assert manifest.reachable_loader_sites == 1
+        assert {(s.method_name, s.mechanism) for s in manifest.shelved} == {
+            ("legacyPluginPath", "dex"),
+            ("legacyNativeInit", "native"),
+        }
+
+        methods = self._methods_by_name(rewritten)
+        # The guard stub holds the original name and has no DCL surface...
+        assert _loader_mechanism(methods["legacyPluginPath"]) == ""
+        # ...the original body survives under the $shelved name...
+        assert _loader_mechanism(methods["legacyPluginPath" + SHELVED_SUFFIX]) == "dex"
+        assert _loader_mechanism(methods["legacyNativeInit" + SHELVED_SUFFIX]) == "native"
+        # ...and the reachable site is untouched.
+        assert _loader_mechanism(methods["onCreate"]) == "dex"
+
+    def test_untouched_when_all_sites_reachable(self):
+        apk = _loader_app(dead_sites=False)
+        rewritten, manifest = debloat_apk(apk)
+        assert rewritten is apk
+        assert not manifest.rewritten
+        assert manifest.reachable_loader_sites == 1
+
+    def test_second_pass_is_a_no_op(self):
+        once, _ = debloat_apk(_loader_app())
+        twice, manifest = debloat_apk(once)
+        assert twice is once
+        assert not manifest.rewritten
+
+    def test_integrity_protected_apk_refused(self):
+        from repro.static_analysis.rewriter import RepackagingError
+
+        apk = _loader_app()
+        apk.enable_anti_repackaging()
+        with pytest.raises(RepackagingError):
+            debloat_apk(apk)
+
+    def test_debloat_corpus_skips_unrewritable_apps(self):
+        from repro.corpus.generator import AppBlueprint, AppRecord
+        from repro.corpus.metadata import AppMetadata
+
+        def record(apk):
+            return AppRecord(
+                apk=apk,
+                metadata=AppMetadata(
+                    category="tools",
+                    downloads=0,
+                    n_ratings=0,
+                    avg_rating=0.0,
+                    release_time_ms=0,
+                ),
+                blueprint=AppBlueprint(index=0, package=apk.package, category="tools"),
+            )
+
+        protected = _loader_app("com.example.protected")
+        protected.enable_anti_repackaging()
+        results = debloat_corpus([record(_loader_app()), record(protected)])
+        assert len(results) == 2
+        (rewritten_record, manifest), (kept_record, empty) = results
+        assert manifest.rewritten
+        assert rewritten_record.apk is not None
+        assert not empty.rewritten
+        assert kept_record.apk is protected
+
+
+class TestEvaluateDefense:
+    def test_unknown_policy_and_farm_without_store_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_defense(4, policy="nope")
+        with pytest.raises(ValueError):
+            evaluate_defense(4, workers=2, verdict_store="")
+
+    def test_hazard_kind_precedence(self):
+        from repro.corpus.generator import AppBlueprint
+
+        assert hazard_kind(AppBlueprint(index=0, package="a", category="c")) == ""
+        assert (
+            hazard_kind(
+                AppBlueprint(index=0, package="a", category="c", vuln_kind="injection")
+            )
+            == "code-injection"
+        )
+        assert (
+            hazard_kind(
+                AppBlueprint(
+                    index=0,
+                    package="a",
+                    category="c",
+                    malware_family="chathook",
+                    vuln_kind="injection",
+                )
+            )
+            == "known-malware"
+        )
+
+    def test_small_corpus_blocks_hazards_without_benign_breakage(self, tmp_path):
+        from repro.core.config import DyDroidConfig
+
+        evaluation = evaluate_defense(
+            24,
+            seed=7,
+            policy="default",
+            verdict_store=str(tmp_path / "verdicts.sqlite"),
+            quarantine_dir=str(tmp_path / "quarantine"),
+            config=DyDroidConfig(train_samples_per_family=2, run_replays=False),
+        )
+        assert evaluation.exposed_hazards
+        assert evaluation.blocked_hazard_rate == 1.0
+        assert evaluation.broken_benign == []
+        summary = evaluation.to_dict()
+        assert summary["blocked_hazards"] == summary["exposed_hazards"]
+        assert summary["benign_breakage_rate"] == 0.0
+        rendered = evaluation.render()
+        assert "DEFENSE EVALUATION: policy [default]" in rendered
+        assert "All hazards" in rendered
+        # The defended report carries the per-rule decision table.
+        table = evaluation.defended_report.defense_table()
+        assert table["loads_denied"] + table["loads_quarantined"] >= 1

@@ -104,6 +104,32 @@ class TestJobSpec:
         direct = CorpusGenerator(seed=SEED).records_at(N_APPS, [3])[0]
         assert spec.build_record().apk.sha256() == direct.apk.sha256()
 
+    def test_policy_less_key_matches_pre_policy_format(self):
+        # Submission keys from before the policy field must not change:
+        # journals and dedup tables written by older daemons stay valid.
+        import hashlib
+
+        legacy = json.dumps(
+            {"kind": "corpus", "seed": SEED, "n_apps": N_APPS, "index": 3},
+            sort_keys=True,
+        ).encode("utf-8")
+        spec = JobSpec.from_payload(SPEC)
+        assert spec.key() == hashlib.sha256(legacy).hexdigest()[:16]
+        assert "policy" not in spec.to_dict()
+
+    def test_policy_distinguishes_submissions(self):
+        plain = JobSpec.from_payload(SPEC)
+        defended = JobSpec.from_payload({**SPEC, "policy": "default"})
+        strict = JobSpec.from_payload({**SPEC, "policy": "strict"})
+        assert len({plain.key(), defended.key(), strict.key()}) == 3
+        assert defended.to_dict()["policy"] == "default"
+
+    def test_unknown_or_malformed_policy_rejected(self):
+        with pytest.raises(SpecError):
+            JobSpec.from_payload({**SPEC, "policy": "nope"})
+        with pytest.raises(SpecError):
+            JobSpec.from_payload({**SPEC, "policy": 7})
+
 
 # -- unit: queue ----------------------------------------------------------------
 
