@@ -18,6 +18,11 @@ Commands:
   re-detonates quarantined payloads in a sandbox VM, ``debloat`` shelves
   statically unreachable DCL call sites, ``policies`` lists the named
   enforcement policies;
+- ``top``      -- live dashboard over a running daemon (``/v1/stats`` +
+  ``/metrics?format=prom``) or a farm's ``status.json``; ``--once`` emits
+  one machine-readable JSON snapshot;
+- ``metrics``  -- ``export`` converts a ``--metrics-out`` JSON registry to
+  Prometheus text exposition;
 - ``corpus``   -- generate blueprints only and print ground-truth statistics;
 - ``analyze``  -- deep-dive one generated app (static + dynamic + verdicts);
 - ``families`` -- list the malware family corpus DroidNative trains on;
@@ -134,6 +139,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     farm_run.add_argument("--json", action="store_true",
                           help="emit the full serialized report as JSON")
+    farm_run.add_argument("--telemetry-dir", metavar="DIR",
+                          help="live telemetry directory: per-shard flight "
+                               "recordings, heartbeats, and status.json "
+                               "(default: the --checkpoint directory)")
     _add_observe_flags(farm_run)
 
     evolve = sub.add_parser("evolve", help="longitudinal (multi-version) measurement")
@@ -246,6 +255,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "name one (see `defend policies`)")
     serve.add_argument("--quarantine-dir", metavar="DIR", default="",
                        help="preserve payloads the firewall quarantines here")
+    serve.add_argument("--slo", metavar="SPEC", default="",
+                       help="per-tenant SLO objectives, e.g. "
+                            "'p95=30s,error_rate=1%%' (reported in "
+                            "/v1/stats and as slo.* gauges)")
+    serve.add_argument("--slo-window", type=int, default=256,
+                       help="jobs per client considered by the rolling "
+                            "error budgets")
+    serve.add_argument("--event-log", metavar="FILE",
+                       help="append structured JSONL events (job lifecycle, "
+                            "firewall enforcement, store publishes) here")
     _add_observe_flags(serve)
     serve.add_argument("--metrics-out", metavar="FILE",
                        help="write the final metrics registry here on drain")
@@ -275,6 +294,29 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("--host", default="127.0.0.1")
     status.add_argument("--port", type=int, default=8787)
     status.add_argument("--job", metavar="ID", help="show this job instead of stats")
+
+    top = sub.add_parser("top", help="live dashboard over a daemon or farm run")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8787)
+    top.add_argument("--status", metavar="FILE", default=None,
+                     help="watch a farm's status.json instead of a daemon")
+    top.add_argument("--once", action="store_true",
+                     help="print one JSON snapshot and exit (for scripts/CI)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh interval in seconds")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="stop after N refreshes (0: until interrupted)")
+
+    metrics = sub.add_parser("metrics", help="metrics tooling")
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+    metrics_export = metrics_sub.add_parser(
+        "export", help="convert a --metrics-out JSON registry to Prometheus text"
+    )
+    metrics_export.add_argument("metrics_file",
+                                help="JSON written by --metrics-out (plain "
+                                     "registry or farm summary)")
+    metrics_export.add_argument("--out", metavar="FILE", default=None,
+                                help="write here instead of stdout")
 
     corpus = sub.add_parser("corpus", help="print ground-truth corpus statistics")
     corpus.add_argument("--apps", type=int, default=1000)
@@ -385,6 +427,7 @@ def cmd_farm(args: argparse.Namespace) -> int:
         ),
         trace=bool(args.trace_out),
         verdict_store=args.verdict_store,
+        telemetry_dir=args.telemetry_dir,
     )
     try:
         result = run_farm(config)
@@ -545,8 +588,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.observe import write_trace
     from repro.service import AnalysisService, ServiceConfig, make_server
     from repro.service.persist import ServicePersistError
+    from repro.service.slo import SloError, parse_slo
     from repro.store import StoreError
 
+    try:
+        slo = parse_slo(args.slo) if args.slo else None
+    except SloError as exc:
+        raise SystemExit("serve: {}".format(exc))
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -557,6 +605,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         persist=args.persist,
         verdict_store=args.verdict_store,
         cache_capacity=args.cache_capacity,
+        slo=slo,
+        slo_window=args.slo_window,
+        event_log=args.event_log,
         pipeline=DyDroidConfig(
             train_samples_per_family=args.train,
             run_replays=not args.no_replays,
@@ -868,13 +919,90 @@ def cmd_defend(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
     from repro.observe import load_spans, render_summary
 
+    # A missing or empty trace is a normal outcome (tracing disabled, run
+    # produced nothing), not an error: say so plainly and exit 0 so
+    # pipelines like `repro ... && repro trace summary` do not break.
+    if not os.path.exists(args.trace_file):
+        print("no spans recorded ({} does not exist)".format(args.trace_file))
+        return 0
     try:
         spans = load_spans(args.trace_file)
     except (OSError, ValueError) as exc:
         raise SystemExit("trace summary: {}".format(exc))
+    if not spans:
+        print("no spans recorded ({} is empty)".format(args.trace_file))
+        return 0
     print(render_summary(spans))
+    return 0
+
+
+def _top_snapshot(args: argparse.Namespace):
+    import json as json_module
+
+    from repro.observe.prom import PromParseError
+    from repro.observe.top import build_daemon_snapshot, build_farm_snapshot
+
+    if args.status:
+        try:
+            with open(args.status, "r", encoding="utf-8") as handle:
+                return build_farm_snapshot(json_module.load(handle))
+        except (OSError, ValueError) as exc:
+            raise SystemExit("top: {}".format(exc))
+    from repro.service import ServiceClientError
+
+    client = _service_client(args)
+    try:
+        return build_daemon_snapshot(client.stats(), client.metrics_prom())
+    except ServiceClientError as exc:
+        raise SystemExit("top: {}".format(exc))
+    except PromParseError as exc:
+        raise SystemExit("top: daemon served invalid Prometheus text: {}".format(exc))
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.observe.top import render_top
+
+    if args.once:
+        _print_json(_top_snapshot(args))
+        return 0
+    refreshed = 0
+    while True:
+        snapshot = _top_snapshot(args)
+        # clear + home, like watch(1); harmless when piped to a file.
+        sys.stdout.write("\x1b[2J\x1b[H")
+        print(render_top(snapshot))
+        sys.stdout.flush()
+        refreshed += 1
+        if args.iterations and refreshed >= args.iterations:
+            return 0
+        time.sleep(max(0.1, args.interval))
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.observe.prom import to_prometheus
+
+    try:
+        with open(args.metrics_file, "r", encoding="utf-8") as handle:
+            payload = json_module.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit("metrics export: {}".format(exc))
+    if not isinstance(payload, dict):
+        raise SystemExit("metrics export: {} is not a JSON object".format(args.metrics_file))
+    # farm/evolve --metrics-out wraps the registry in a summary document.
+    if isinstance(payload.get("registry"), dict):
+        payload = payload["registry"]
+    text = to_prometheus(payload)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -897,6 +1025,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": cmd_serve,
         "submit": cmd_submit,
         "status": cmd_status,
+        "top": cmd_top,
+        "metrics": cmd_metrics,
         "corpus": cmd_corpus,
         "analyze": cmd_analyze,
         "families": cmd_families,

@@ -22,6 +22,7 @@ from repro.corpus.generator import AppRecord
 from repro.dynamic.engine import AppExecutionEngine, DynamicReport, EngineOptions
 from repro.dynamic.interceptor import InterceptedPayload, PayloadKind
 from repro.dynamic.provenance import Entity, Provenance
+from repro.observe.events import NULL_EVENT_LOG
 from repro.observe.metrics import MetricsRegistry
 from repro.observe.tracer import NULL_TRACER, stage
 from repro.static_analysis.decompiler import DecompilationError, Decompiler
@@ -86,12 +87,16 @@ class DyDroid:
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
         verdict_store: Union[None, str, Path, VerdictStore] = None,
+        events=None,
     ) -> None:
         self.config = config or DyDroidConfig()
         #: span sink; defaults to the zero-cost null tracer.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: always-on counters/histograms (cheap; only read when exported).
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: structured event sink (store publishes, firewall enforcement);
+        #: defaults to the zero-cost null log.
+        self.events = events if events is not None else NULL_EVENT_LOG
         #: tier-2 verdict cache, shared across processes.  A path opens a
         #: store this instance owns (and closes); a ready-made instance is
         #: borrowed -- the service shares one store across worker threads.
@@ -242,6 +247,7 @@ class DyDroid:
             firewall_policy=self.config.firewall_policy or None,
             quarantine_dir=self.config.quarantine_dir or None,
             verdict_store=self.verdict_store,
+            events=self.events,
         )
 
     def _verdict_for(
@@ -318,6 +324,10 @@ class DyDroid:
         if self.verdict_store is not None:
             with stage(self.tracer, self.metrics, "store", tier="detection"):
                 self.verdict_store.put_detection(digest, detection)
+            self.events.emit(
+                "store.publish", tier="detection", digest=digest[:12],
+                malicious=detection is not None,
+            )
         return detection
 
     def _leaks(self, payload: InterceptedPayload, digest: str, span) -> tuple:
@@ -335,6 +345,10 @@ class DyDroid:
         if self.verdict_store is not None:
             with stage(self.tracer, self.metrics, "store", tier="privacy"):
                 self.verdict_store.put_privacy(digest, leaks)
+            self.events.emit(
+                "store.publish", tier="privacy", digest=digest[:12],
+                leaks=len(leaks),
+            )
         return leaks
 
     def close(self) -> None:

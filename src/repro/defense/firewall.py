@@ -263,11 +263,16 @@ class DclFirewall:
         context: PolicyContext,
         verdict_store=None,
         quarantine: Optional[QuarantineStore] = None,
+        events=None,
     ) -> None:
         self.policy = policy
         self.context = context
         self.engine = PolicyEngine(policy.build_rules(verdict_store))
         self.quarantine = quarantine
+        #: structured event sink (duck-typed EventLog); deny/quarantine
+        #: verdicts are emitted so live operators see enforcement as it
+        #: happens, not only in the post-session report.
+        self.events = events
         #: every inline verdict of the session, ALLOWs included (the audit
         #: trail the report serializes).
         self.decisions: List[FirewallDecision] = []
@@ -292,6 +297,13 @@ class DclFirewall:
         self.decisions.append(recorded)
         if decision.verdict is PolicyVerdict.ALLOW:
             return
+        if self.events is not None:
+            self.events.emit(
+                "firewall.{}".format(decision.verdict.value),
+                level="warn",
+                path=path, kind=kind, rule=decision.rule,
+                policy=self.policy.name, enforced=self.policy.enforce,
+            )
         if decision.verdict is PolicyVerdict.QUARANTINE and self.quarantine is not None:
             self._preserve(path, recorded)
         if self.policy.enforce:

@@ -86,6 +86,9 @@ class EngineOptions:
     #: live verdict store consulted by the known-malware firewall rule;
     #: duck-typed to avoid importing the store at engine-import time.
     verdict_store: Optional[object] = None
+    #: structured event sink for firewall enforcement records; duck-typed
+    #: (:class:`repro.observe.events.EventLog` or the null log).
+    events: Optional[object] = None
 
 
 @dataclass
@@ -300,6 +303,7 @@ class AppExecutionEngine:
                 quarantine=QuarantineStore(opts.quarantine_dir)
                 if opts.quarantine_dir
                 else None,
+                events=opts.events,
             )
         return device, vm, logger, interceptor, tracker
 

@@ -13,6 +13,8 @@ emulators; this package is that scheduling layer for the reproduction:
 - :mod:`repro.farm.merger`      -- order-independent merge back into one
   :class:`~repro.core.report.MeasurementReport`;
 - :mod:`repro.farm.metrics`     -- throughput / latency / failure metrics;
+- :mod:`repro.farm.flight`      -- per-shard flight recorder, worker
+  heartbeats, and the coordinator's live ``status.json``;
 - :mod:`repro.farm.coordinator` -- :func:`run_farm` gluing it all together.
 
 Determinism guarantee: for a fixed corpus seed and pipeline config, the
@@ -24,6 +26,15 @@ are reported, not silently dropped).
 from repro.farm.checkpoint import CheckpointError, CheckpointJournal
 from repro.farm.coordinator import FarmConfig, FarmResult, run_farm
 from repro.farm.executors import SyncExecutor, create_executor
+from repro.farm.flight import (
+    FlightRecorder,
+    StatusWriter,
+    flight_path,
+    heartbeat_path,
+    load_flight,
+    read_heartbeats,
+    write_heartbeat,
+)
 from repro.farm.jobs import (
     AppResult,
     ChaosSpec,
@@ -56,16 +67,23 @@ __all__ = [
     "FarmConfig",
     "FarmMetrics",
     "FarmResult",
+    "FlightRecorder",
     "LatencyHistogram",
     "QuarantineRecord",
     "ShardJob",
     "ShardResult",
     "ShardSpec",
+    "StatusWriter",
     "SyncExecutor",
     "create_executor",
+    "flight_path",
+    "heartbeat_path",
+    "load_flight",
     "merge_reports",
     "merge_serialized",
     "plan_shards",
+    "read_heartbeats",
     "run_farm",
     "run_shard",
+    "write_heartbeat",
 ]

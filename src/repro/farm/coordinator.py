@@ -23,6 +23,7 @@ itself.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import as_completed
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -31,6 +32,7 @@ from repro.core.config import DyDroidConfig
 from repro.core.report import MeasurementReport
 from repro.farm.checkpoint import CheckpointJournal
 from repro.farm.executors import create_executor
+from repro.farm.flight import StatusWriter
 from repro.farm.jobs import ChaosSpec, QuarantineRecord, ShardJob, ShardResult
 from repro.farm.merger import merge_serialized
 from repro.farm.metrics import FarmMetrics
@@ -66,9 +68,24 @@ class FarmConfig:
     #: distinct payload digest is analyzed once fleet-wide, and a warm
     #: store makes re-runs skip DroidNative/FlowDroid entirely.
     verdict_store: Optional[str] = None
+    #: live-telemetry directory: workers drop flight recordings and
+    #: heartbeats there, the coordinator refreshes ``status.json``.
+    #: Defaults to the checkpoint journal's directory when one is set.
+    telemetry_dir: Optional[str] = None
+    #: ``status.json`` refresh cadence.
+    status_interval_s: float = 1.0
+    #: a running shard silent longer than this is flagged as stalled.
+    stall_after_s: float = 10.0
 
     def planned_shards(self) -> int:
         return self.n_shards if self.n_shards else max(1, self.workers * 4)
+
+    def effective_telemetry_dir(self) -> Optional[str]:
+        if self.telemetry_dir:
+            return self.telemetry_dir
+        if self.checkpoint:
+            return os.path.dirname(os.path.abspath(self.checkpoint))
+        return None
 
 
 @dataclass
@@ -86,6 +103,7 @@ class FarmResult:
 
 def _shard_jobs(config: FarmConfig, shards, skip) -> List[ShardJob]:
     jobs = []
+    flight_dir = config.effective_telemetry_dir()
     for shard in shards:
         indices = tuple(i for i in shard.indices if i not in skip)
         if not indices:
@@ -103,6 +121,7 @@ def _shard_jobs(config: FarmConfig, shards, skip) -> List[ShardJob]:
                 chaos=config.chaos,
                 trace=config.trace,
                 verdict_store=config.verdict_store,
+                flight_dir=flight_dir,
             )
         )
     return jobs
@@ -151,6 +170,23 @@ def run_farm(config: FarmConfig) -> FarmResult:
     jobs = _shard_jobs(config, shards, skip)
     shard_spans: List[Tuple[int, List[Dict[str, object]]]] = []
 
+    telemetry_dir = config.effective_telemetry_dir()
+    status: Optional[StatusWriter] = None
+    if telemetry_dir:
+        status = StatusWriter(
+            telemetry_dir,
+            n_apps=config.n_apps,
+            shards_planned=len(shards),
+            interval_s=config.status_interval_s,
+            stall_after_s=config.stall_after_s,
+        )
+        status.update(
+            apps_settled=len(analyses) + len(quarantined),
+            apps_quarantined=len(quarantined),
+        )
+        status.start()
+    shards_done = 0
+
     try:
         with create_executor(config.workers) as executor:
             pending = {executor.submit(run_shard, job): job for job in jobs}
@@ -190,10 +226,12 @@ def run_farm(config: FarmConfig) -> FarmResult:
                                     chaos=job.chaos,
                                     trace=job.trace,
                                     verdict_store=job.verdict_store,
+                                    flight_dir=job.flight_dir,
                                 )
                             )
                         continue
                     metrics.record_shard(shard_result)
+                    shards_done += 1
                     if shard_result.spans:
                         shard_spans.append((shard_result.shard_id, shard_result.spans))
                     for app_result in shard_result.results:
@@ -204,9 +242,18 @@ def run_farm(config: FarmConfig) -> FarmResult:
                         quarantined.append(record)
                         if journal:
                             journal.append_quarantine(record)
+                    if status is not None:
+                        status.update(
+                            shards_done=shards_done,
+                            apps_settled=len(analyses) + len(quarantined),
+                            apps_quarantined=len(quarantined),
+                        )
                 for job in retry_jobs:
                     pending[executor.submit(run_shard, job)] = job
     finally:
+        if status is not None:
+            status.update(shards_done=shards_done)
+            status.stop(state="done")
         if journal:
             journal.close()
 

@@ -54,6 +54,9 @@ class ShardJob:
     #: shared verdict-store path: every shard opens the same file, so a
     #: payload digest analyzed by any shard is reused by all others.
     verdict_store: Optional[str] = None
+    #: directory for live telemetry (``flight-<shard>.jsonl`` ring dumps
+    #: and ``heartbeat-<shard>.json``); None disables both.
+    flight_dir: Optional[str] = None
 
 
 @dataclass

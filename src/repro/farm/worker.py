@@ -14,6 +14,13 @@ ship it to a child process.  Within a shard each app gets:
 Results leave the worker already serialized (``AppAnalysis.to_dict``), so
 no live session objects -- VM graphs, payload bytes -- cross the process
 boundary or land in the checkpoint journal.
+
+With ``job.flight_dir`` set the shard also streams live telemetry: a
+crash-safe :class:`~repro.farm.flight.FlightRecorder` ring of recent
+events *and* spans (``flight-<shard>.jsonl``, kept only when something
+went wrong) and an atomically-refreshed ``heartbeat-<shard>.json`` after
+every app, which is what the coordinator's status writer and ``repro
+top`` watch for progress and stalls.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from typing import Iterator, Optional
 
 from repro.core.pipeline import DyDroid
 from repro.corpus.generator import CorpusGenerator
+from repro.farm.flight import FlightRecorder, write_heartbeat
 from repro.farm.jobs import AppResult, ChaosSpec, QuarantineRecord, ShardJob, ShardResult
 from repro.observe.metrics import MetricsRegistry
 from repro.observe.tracer import NULL_TRACER, Tracer
@@ -79,11 +87,17 @@ def _inject_chaos(chaos: ChaosSpec, package: str, attempt: int) -> None:
 def run_shard(job: ShardJob) -> ShardResult:
     """Analyze every app of one shard; never raises for a single bad app."""
     started = time.perf_counter()
+    flight = (
+        FlightRecorder(job.flight_dir, job.shard_id)
+        if job.flight_dir is not None
+        else None
+    )
     # Fresh per-shard tracer/registry; both leave the worker serialized
     # inside the ShardResult and are merged deterministically by the
     # coordinator (span ids re-numbered in shard order, registry folded
-    # with commutative merges).
-    tracer = Tracer() if job.trace else NULL_TRACER
+    # with commutative merges).  Flight recording needs real spans even
+    # when the coordinator did not ask for trace export.
+    tracer = Tracer() if (job.trace or flight is not None) else NULL_TRACER
     registry = MetricsRegistry()
     generator = CorpusGenerator(seed=job.corpus_seed)
     blueprints = generator.sample_blueprints(job.n_apps)
@@ -95,6 +109,26 @@ def run_shard(job: ShardJob) -> ShardResult:
         verdict_store=job.verdict_store,
     )
     result = ShardResult(shard_id=job.shard_id)
+
+    settled = 0
+    spans_recorded = 0
+
+    def checkpoint_flight() -> None:
+        """Fold new spans into the flight ring and refresh the heartbeat."""
+        nonlocal spans_recorded
+        if flight is None:
+            return
+        spans = tracer.to_dicts()
+        flight.record_spans(spans[spans_recorded:])
+        spans_recorded = len(spans)
+        write_heartbeat(job.flight_dir, job.shard_id, settled, len(job.indices))
+
+    if flight is not None:
+        flight.emit(
+            "shard.started", shard=job.shard_id,
+            n_apps=len(job.indices), seed=job.corpus_seed,
+        )
+        checkpoint_flight()
 
     for index in job.indices:
         blueprint = blueprints[index]
@@ -114,17 +148,30 @@ def run_shard(job: ShardJob) -> ShardResult:
             except Exception as exc:
                 attempt += 1
                 registry.counter("farm.attempt_failures").inc()
+                error = "{}: {}".format(type(exc).__name__, exc)
                 if attempt > job.max_retries:
                     result.quarantined.append(
                         QuarantineRecord(
                             index=index,
                             package=record.package,
-                            error="{}: {}".format(type(exc).__name__, exc),
+                            error=error,
                             attempts=attempt,
                         )
                     )
                     registry.counter("farm.quarantined").inc()
+                    if flight is not None:
+                        flight.emit(
+                            "app.quarantined", level="error", index=index,
+                            package=record.package, error=error, attempts=attempt,
+                        )
+                    settled += 1
+                    checkpoint_flight()
                     break
+                if flight is not None:
+                    flight.emit(
+                        "app.retry", level="warn", index=index,
+                        package=record.package, error=error, attempt=attempt,
+                    )
                 if job.backoff_s:
                     time.sleep(job.backoff_s * (2 ** (attempt - 1)))
                 continue
@@ -140,10 +187,30 @@ def run_shard(job: ShardJob) -> ShardResult:
                     analyze_s=analyze_s,
                 )
             )
+            if flight is not None:
+                flight.emit(
+                    "app.analyzed", level="debug", index=index,
+                    package=record.package, analyze_s=round(analyze_s, 6),
+                    retries=attempt,
+                )
+            settled += 1
+            checkpoint_flight()
             break
 
     result.wall_s = time.perf_counter() - started
-    result.spans = tracer.to_dicts()
+    result.spans = tracer.to_dicts() if job.trace else []
     result.metrics = registry.to_dict()
     dydroid.close()
+    if flight is not None:
+        flight.emit(
+            "shard.completed", shard=job.shard_id,
+            analyzed=len(result.results), quarantined=len(result.quarantined),
+            wall_s=round(result.wall_s, 6),
+        )
+        write_heartbeat(
+            job.flight_dir, job.shard_id, settled, len(job.indices), done=True
+        )
+        # a clean shard deletes its recording; one that retried or
+        # quarantined leaves the dump behind for post-mortems.
+        flight.close()
     return result

@@ -1,0 +1,316 @@
+"""Prometheus text-format exposition of the metrics registry.
+
+``to_prometheus`` renders a :class:`~repro.observe.metrics.MetricsRegistry`
+(or its ``to_dict()`` form, so ``--metrics-out`` files export offline) in
+the Prometheus exposition format, version 0.0.4:
+
+- counters  -> ``<name>_total`` samples of type ``counter``;
+- gauges    -> plain samples of type ``gauge``;
+- histograms -> cumulative ``<name>_seconds_bucket{le="..."}`` samples
+  plus ``_sum``/``_count``, type ``histogram`` (the registry stores
+  per-bucket counts; exposition is where they become cumulative);
+- distinct sets -> ``<name>_distinct`` gauges carrying the cardinality.
+
+Dotted registry names are sanitized (``stage.analyze`` ->
+``repro_stage_analyze_seconds``); every family gets a ``# HELP`` line
+naming the original registry metric so the mapping stays greppable.
+
+``parse_prometheus`` is the tiny in-repo parser the CI smoke job and
+``repro top`` use to validate and consume ``/metrics?format=prom``
+without external dependencies, and ``merge_expositions`` mirrors
+:meth:`MetricsRegistry.merge_dict` at the text level: counters and
+histogram components sum, gauges take the max.  Distinct-set
+cardinalities are **not** mergeable from expositions alone (a union
+needs the member values, which only ``merge_dict`` sees), so
+``merge_expositions`` drops ``_distinct`` families and callers comparing
+against a merged registry must do the same.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.observe.metrics import MetricsRegistry, iter_bucket_bounds
+
+__all__ = [
+    "PROM_CONTENT_TYPE",
+    "PromParseError",
+    "default_bucket_bounds",
+    "histogram_quantiles",
+    "merge_expositions",
+    "parse_prometheus",
+    "quantile_from_buckets",
+    "to_prometheus",
+]
+
+#: the content type a conforming scrape endpoint must serve.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+
+
+def _sanitize(name: str, prefix: str) -> str:
+    return prefix + _SANITIZE.sub("_", name)
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _bucket_bound_from_key(key: str) -> float:
+    """``le_0.05s``/``le_inf`` (the registry's JSON keys) -> upper bound."""
+    if key == "le_inf":
+        return math.inf
+    return float(key[len("le_"):-1])
+
+
+def to_prometheus(
+    registry: Union[MetricsRegistry, Dict[str, object]], prefix: str = "repro_"
+) -> str:
+    """Render a registry (live or serialized) as Prometheus text format."""
+    payload = registry.to_dict() if isinstance(registry, MetricsRegistry) else registry
+    lines: List[str] = []
+
+    for name, value in sorted(payload.get("counters", {}).items()):
+        family = _sanitize(name, prefix) + "_total"
+        lines.append("# HELP {} counter {}".format(family, name))
+        lines.append("# TYPE {} counter".format(family))
+        lines.append("{} {}".format(family, _format_value(float(value))))
+
+    for name, value in sorted(payload.get("gauges", {}).items()):
+        family = _sanitize(name, prefix)
+        lines.append("# HELP {} gauge {}".format(family, name))
+        lines.append("# TYPE {} gauge".format(family))
+        lines.append("{} {}".format(family, _format_value(float(value))))
+
+    for name, count in sorted(payload.get("distinct", {}).items()):
+        if not isinstance(count, int):  # serialized registries carry the values
+            count = len(count)
+        family = _sanitize(name, prefix) + "_distinct"
+        lines.append("# HELP {} gauge distinct {}".format(family, name))
+        lines.append("# TYPE {} gauge".format(family))
+        lines.append("{} {}".format(family, _format_value(float(count))))
+
+    for name, histogram in sorted(payload.get("histograms", {}).items()):
+        family = _sanitize(name, prefix) + "_seconds"
+        lines.append("# HELP {} histogram {}".format(family, name))
+        lines.append("# TYPE {} histogram".format(family))
+        buckets = histogram["buckets"]
+        cumulative = 0
+        for key in sorted(buckets, key=_bucket_bound_from_key):
+            cumulative += buckets[key]
+            lines.append(
+                '{}_bucket{{le="{}"}} {}'.format(
+                    family,
+                    _format_value(_bucket_bound_from_key(key)),
+                    cumulative,
+                )
+            )
+        lines.append("{}_sum {}".format(family, _format_value(float(histogram["total_s"]))))
+        lines.append("{}_count {}".format(family, _format_value(float(histogram["count"]))))
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- parsing / validation ------------------------------------------------------
+
+
+class PromParseError(ValueError):
+    """The text is not valid Prometheus exposition format."""
+
+
+#: one parsed family: declared type plus ``(sample_name, labels, value)``.
+Family = Dict[str, object]
+
+
+def _parse_labels(raw: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    for part in filter(None, (p.strip() for p in raw.split(","))):
+        match = _LABEL.match(part)
+        if match is None:
+            raise PromParseError("bad label pair {!r}".format(part))
+        labels[match.group("key")] = match.group("value")
+    return labels
+
+
+def _family_for(sample_name: str, families: Dict[str, Family]) -> str:
+    """Resolve a sample line to its declared family (histogram suffixes)."""
+    if sample_name in families:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families and families[base]["type"] == "histogram":
+                return base
+    raise PromParseError("sample {!r} has no preceding # TYPE line".format(sample_name))
+
+
+def parse_prometheus(text: str) -> Dict[str, Family]:
+    """Parse (and thereby validate) Prometheus text exposition.
+
+    Returns ``{family: {"type": ..., "samples": [(name, labels, value)]}}``.
+    Raises :class:`PromParseError` on malformed names, labels, values,
+    undeclared samples, or histograms missing their ``+Inf`` bucket --
+    strict enough to serve as the CI format validator.
+    """
+    families: Dict[str, Family] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise PromParseError("line {}: malformed TYPE line".format(lineno))
+            _, _, name, kind = parts
+            if not _NAME_OK.match(name):
+                raise PromParseError("line {}: bad metric name {!r}".format(lineno, name))
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise PromParseError("line {}: unknown type {!r}".format(lineno, kind))
+            if name in families:
+                raise PromParseError("line {}: duplicate TYPE for {!r}".format(lineno, name))
+            families[name] = {"type": kind, "samples": []}
+            continue
+        if line.startswith("#"):
+            continue  # HELP and comments
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise PromParseError("line {}: unparseable sample {!r}".format(lineno, line))
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "")
+        raw_value = match.group("value")
+        try:
+            value = math.inf if raw_value == "+Inf" else float(raw_value)
+        except ValueError:
+            raise PromParseError("line {}: bad value {!r}".format(lineno, raw_value))
+        try:
+            family = _family_for(name, families)
+        except PromParseError as exc:
+            raise PromParseError("line {}: {}".format(lineno, exc))
+        families[family]["samples"].append((name, labels, value))
+
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        buckets = {
+            labels.get("le"): value
+            for sample, labels, value in family["samples"]
+            if sample == name + "_bucket"
+        }
+        if "+Inf" not in buckets:
+            raise PromParseError("histogram {!r} is missing its +Inf bucket".format(name))
+        counts = [
+            value for sample, _, value in family["samples"] if sample == name + "_count"
+        ]
+        if counts and counts[0] != buckets["+Inf"]:
+            raise PromParseError(
+                "histogram {!r}: _count {} != +Inf bucket {}".format(
+                    name, counts[0], buckets["+Inf"]
+                )
+            )
+    return families
+
+
+def merge_expositions(texts: Sequence[str]) -> Dict[str, Family]:
+    """Fold several expositions into one parsed family dict.
+
+    Mirrors :meth:`MetricsRegistry.merge_dict` sample-wise: counters,
+    histogram buckets, ``_sum`` and ``_count`` add; gauges take the max.
+    ``_distinct`` families are dropped (cardinalities do not merge; see
+    the module docstring).  The result is keyed and ordered like
+    ``parse_prometheus`` output on the merged registry, so the two are
+    directly comparable.
+    """
+    merged: Dict[str, Family] = {}
+    for text in texts:
+        for name, family in parse_prometheus(text).items():
+            if name.endswith("_distinct"):
+                continue
+            if name not in merged:
+                merged[name] = {"type": family["type"], "samples": []}
+            elif merged[name]["type"] != family["type"]:
+                raise PromParseError(
+                    "family {!r} declared as both {} and {}".format(
+                        name, merged[name]["type"], family["type"]
+                    )
+                )
+            target = merged[name]
+            index = {
+                (sample, tuple(sorted(labels.items()))): position
+                for position, (sample, labels, _) in enumerate(target["samples"])
+            }
+            take_max = family["type"] == "gauge"
+            for sample, labels, value in family["samples"]:
+                key = (sample, tuple(sorted(labels.items())))
+                if key not in index:
+                    index[key] = len(target["samples"])
+                    target["samples"].append((sample, dict(labels), value))
+                else:
+                    position = index[key]
+                    existing_name, existing_labels, existing = target["samples"][position]
+                    folded = max(existing, value) if take_max else existing + value
+                    target["samples"][position] = (existing_name, existing_labels, folded)
+    return merged
+
+
+# -- histogram quantiles -------------------------------------------------------
+
+
+def quantile_from_buckets(
+    buckets: Iterable[Tuple[float, float]], q: float
+) -> float:
+    """Prometheus-style quantile estimate from cumulative ``(le, count)`` pairs.
+
+    Linear interpolation inside the bucket containing the target rank
+    (``histogram_quantile`` semantics); a rank landing in the ``+Inf``
+    bucket returns the highest finite bound -- the histogram cannot say
+    more.  Returns 0.0 for an empty histogram.
+    """
+    ordered = sorted(buckets, key=lambda pair: pair[0])
+    if not ordered or ordered[-1][1] <= 0:
+        return 0.0
+    total = ordered[-1][1]
+    rank = q * total
+    previous_bound, previous_count = 0.0, 0.0
+    for bound, count in ordered:
+        if count >= rank:
+            if bound == math.inf:
+                finite = [b for b, _ in ordered if b != math.inf]
+                return finite[-1] if finite else 0.0
+            span = count - previous_count
+            if span <= 0:
+                return bound
+            fraction = (rank - previous_count) / span
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound, previous_count = bound, count
+    return previous_bound
+
+
+def histogram_quantiles(
+    family: Family, quantiles: Sequence[float] = (0.5, 0.95)
+) -> Dict[float, float]:
+    """Quantile estimates for one parsed histogram family."""
+    buckets = [
+        (math.inf if labels["le"] == "+Inf" else float(labels["le"]), value)
+        for sample, labels, value in family["samples"]
+        if sample.endswith("_bucket")
+    ]
+    return {q: quantile_from_buckets(buckets, q) for q in quantiles}
+
+
+def default_bucket_bounds() -> Tuple[float, ...]:
+    """The registry's 1-2-5 ladder (exported for tests and tooling)."""
+    return tuple(iter_bucket_bounds())

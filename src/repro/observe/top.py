@@ -1,0 +1,233 @@
+"""``repro top``: a live text dashboard over a daemon or a farm run.
+
+Two data sources, one snapshot shape:
+
+- **daemon** -- poll ``GET /v1/stats`` (JSON) and ``GET
+  /metrics?format=prom`` (parsed with the in-repo
+  :func:`~repro.observe.prom.parse_prometheus`), fold into one snapshot:
+  queue depth, worker/job health, cache and verdict-store hit rates,
+  per-stage p50/p95 estimated from the exposed histogram buckets, and
+  per-tenant SLO budgets;
+- **farm** -- read the coordinator's ``status.json``: per-shard
+  progress bars, heartbeat ages, stall flags.
+
+``build_*_snapshot`` and :func:`render_top` are pure functions of their
+inputs, so the dashboard is testable without sockets, and ``repro top
+--once`` can print the snapshot as JSON for CI and scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.observe.prom import histogram_quantiles, parse_prometheus
+
+__all__ = ["build_daemon_snapshot", "build_farm_snapshot", "render_top"]
+
+_PROM_PREFIX = "repro_"
+
+
+def _counter(families: Dict[str, Dict[str, Any]], name: str) -> float:
+    family = families.get(name)
+    if not family:
+        return 0.0
+    return sum(value for _, _, value in family["samples"])
+
+
+def _hit_rate(hits: float, misses: float) -> Optional[float]:
+    total = hits + misses
+    return round(hits / total, 4) if total else None
+
+
+def build_daemon_snapshot(
+    stats: Dict[str, Any], prom_text: str
+) -> Dict[str, Any]:
+    """``/v1/stats`` + ``/metrics?format=prom`` -> one dashboard snapshot."""
+    families = parse_prometheus(prom_text)
+    stages: Dict[str, Dict[str, Any]] = {}
+    for name, family in sorted(families.items()):
+        if family["type"] != "histogram" or not name.startswith(_PROM_PREFIX + "stage_"):
+            continue
+        label = name[len(_PROM_PREFIX + "stage_"):]
+        if label.endswith("_seconds"):
+            label = label[: -len("_seconds")]
+        count = next(
+            (value for sample, _, value in family["samples"] if sample.endswith("_count")),
+            0.0,
+        )
+        if not count:
+            continue
+        quantiles = histogram_quantiles(family, (0.5, 0.95))
+        stages[label] = {
+            "count": int(count),
+            "p50_s": round(quantiles[0.5], 6),
+            "p95_s": round(quantiles[0.95], 6),
+        }
+
+    counters = stats.get("counters", {})
+    store = {
+        kind: {
+            "hits": int(_counter(families, "{}store_{}_hit_total".format(_PROM_PREFIX, kind))),
+            "misses": int(_counter(families, "{}store_{}_miss_total".format(_PROM_PREFIX, kind))),
+        }
+        for kind in ("detection", "privacy")
+    }
+    for numbers in store.values():
+        numbers["hit_rate"] = _hit_rate(numbers["hits"], numbers["misses"])
+
+    return {
+        "source": "daemon",
+        "uptime_s": stats.get("uptime_s"),
+        "draining": stats.get("draining", False),
+        "workers": stats.get("workers"),
+        "queue": stats.get("queue", {}),
+        "jobs": stats.get("jobs", {}),
+        "cache": {
+            "hits": counters.get("service.cache.hit", 0),
+            "misses": counters.get("service.cache.miss", 0),
+            "hit_rate": _hit_rate(
+                counters.get("service.cache.hit", 0),
+                counters.get("service.cache.miss", 0),
+            ),
+            "entries": stats.get("cache", {}).get("entries"),
+        },
+        "store": store,
+        "stages": stages,
+        "slo": stats.get("slo"),
+        "events": stats.get("events"),
+    }
+
+
+def build_farm_snapshot(status: Dict[str, Any]) -> Dict[str, Any]:
+    """A coordinator ``status.json`` -> one dashboard snapshot."""
+    return dict(status, source="farm")
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def _fmt_s(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 1.0:
+        return "{:.2f}s".format(seconds)
+    return "{:.2f}ms".format(seconds * 1e3)
+
+
+def _fmt_rate(rate: Optional[float]) -> str:
+    return "-" if rate is None else "{:.1%}".format(rate)
+
+
+def _bar(completed: int, total: int, width: int = 20) -> str:
+    if total <= 0:
+        return "-" * width
+    filled = int(round(width * min(completed, total) / total))
+    return "#" * filled + "." * (width - filled)
+
+
+def _render_daemon(snapshot: Dict[str, Any]) -> str:
+    queue = snapshot.get("queue", {})
+    jobs = snapshot.get("jobs", {})
+    cache = snapshot.get("cache", {})
+    lines = [
+        "repro top -- daemon  (uptime {:.0f}s{})".format(
+            snapshot.get("uptime_s") or 0.0,
+            ", DRAINING" if snapshot.get("draining") else "",
+        ),
+        "queue  depth {}/{}  inflight {}  workers {}".format(
+            queue.get("depth", 0),
+            queue.get("max_depth", "-"),
+            queue.get("inflight", 0),
+            snapshot.get("workers", "-"),
+        ),
+        "jobs   queued {}  running {}  done {}  failed {}  total {}".format(
+            jobs.get("queued", 0), jobs.get("running", 0),
+            jobs.get("done", 0), jobs.get("failed", 0), jobs.get("total", 0),
+        ),
+        "cache  {} hits / {} misses ({})  entries {}".format(
+            cache.get("hits", 0), cache.get("misses", 0),
+            _fmt_rate(cache.get("hit_rate")), cache.get("entries", "-"),
+        ),
+    ]
+    store = snapshot.get("store", {})
+    store_bits = [
+        "{} {}".format(kind, _fmt_rate(numbers.get("hit_rate")))
+        for kind, numbers in sorted(store.items())
+        if numbers.get("hits", 0) + numbers.get("misses", 0)
+    ]
+    if store_bits:
+        lines.append("store  " + "  ".join(store_bits))
+    stages = snapshot.get("stages", {})
+    if stages:
+        lines.append("")
+        lines.append("{:<28} {:>7} {:>9} {:>9}".format("stage", "count", "p50", "p95"))
+        for label, numbers in sorted(
+            stages.items(), key=lambda pair: -pair[1]["p95_s"]
+        ):
+            lines.append(
+                "{:<28} {:>7} {:>9} {:>9}".format(
+                    label, numbers["count"],
+                    _fmt_s(numbers["p50_s"]), _fmt_s(numbers["p95_s"]),
+                )
+            )
+    slo = snapshot.get("slo")
+    if slo and slo.get("clients"):
+        lines.append("")
+        lines.append("{:<20} {:>6} {:>7}  {}".format("tenant", "jobs", "errors", "budgets"))
+        for client, report in sorted(slo["clients"].items()):
+            budgets = "  ".join(
+                "{} {:>4.0%}".format(objective, budget)
+                for objective, budget in sorted(report.get("budgets", {}).items())
+            )
+            marker = "" if report.get("met", True) else "  [SLO BREACH]"
+            lines.append(
+                "{:<20} {:>6} {:>7}  {}{}".format(
+                    client, report.get("window_jobs", 0),
+                    report.get("errors", 0), budgets, marker,
+                )
+            )
+    return "\n".join(lines)
+
+
+def _render_farm(snapshot: Dict[str, Any]) -> str:
+    lines = [
+        "repro top -- farm  (state {}, uptime {:.0f}s)".format(
+            snapshot.get("state", "?"), snapshot.get("uptime_s") or 0.0
+        ),
+        "apps   settled {}/{}  quarantined {}  shards done {}/{}".format(
+            snapshot.get("apps_settled", 0), snapshot.get("n_apps", "-"),
+            snapshot.get("apps_quarantined", 0),
+            snapshot.get("shards_done", 0), snapshot.get("shards_planned", "-"),
+        ),
+    ]
+    shards = snapshot.get("shards", {})
+    if shards:
+        lines.append("")
+        lines.append(
+            "{:<6} {:<22} {:>9} {:>9}  {}".format("shard", "progress", "done/total", "silent", "state")
+        )
+        for shard_id in sorted(shards, key=int):
+            shard = shards[shard_id]
+            state = shard.get("state", "?")
+            lines.append(
+                "{:<6} [{}] {:>9} {:>9}  {}{}".format(
+                    shard_id,
+                    _bar(shard.get("completed", 0), shard.get("total", 0)),
+                    "{}/{}".format(shard.get("completed", 0), shard.get("total", 0)),
+                    _fmt_s(shard.get("silent_s")),
+                    state,
+                    "  [STALLED]" if state == "stalled" else "",
+                )
+            )
+    stalled = snapshot.get("stalled") or []
+    if stalled:
+        lines.append("")
+        lines.append("STALLED SHARDS: {}".format(", ".join(map(str, stalled))))
+    return "\n".join(lines)
+
+
+def render_top(snapshot: Dict[str, Any]) -> str:
+    """Render one snapshot (either source) as the dashboard text."""
+    if snapshot.get("source") == "farm":
+        return _render_farm(snapshot)
+    return _render_daemon(snapshot)

@@ -23,6 +23,8 @@ serving layer for the reproduction -- stdlib-only, like everything else:
   three-level dedup (spec / in-flight coalescing / content digest),
   drain-on-SIGTERM, shared :class:`~repro.observe.metrics.MetricsRegistry`;
 - :mod:`repro.service.http`      -- ``ThreadingHTTPServer`` transport;
+- :mod:`repro.service.slo`       -- per-tenant SLO objectives and rolling
+  error budgets behind ``--slo`` and the ``slo.*`` gauges;
 - :mod:`repro.service.client`    -- ``http.client`` client behind
   ``repro submit`` / ``repro status``.
 """
@@ -36,6 +38,7 @@ from repro.service.persist import ResultJournal, ServicePersistError, pipeline_f
 from repro.service.queue import JobQueue, QueueClosedError, QueueFullError
 from repro.service.ratelimit import RateLimitedError, RateLimiter, TokenBucket
 from repro.service.scheduler import SchedulerPool
+from repro.service.slo import SloError, SloObjectives, SloTracker, parse_slo
 from repro.service.spec import JobSpec, SpecError
 
 __all__ = [
@@ -57,8 +60,12 @@ __all__ = [
     "ServiceConfig",
     "ServiceHTTPServer",
     "ServicePersistError",
+    "SloError",
+    "SloObjectives",
+    "SloTracker",
     "SpecError",
     "TokenBucket",
     "make_server",
+    "parse_slo",
     "pipeline_fingerprint",
 ]

@@ -99,6 +99,27 @@ class ServiceClient:
         finally:
             connection.close()
 
+    def request_text(self, method: str, path: str) -> str:
+        """One round trip for a text (non-JSON) endpoint, e.g. prom metrics."""
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            try:
+                connection.request(method, path)
+                response = connection.getresponse()
+                raw = response.read()
+            except OSError as exc:
+                raise ServiceClientError(
+                    "cannot reach service at {}:{}: {}".format(self.host, self.port, exc)
+                )
+            if not 200 <= response.status < 300:
+                raise ServiceClientError(
+                    "{} {} -> {}".format(method, path, response.status),
+                    status=response.status,
+                )
+            return raw.decode("utf-8")
+        finally:
+            connection.close()
+
     # -- endpoints -------------------------------------------------------------
 
     def submit(
@@ -126,6 +147,10 @@ class ServiceClient:
 
     def metrics(self) -> Dict[str, object]:
         return self.request("GET", "/metrics")
+
+    def metrics_prom(self) -> str:
+        """The Prometheus text exposition (``/metrics?format=prom``)."""
+        return self.request_text("GET", "/metrics?format=prom")
 
     def healthz(self) -> Dict[str, object]:
         return self.request("GET", "/healthz")

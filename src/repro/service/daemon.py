@@ -42,8 +42,10 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.config import DyDroidConfig
 from repro.core.pipeline import DyDroid
+from repro.observe.events import EventLog
 from repro.observe.merge import merge_span_lists
 from repro.observe.metrics import MetricsRegistry
+from repro.observe.prom import to_prometheus
 from repro.observe.tracer import NULL_TRACER, Tracer, stage
 from repro.service.cache import ResultCache
 from repro.service.jobs import Job, JobState, JobTable
@@ -51,6 +53,7 @@ from repro.service.persist import ResultJournal
 from repro.service.queue import JobQueue, QueueClosedError
 from repro.service.ratelimit import RateLimitedError, RateLimiter
 from repro.service.scheduler import SchedulerPool
+from repro.service.slo import SloObjectives, SloTracker
 from repro.service.spec import JobSpec, SpecError
 from repro.store.verdicts import VerdictStore
 
@@ -92,6 +95,15 @@ class ServiceConfig:
     trace: bool = True
     #: span sources (jobs + requests) retained for trace export.
     retained_trace_sources: int = 512
+    #: per-tenant SLO objectives (``parse_slo("p95=30s,error_rate=1%")``);
+    #: None disables SLO tracking and the ``slo.*`` gauges.
+    slo: Optional[SloObjectives] = None
+    #: completed jobs per client considered by the rolling error budgets.
+    slo_window: int = 256
+    #: optional JSONL sink for the structured event log (append mode).
+    event_log: Optional[str] = None
+    #: events retained in memory for ``/v1/stats`` regardless of sink.
+    event_capacity: int = 1024
 
 
 class AnalysisService:
@@ -109,6 +121,16 @@ class AnalysisService:
         )
         self.journal: Optional[ResultJournal] = None
         self.verdict_store: Optional[VerdictStore] = None
+        #: structured operational events: always ring-buffered for
+        #: ``/v1/stats``; written through to JSONL when ``event_log`` set.
+        self.events = EventLog(
+            capacity=self.config.event_capacity, sink=self.config.event_log
+        )
+        self.slo: Optional[SloTracker] = (
+            SloTracker(self.config.slo, window=self.config.slo_window)
+            if self.config.slo is not None and not self.config.slo.empty
+            else None
+        )
         self._inflight: Dict[str, str] = {}  # spec_key -> primary job id
         self._lock = threading.RLock()
         self._local = threading.local()
@@ -147,6 +169,8 @@ class AnalysisService:
         with self._lock:
             self._draining = True
         drained = self.scheduler.drain(timeout=timeout)
+        self.events.emit("service.drained", drained=drained)
+        self.events.close()
         if self.journal is not None:
             self.journal.close()
             self.journal = None
@@ -170,6 +194,7 @@ class AnalysisService:
             self.registry.counter("service.submit.requests").inc()
             if self._draining:
                 self.registry.counter("service.rejected.draining").inc()
+                self.events.emit("job.rejected", level="warn", reason="draining", client=peer)
                 return 503, {"error": "service is draining"}, _NO_HEADERS
         try:
             spec = JobSpec.from_payload(payload)
@@ -189,6 +214,10 @@ class AnalysisService:
             retry_after = exc.retry_after_s
             with self._lock:
                 self.registry.counter("service.rejected.rate_limited").inc()
+                self.events.emit(
+                    "job.rejected", level="warn", reason="rate_limited",
+                    client=client, retry_after_s=round(retry_after, 3),
+                )
             return (
                 429,
                 {"error": "rate limited", "retry_after_s": round(retry_after, 3)},
@@ -207,6 +236,15 @@ class AnalysisService:
                 job.finished_ts = time.time()
                 self.jobs.mark_finished(job)
                 self.registry.counter("service.cache.hit").inc()
+                self.events.emit(
+                    "job.completed", job_id=job.job_id, client=client,
+                    cached=True, state=JobState.DONE.value,
+                )
+                if self.slo is not None:
+                    # instant cache answers still count toward the tenant's
+                    # window -- they are the latency the tenant experienced.
+                    self.slo.observe(client, 0.0, ok=True)
+                    self.slo.export_gauges(self.registry)
                 return 200, self._submit_body(job, coalesced=False), _NO_HEADERS
 
             primary_id = self._inflight.get(spec_key)
@@ -216,11 +254,18 @@ class AnalysisService:
                     primary.coalesced += 1
                     self.registry.counter("service.cache.hit").inc()
                     self.registry.counter("service.coalesced").inc()
+                    self.events.emit(
+                        "job.coalesced", job_id=primary.job_id, client=client
+                    )
                     return 202, self._submit_body(primary, coalesced=True), _NO_HEADERS
 
             if self.queue.depth() >= self.queue.max_depth:
                 retry_after = self._retry_after_locked()
                 self.registry.counter("service.rejected.queue_full").inc()
+                self.events.emit(
+                    "job.rejected", level="warn", reason="queue_full",
+                    client=client, queue_depth=self.queue.depth(),
+                )
                 return (
                     429,
                     {
@@ -243,9 +288,16 @@ class AnalysisService:
                 self._inflight.pop(spec_key, None)
                 self.jobs.discard(job.job_id)
                 self.registry.counter("service.rejected.draining").inc()
+                self.events.emit(
+                    "job.rejected", level="warn", reason="draining", client=client
+                )
                 return 503, {"error": "service is draining"}, _NO_HEADERS
             self.registry.counter("service.cache.miss").inc()
             self.registry.gauge("service.queue.depth").set(depth)
+            self.events.emit(
+                "job.admitted", job_id=job.job_id, client=client,
+                priority=priority, queue_depth=depth,
+            )
             return 202, self._submit_body(job, coalesced=False), _NO_HEADERS
 
     @staticmethod
@@ -286,7 +338,12 @@ class AnalysisService:
             # Every worker thread borrows the daemon's one store instance
             # (VerdictStore is internally locked), so a verdict computed
             # by any worker -- or any prior daemon -- is reused by all.
-            pipeline = DyDroid(config, verdict_store=self.verdict_store)
+            # The daemon's EventLog is thread-safe and shared: firewall
+            # enforcement and store publishes land in the same trail as
+            # job lifecycle events.
+            pipeline = DyDroid(
+                config, verdict_store=self.verdict_store, events=self.events
+            )
             pipelines[policy] = pipeline
         return pipeline
 
@@ -366,11 +423,22 @@ class AnalysisService:
         job.state = state
         job.finished_ts = time.time()
         self.jobs.mark_finished(job)
-        counter = "service.jobs.completed" if state is JobState.DONE else "service.jobs.failed"
+        ok = state is JobState.DONE
+        counter = "service.jobs.completed" if ok else "service.jobs.failed"
         self.registry.counter(counter).inc()
         self.registry.gauge("service.queue.depth").set(self.queue.depth())
         self.registry.merge_dict(registry.to_dict())
         self._fold_spans(tracer)
+        self.events.emit(
+            "job.completed" if ok else "job.failed",
+            level="info" if ok else "error",
+            job_id=job.job_id, client=job.client, state=state.value,
+            elapsed_s=round(elapsed, 6),
+            **({} if ok else {"error": job.error}),
+        )
+        if self.slo is not None:
+            self.slo.observe(job.client, elapsed, ok=ok)
+            self.slo.export_gauges(self.registry)
 
     # -- reads (HTTP thread) ---------------------------------------------------
 
@@ -438,6 +506,14 @@ class AnalysisService:
                     ),
                 },
                 "counters": counters,
+                "slo": self.slo.snapshot() if self.slo is not None else None,
+                "events": {
+                    "emitted": self.events.emitted,
+                    "dropped": self.events.dropped,
+                    "capacity": self.events.capacity,
+                    "sink": self.events.sink,
+                    "recent": self.events.to_dicts()[-16:],
+                },
             }
         return 200, body, _NO_HEADERS
 
@@ -448,6 +524,11 @@ class AnalysisService:
     def metrics_dict(self) -> JsonResponse:
         with self._lock:
             return 200, self.registry.to_dict(), _NO_HEADERS
+
+    def metrics_prom(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        with self._lock:
+            return to_prometheus(self.registry)
 
     # -- observability ---------------------------------------------------------
 

@@ -9,7 +9,9 @@ Endpoints (all JSON):
 - ``GET /v1/results/{digest}``   -- the content-addressed analysis;
 - ``GET /v1/stats``              -- queue/cache/jobs operational summary;
 - ``GET /healthz``               -- liveness + drain state;
-- ``GET /metrics``               -- the shared ``MetricsRegistry`` dump.
+- ``GET /metrics``               -- the shared ``MetricsRegistry`` dump;
+  JSON by default, Prometheus text exposition with ``?format=prom`` (or
+  an ``Accept:`` header preferring ``text/plain``).
 
 Every request runs inside a :class:`~repro.observe.tracer.Tracer` span
 and lands in the service's ``service.http`` histogram and status-class
@@ -23,8 +25,9 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
 from typing import Dict, Optional, Tuple
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
+from repro.observe.prom import PROM_CONTENT_TYPE
 from repro.observe.tracer import NULL_TRACER, Tracer
 from repro.service.daemon import AnalysisService
 
@@ -60,8 +63,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, body: Dict[str, object], headers: Dict[str, str]) -> None:
         payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        self._send_bytes(status, payload, "application/json", headers)
+
+    def _send_bytes(
+        self, status: int, payload: bytes, content_type: str, headers: Dict[str, str]
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
         for name, value in headers.items():
             self.send_header(name, value)
@@ -98,15 +106,33 @@ class _Handler(BaseHTTPRequestHandler):
         service = self.service
         started = perf_counter()
         tracer = Tracer() if service.config.trace else NULL_TRACER
-        path = urlsplit(self.path).path.rstrip("/") or "/"
+        url = urlsplit(self.path)
+        path = url.path.rstrip("/") or "/"
+        query = parse_qs(url.query)
+        text: Optional[str] = None
         with tracer.span("http.request", method=method, path=path) as span:
-            status, body, headers = self._route(method, path)
+            if method == "GET" and path == "/metrics" and self._wants_prom(query):
+                status, text, headers = 200, service.metrics_prom(), {}
+                body: Dict[str, object] = {}
+            else:
+                status, body, headers = self._route(method, path)
             span.set(status=status)
         try:
-            self._send(status, body, headers)
+            if text is not None:
+                self._send_bytes(status, text.encode("utf-8"), PROM_CONTENT_TYPE, headers)
+            else:
+                self._send(status, body, headers)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-response; nothing to serve
         service.observe_request(method, path, status, perf_counter() - started, tracer)
+
+    def _wants_prom(self, query: Dict[str, list]) -> bool:
+        """Content negotiation for ``/metrics``: query param wins, then Accept."""
+        formats = query.get("format")
+        if formats:
+            return formats[-1] == "prom"
+        accept = self.headers.get("Accept", "")
+        return "text/plain" in accept and "application/json" not in accept
 
     def _route(self, method: str, path: str) -> Tuple[int, Dict[str, object], Dict[str, str]]:
         service = self.service

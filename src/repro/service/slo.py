@@ -1,0 +1,227 @@
+"""Per-tenant SLO tracking: objectives, rolling windows, error budgets.
+
+An operator states objectives once (``--slo p95=30s,error_rate=1%``) and
+the daemon scores every completed job against them, per client id.  The
+arithmetic is the standard error-budget model:
+
+- an objective ``error_rate=1%`` allows at most 1% of a client's recent
+  jobs to fail; the **budget** is the fraction of that allowance still
+  unspent (1.0 untouched, 0.0 exhausted, clamped);
+- a latency objective ``p95=30s`` allows at most 5% of recent jobs to
+  run past 30s -- the budget is the unspent fraction of *that* violation
+  allowance.  (Tracking threshold violations, not achieved percentiles,
+  is what makes the budget linear and windowed.)
+
+Windows are per-client rings of the last ``window`` jobs, so one noisy
+tenant cannot burn another tenant's budget and old incidents age out by
+volume, not wall clock -- the right shape for a queue whose throughput
+varies by orders of magnitude between cold and warm caches.
+
+:class:`SloTracker` is thread-safe; the daemon calls ``observe`` from
+scheduler workers and ``snapshot`` from HTTP threads.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = ["SloError", "SloObjectives", "SloTracker", "parse_slo"]
+
+
+class SloError(ValueError):
+    """An unparseable ``--slo`` specification."""
+
+
+_DURATION_UNITS = (("ms", 1e-3), ("s", 1.0), ("m", 60.0))
+
+
+def _parse_duration(raw: str) -> float:
+    text = raw.strip().lower()
+    for suffix, scale in _DURATION_UNITS:
+        if text.endswith(suffix):
+            try:
+                return float(text[: -len(suffix)]) * scale
+            except ValueError:
+                break
+    try:
+        return float(text)  # bare number: seconds
+    except ValueError:
+        raise SloError("bad duration {!r} (want e.g. 30s, 250ms, 1.5)".format(raw))
+
+
+def _parse_rate(raw: str) -> float:
+    text = raw.strip()
+    try:
+        value = float(text[:-1]) / 100.0 if text.endswith("%") else float(text)
+    except ValueError:
+        raise SloError("bad rate {!r} (want e.g. 1% or 0.01)".format(raw))
+    if not 0.0 < value < 1.0:
+        raise SloError("rate {!r} must be in (0, 1) exclusive".format(raw))
+    return value
+
+
+class SloObjectives:
+    """Parsed objectives: latency thresholds per percentile + error rate."""
+
+    def __init__(
+        self,
+        latency: Optional[Dict[str, float]] = None,
+        error_rate: Optional[float] = None,
+    ) -> None:
+        #: e.g. ``{"p95": 30.0}`` -- percentile label -> threshold seconds.
+        self.latency = dict(latency or {})
+        self.error_rate = error_rate
+        for label in self.latency:
+            self._allowance(label)  # validate eagerly
+
+    @staticmethod
+    def _allowance(label: str) -> float:
+        """``p95`` -> 0.05: the tolerated fraction of threshold violations."""
+        try:
+            percentile = float(label[1:])
+        except (ValueError, IndexError):
+            raise SloError("bad latency objective {!r} (want p50/p95/p99)".format(label))
+        if label[0] != "p" or not 0.0 < percentile < 100.0:
+            raise SloError("bad latency objective {!r} (want p50/p95/p99)".format(label))
+        return 1.0 - percentile / 100.0
+
+    @property
+    def empty(self) -> bool:
+        return not self.latency and self.error_rate is None
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            label: {"threshold_s": threshold, "allowance": round(self._allowance(label), 6)}
+            for label, threshold in sorted(self.latency.items())
+        }
+        if self.error_rate is not None:
+            payload["error_rate"] = self.error_rate
+        return payload
+
+
+def parse_slo(spec: str) -> SloObjectives:
+    """``"p95=30s,error_rate=1%"`` -> :class:`SloObjectives`.
+
+    Keys: ``pNN=<duration>`` (any percentile in (0, 100)), and
+    ``error_rate=<rate>``.  Raises :class:`SloError` on anything else.
+    """
+    latency: Dict[str, float] = {}
+    error_rate: Optional[float] = None
+    for part in filter(None, (p.strip() for p in spec.split(","))):
+        if "=" not in part:
+            raise SloError("bad objective {!r} (want key=value)".format(part))
+        key, _, value = part.partition("=")
+        key = key.strip().lower()
+        if key == "error_rate":
+            error_rate = _parse_rate(value)
+        elif key.startswith("p"):
+            SloObjectives._allowance(key)
+            latency[key] = _parse_duration(value)
+        else:
+            raise SloError(
+                "unknown objective {!r} (want pNN=<duration> or error_rate=<rate>)".format(key)
+            )
+    objectives = SloObjectives(latency, error_rate)
+    if objectives.empty:
+        raise SloError("empty SLO spec {!r}".format(spec))
+    return objectives
+
+
+def _percentile(durations_sorted: List[float], q: float) -> float:
+    """Nearest-rank percentile (same method as the trace summary)."""
+    if not durations_sorted:
+        return 0.0
+    rank = max(1, math.ceil(q * len(durations_sorted)))
+    return durations_sorted[min(rank, len(durations_sorted)) - 1]
+
+
+class SloTracker:
+    """Rolling per-client evaluation of one set of objectives."""
+
+    def __init__(self, objectives: SloObjectives, window: int = 256) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.objectives = objectives
+        self.window = window
+        #: client -> ring of (ok, latency_s), newest last.
+        self._windows: Dict[str, Deque[Tuple[bool, float]]] = {}
+        self._totals: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, client: str, latency_s: float, ok: bool) -> None:
+        with self._lock:
+            ring = self._windows.get(client)
+            if ring is None:
+                ring = self._windows[client] = deque(maxlen=self.window)
+            ring.append((ok, max(0.0, latency_s)))
+            self._totals[client] = self._totals.get(client, 0) + 1
+
+    # -- evaluation ------------------------------------------------------------
+
+    def _client_report(self, ring: Deque[Tuple[bool, float]]) -> Dict[str, object]:
+        n = len(ring)
+        errors = sum(1 for ok, _ in ring if not ok)
+        durations = sorted(latency for _, latency in ring)
+        report: Dict[str, object] = {
+            "window_jobs": n,
+            "errors": errors,
+            "budgets": {},
+        }
+        budgets: Dict[str, float] = report["budgets"]
+        if self.objectives.error_rate is not None:
+            allowed = self.objectives.error_rate * n
+            budgets["error_rate"] = _budget(errors, allowed)
+        for label, threshold in sorted(self.objectives.latency.items()):
+            violations = sum(1 for _, latency in ring if latency > threshold)
+            allowed = SloObjectives._allowance(label) * n
+            budgets[label] = _budget(violations, allowed)
+            report["achieved_{}_s".format(label)] = round(
+                _percentile(durations, float(label[1:]) / 100.0), 6
+            )
+        report["met"] = all(budget > 0.0 for budget in budgets.values())
+        return report
+
+    def snapshot(self) -> Dict[str, object]:
+        """Objectives plus every client's window, budgets, and verdict."""
+        with self._lock:
+            clients = {
+                client: dict(self._client_report(ring), total_jobs=self._totals[client])
+                for client, ring in sorted(self._windows.items())
+            }
+        return {
+            "objectives": self.objectives.to_dict(),
+            "window": self.window,
+            "clients": clients,
+        }
+
+    def export_gauges(self, registry) -> None:
+        """Publish each client's budgets as ``slo.*`` gauges.
+
+        Names are ``slo.budget.<objective>.<client>`` plus
+        ``slo.window_jobs.<client>`` -- flat, so they survive registry
+        merges and Prometheus exposition unchanged.
+        """
+        snapshot = self.snapshot()
+        for client, report in snapshot["clients"].items():
+            for objective, budget in report["budgets"].items():
+                registry.gauge(
+                    "slo.budget.{}.{}".format(objective, client)
+                ).set(round(budget, 6))
+            registry.gauge("slo.window_jobs.{}".format(client)).set(
+                report["window_jobs"]
+            )
+
+
+def _budget(spent: int, allowed: float) -> float:
+    """Fraction of the violation allowance still unspent, clamped to [0, 1].
+
+    A window too small to afford even one violation (``allowed < 1``)
+    still reports a meaningful partial burn rather than jumping straight
+    to zero on the first job.
+    """
+    if allowed <= 0.0:
+        return 0.0 if spent else 1.0
+    return max(0.0, min(1.0, 1.0 - spent / allowed))
