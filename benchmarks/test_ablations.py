@@ -217,3 +217,69 @@ def test_ablation_monkey_budget(benchmark):
     assert zero_budget_ui == 0.0
     assert full_budget_ui == 1.0
     assert coverage_full > coverage_zero
+
+
+def test_ablation_triage_gate(benchmark, tmp_path):
+    """Tier-0 triage off vs on: analyzer invocations, wall clock, quality.
+
+    The gate only pays off if it skips most tier-1 analyzer work without
+    giving up hazard recall; this bench records both sides of that trade
+    in one table.
+    """
+    import time
+
+    from repro.core.config import DyDroidConfig
+    from repro.core.pipeline import DyDroid
+    from repro.observe import MetricsRegistry
+    from repro.triage.harness import evaluate_triage, train_triage_model
+
+    model, _ = train_triage_model(60, seed=7)
+    model_path = tmp_path / "triage-model.json"
+    model.save(str(model_path))
+    corpus = generate_corpus(40, seed=91)
+
+    def measure(triage_model):
+        registry = MetricsRegistry()
+        config = DyDroidConfig(
+            train_samples_per_family=2, run_replays=False,
+            triage_model=triage_model,
+        )
+        pipeline = DyDroid(config, metrics=registry)
+        started = time.perf_counter()
+        try:
+            for record in corpus:
+                pipeline.analyze_app(record)
+        finally:
+            pipeline.close()
+        invocations = registry.counter_value(
+            "analyzer.droidnative.invocations"
+        ) + registry.counter_value("analyzer.flowdroid.invocations")
+        return time.perf_counter() - started, invocations, registry
+
+    off_wall, off_invocations, _ = measure("")
+    on_wall, on_invocations, on_registry = benchmark(measure, str(model_path))
+    evaluation = evaluate_triage(model, 60, seed=7)
+
+    gated = on_registry.counter_value("triage.gated")
+    fallthrough = on_registry.counter_value("triage.fallthrough")
+    lines = [
+        "ablation 6: tier-0 triage gate ({} apps, model from seed-7 split)".format(
+            len(corpus)
+        ),
+        fmt_compare("analyzer invocations (triage off)", "every payload",
+                    str(off_invocations)),
+        fmt_compare("analyzer invocations (triage on)", "fall-throughs only",
+                    str(on_invocations)),
+        fmt_compare("corpus wall clock off -> on", "gate is cheaper",
+                    "{:.2f}s -> {:.2f}s".format(off_wall, on_wall)),
+        fmt_compare("full analyzers on store misses", "<= 50%",
+                    "{}/{}".format(fallthrough, gated)),
+        fmt_compare("held-out hazard recall", ">= 95%",
+                    "{:.1%}".format(evaluation.recall)),
+        fmt_compare("held-out precision", "high", "{:.1%}".format(evaluation.precision)),
+    ]
+    record_table("Ablation: triage gate", "\n".join(lines))
+
+    assert on_invocations < off_invocations
+    assert gated and fallthrough <= gated / 2
+    assert evaluation.recall >= 0.95

@@ -18,6 +18,10 @@ Commands:
   re-detonates quarantined payloads in a sandbox VM, ``debloat`` shelves
   statically unreachable DCL call sites, ``policies`` lists the named
   enforcement policies;
+- ``triage``   -- tier-0 behavioral prefilter: ``train`` fits the stdlib
+  classifier on the train half of a seeded corpus split, ``eval`` scores
+  it against the full pipeline on the held-out half, ``inspect`` prints a
+  model file's provenance and heaviest weights;
 - ``top``      -- live dashboard over a running daemon (``/v1/stats`` +
   ``/metrics?format=prom``) or a farm's ``status.json``; ``--once`` emits
   one machine-readable JSON snapshot;
@@ -40,6 +44,9 @@ from typing import List, Optional
 from repro.core.config import DyDroidConfig
 from repro.core.pipeline import DyDroid
 from repro.corpus.generator import CorpusGenerator, generate_corpus
+from repro.triage.harness import DEFAULT_AUX_CORPORA, DEFAULT_SPLIT_RATIO
+from repro.triage.model import DEFAULT_EPOCHS, DEFAULT_L2, DEFAULT_LEARNING_RATE
+from repro.triage.tier import DEFAULT_THRESHOLD
 
 TABLE_RENDERERS = {
     "2": "render_dynamic_summary",
@@ -100,6 +107,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared verdict store: payload verdicts are reused from (and "
              "published to) this file across runs, farms, and services",
     )
+    measure.add_argument(
+        "--triage-model", metavar="FILE", default="",
+        help="enable the tier-0 triage gate with this trained model "
+             "(see `triage train`)",
+    )
+    measure.add_argument(
+        "--triage-threshold", type=float, default=0.0,
+        help="confidence bar for tier-0 short-circuits "
+             "(default: {})".format(DEFAULT_THRESHOLD),
+    )
 
     farm = sub.add_parser("farm", help="sharded, fault-tolerant analysis farm")
     farm_sub = farm.add_subparsers(dest="farm_command", required=True)
@@ -125,6 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
     farm_run.add_argument("--verdict-store", metavar="FILE",
                           help="shared verdict store: each distinct payload "
                                "digest is analyzed once fleet-wide")
+    farm_run.add_argument("--triage-model", metavar="FILE", default="",
+                          help="enable the tier-0 triage gate with this "
+                               "trained model (see `triage train`)")
+    farm_run.add_argument("--triage-threshold", type=float, default=0.0,
+                          help="confidence bar for tier-0 short-circuits "
+                               "(default: {})".format(DEFAULT_THRESHOLD))
     farm_run.add_argument("--metrics-out", metavar="FILE",
                           help="write the JSON metrics summary here")
     farm_run.add_argument("--train", type=int, default=3,
@@ -227,6 +250,59 @@ def build_parser() -> argparse.ArgumentParser:
     defend_debloat.add_argument("--json", action="store_true")
     defend_sub.add_parser("policies", help="list the named enforcement policies")
 
+    triage = sub.add_parser(
+        "triage", help="tier-0 behavioral prefilter: train, evaluate, inspect"
+    )
+    triage_sub = triage.add_subparsers(dest="triage_command", required=True)
+    triage_train = triage_sub.add_parser(
+        "train", help="train a model on the train half of a seeded corpus split"
+    )
+    triage_train.add_argument("--apps", type=int, default=120, help="corpus size")
+    triage_train.add_argument("--seed", type=int, default=7)
+    triage_train.add_argument("--out", metavar="FILE", required=True,
+                              help="write the versioned JSON model here")
+    triage_train.add_argument("--ratio", type=float, default=DEFAULT_SPLIT_RATIO,
+                              help="train fraction of the seeded split")
+    triage_train.add_argument("--split-seed", type=int, default=0,
+                              help="split shuffle seed (shared with `triage eval`)")
+    triage_train.add_argument("--aux-corpora", type=int, default=DEFAULT_AUX_CORPORA,
+                              help="extra whole training corpora from derived "
+                                   "seeds (rare hazard roles are planted ~once "
+                                   "per corpus)")
+    triage_train.add_argument("--epochs", type=int, default=DEFAULT_EPOCHS)
+    triage_train.add_argument("--learning-rate", type=float,
+                              default=DEFAULT_LEARNING_RATE)
+    triage_train.add_argument("--l2", type=float, default=DEFAULT_L2)
+    triage_train.add_argument("--train-seed", type=int, default=0,
+                              help="SGD shuffle seed")
+    triage_train.add_argument("--harvest", metavar="FILE", default="",
+                              help="fold in hard examples a gated run harvested "
+                                   "to <model>.harvest.jsonl")
+    triage_train.add_argument("--json", action="store_true",
+                              help="emit the training summary as JSON")
+    triage_eval = triage_sub.add_parser(
+        "eval", help="score a model on the held-out half (full pipeline = truth)"
+    )
+    triage_eval.add_argument("--model", metavar="FILE", required=True)
+    triage_eval.add_argument("--apps", type=int, default=120, help="corpus size")
+    triage_eval.add_argument("--seed", type=int, default=7)
+    triage_eval.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                             help="confidence bar for would-be short-circuits")
+    triage_eval.add_argument("--ratio", type=float, default=DEFAULT_SPLIT_RATIO,
+                             help="train fraction used when the model was trained")
+    triage_eval.add_argument("--split-seed", type=int, default=0)
+    triage_eval.add_argument("--train", type=int, default=3,
+                             help="DroidNative samples per family "
+                                  "(ground-truth pipeline)")
+    triage_eval.add_argument("--json", action="store_true",
+                             help="emit the scorecard as JSON")
+    triage_inspect = triage_sub.add_parser(
+        "inspect", help="print a model file's provenance and heaviest weights"
+    )
+    triage_inspect.add_argument("--model", metavar="FILE", required=True)
+    triage_inspect.add_argument("--json", action="store_true",
+                                help="emit the full model document as JSON")
+
     serve = sub.add_parser("serve", help="run the analysis-as-a-service daemon")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8787,
@@ -255,6 +331,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "name one (see `defend policies`)")
     serve.add_argument("--quarantine-dir", metavar="DIR", default="",
                        help="preserve payloads the firewall quarantines here")
+    serve.add_argument("--triage-model", metavar="FILE", default="",
+                       help="enable the tier-0 triage gate for all jobs "
+                            "(tenants opt out with triage: \"off\")")
+    serve.add_argument("--triage-threshold", type=float, default=0.0,
+                       help="daemon-default confidence bar for tier-0 "
+                            "short-circuits (default: {})".format(DEFAULT_THRESHOLD))
     serve.add_argument("--slo", metavar="SPEC", default="",
                        help="per-tenant SLO objectives, e.g. "
                             "'p95=30s,error_rate=1%%' (reported in "
@@ -289,6 +371,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--policy", default="",
                         help="analyze under this firewall policy "
                              "(per-tenant submit-time setting)")
+    submit.add_argument("--triage", default="", choices=["on", "off"],
+                        help="per-tenant tier-0 override: 'on' requires the "
+                             "daemon's gate, 'off' forces full analyzers")
+    submit.add_argument("--triage-threshold", type=float, default=0.0,
+                        help="per-tenant confidence bar (requires --triage on)")
 
     status = sub.add_parser("status", help="daemon stats, or one job's record")
     status.add_argument("--host", default="127.0.0.1")
@@ -373,19 +460,21 @@ def cmd_measure(args: argparse.Namespace) -> int:
     else:
         corpus = generate_corpus(args.apps, seed=args.seed)
     config = DyDroidConfig(
-        train_samples_per_family=args.train, run_replays=not args.no_replays
+        train_samples_per_family=args.train, run_replays=not args.no_replays,
+        triage_model=args.triage_model, triage_threshold=args.triage_threshold,
     )
     # Observability is on by default: the trace powers the one-line
     # digest below even when no --trace-out was requested.
     tracer, registry = Tracer(), MetricsRegistry()
     from repro.store import StoreError
+    from repro.triage import TriageError
 
     try:
         pipeline = DyDroid(
             config, tracer=tracer, metrics=registry,
             verdict_store=args.verdict_store,
         )
-    except StoreError as exc:
+    except (StoreError, TriageError) as exc:
         raise SystemExit("measure: {}".format(exc))
     try:
         report = pipeline.measure(corpus)
@@ -423,12 +512,23 @@ def cmd_farm(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         resume=args.resume,
         pipeline=DyDroidConfig(
-            train_samples_per_family=args.train, run_replays=not args.no_replays
+            train_samples_per_family=args.train, run_replays=not args.no_replays,
+            triage_model=args.triage_model,
+            triage_threshold=args.triage_threshold,
         ),
         trace=bool(args.trace_out),
         verdict_store=args.verdict_store,
         telemetry_dir=args.telemetry_dir,
     )
+    if args.triage_model:
+        # fail fast here rather than quarantining every app when each
+        # worker process discovers the broken model on its own.
+        from repro.triage import TriageError, TriageModel
+
+        try:
+            TriageModel.load(args.triage_model)
+        except TriageError as exc:
+            raise SystemExit("farm run: {}".format(exc))
     try:
         result = run_farm(config)
     except (CheckpointError, StoreError, ValueError) as exc:
@@ -613,6 +713,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             run_replays=not args.no_replays,
             firewall_policy=args.policy,
             quarantine_dir=args.quarantine_dir,
+            triage_model=args.triage_model,
+            triage_threshold=args.triage_threshold,
         ),
     )
     if args.policy:
@@ -621,6 +723,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         try:
             get_policy(args.policy)
         except ValueError as exc:
+            raise SystemExit("serve: {}".format(exc))
+    if args.triage_model:
+        # validate now: worker threads build pipelines lazily, so a broken
+        # model would otherwise surface as per-job failures.
+        from repro.triage import TriageError, TriageModel
+
+        try:
+            TriageModel.load(args.triage_model)
+        except TriageError as exc:
             raise SystemExit("serve: {}".format(exc))
     service = AnalysisService(config)
     try:
@@ -693,6 +804,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
     }
     if args.policy:
         spec["policy"] = args.policy
+    if args.triage:
+        spec["triage"] = args.triage
+    if args.triage_threshold:
+        spec["triage_threshold"] = args.triage_threshold
     try:
         response = client.submit(spec, client=args.client, priority=args.priority)
         if args.wait and response["state"] != "done":
@@ -918,6 +1033,106 @@ def cmd_defend(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_triage(args: argparse.Namespace) -> int:
+    from repro.triage import TriageError, TriageModel
+
+    if args.triage_command == "train":
+        from repro.triage.harness import train_triage_model
+
+        started = time.perf_counter()
+        try:
+            model, summary = train_triage_model(
+                args.apps,
+                seed=args.seed,
+                ratio=args.ratio,
+                split_seed=args.split_seed,
+                epochs=args.epochs,
+                learning_rate=args.learning_rate,
+                l2=args.l2,
+                train_seed=args.train_seed,
+                harvest=args.harvest,
+                aux_corpora=args.aux_corpora,
+            )
+        except (TriageError, ValueError) as exc:
+            raise SystemExit("triage train: {}".format(exc))
+        model.save(args.out)
+        if args.json:
+            _print_json(dict(summary, model=args.out))
+        else:
+            print("model:              ", args.out)
+            print("config fingerprint: ", summary["config_fingerprint"][:16])
+            print("training sessions:  ", "{} ({} hazard)".format(
+                summary["n_samples"], summary["n_hazard"]))
+            print("  corpus split:     ", "{} sessions".format(
+                summary["train_sessions"] - summary["aux_sessions"]))
+            print("  aux corpora:      ", "{} sessions from {} corpora".format(
+                summary["aux_sessions"], args.aux_corpora))
+            print("  harvested:        ", summary["harvested"])
+        print(
+            "[triage train: {} sessions ({} hazard) in {:.1f}s -> {}]".format(
+                summary["n_samples"], summary["n_hazard"],
+                time.perf_counter() - started, args.out,
+            ),
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.triage_command == "eval":
+        from repro.triage.harness import evaluate_triage
+
+        started = time.perf_counter()
+        try:
+            model = TriageModel.load(args.model)
+            evaluation = evaluate_triage(
+                model,
+                args.apps,
+                seed=args.seed,
+                threshold=args.threshold,
+                ratio=args.ratio,
+                split_seed=args.split_seed,
+                config=DyDroidConfig(train_samples_per_family=args.train),
+            )
+        except (TriageError, ValueError) as exc:
+            raise SystemExit("triage eval: {}".format(exc))
+        if args.json:
+            _print_json(evaluation.to_dict())
+        else:
+            print(evaluation.render())
+        print(
+            "[triage eval: {} held-out sessions in {:.1f}s; recall {:.1%}, "
+            "short-circuit {:.1%}]".format(
+                evaluation.n_sessions, time.perf_counter() - started,
+                evaluation.recall, evaluation.short_circuit_rate,
+            ),
+            file=sys.stderr,
+        )
+        return 0
+
+    # inspect
+    try:
+        model = TriageModel.load(args.model)
+    except TriageError as exc:
+        raise SystemExit("triage inspect: {}".format(exc))
+    if args.json:
+        _print_json(model.to_dict())
+        return 0
+    nonzero = sum(1 for w in model.weights if w)
+    print("model:              ", args.model)
+    print("config fingerprint: ", model.config_fingerprint[:16])
+    print("fingerprint version:", model.fingerprint_version)
+    print("features:           ", "{} ({} nonzero weights)".format(
+        model.n_features, nonzero))
+    print("bias:               ", round(model.bias, 4))
+    for key in sorted(model.train_config):
+        print("  {:<18}{}".format(key + ":", model.train_config[key]))
+    heaviest = sorted(
+        enumerate(model.weights), key=lambda kv: -abs(kv[1])
+    )[:8]
+    print("heaviest buckets:   ", ", ".join(
+        "#{}={:+.3f}".format(index, weight) for index, weight in heaviest))
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     import os
 
@@ -1022,6 +1237,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "farm": cmd_farm,
         "evolve": cmd_evolve,
         "defend": cmd_defend,
+        "triage": cmd_triage,
         "serve": cmd_serve,
         "submit": cmd_submit,
         "status": cmd_status,

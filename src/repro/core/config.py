@@ -46,3 +46,11 @@ class DyDroidConfig:
     firewall_policy: str = ""
     #: directory where QUARANTINE verdicts preserve payload bytes.
     quarantine_dir: str = ""
+    #: path to a trained tier-0 triage model (:mod:`repro.triage`); ""
+    #: disables the gate.  Like ``firewall_policy``, deliberately NOT part
+    #: of the verdict-store fingerprint -- triage never publishes verdicts,
+    #: so stored tier-1 results stay valid with or without the gate.
+    triage_model: str = ""
+    #: confidence bar for tier-0 short-circuits; 0.0 means "use the
+    #: gate's default" (:data:`repro.triage.tier.DEFAULT_THRESHOLD`).
+    triage_threshold: float = 0.0

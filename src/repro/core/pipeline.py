@@ -35,6 +35,7 @@ from repro.static_analysis.smali import SmaliProgram
 from repro.static_analysis.vulnerability import classify_loads
 from repro.store.verdicts import VerdictStore
 from repro.runtime.stacktrace import shares_app_package
+from repro.triage.tier import TriageDecision, TriageGate, full_pipeline_label
 
 K = TypeVar("K")
 V = TypeVar("V")
@@ -118,6 +119,10 @@ class DyDroid:
         capacity = self.config.verdict_cache_capacity
         self._detection_cache: LruCache[str, Optional[Detection]] = LruCache(capacity)
         self._privacy_cache: LruCache[str, tuple] = LruCache(capacity)
+        #: tier-0 behavioral-fingerprint gate (None when no model is
+        #: configured); consulted per payload after the LRU and the
+        #: verdict-store probe both miss.
+        self.triage: Optional[TriageGate] = TriageGate.from_config(self.config)
 
     # -- per-app analysis ------------------------------------------------------------
 
@@ -189,14 +194,38 @@ class DyDroid:
         if dynamic is None or not dynamic.intercepted_any:
             return analysis
 
+        # 4b. tier-0 triage: score the session's behavioral fingerprint
+        # once per app; the decision is consulted per payload below, after
+        # the LRU and verdict-store probes miss.
+        decision: Optional[TriageDecision] = None
+        if self.triage is not None:
+            with stage(self.tracer, self.metrics, "triage") as span:
+                decision = self.triage.assess(record.package, dynamic)
+                span.set(
+                    probability=round(decision.probability, 4),
+                    decided=decision.decided,
+                    label=decision.label,
+                )
+            self.metrics.counter("triage.gated").inc()
+
         # 5. provenance/entity + static analysis of every intercepted binary.
         with stage(
             self.tracer, self.metrics, "verdicts", n_payloads=len(dynamic.intercepted)
         ):
             analysis.payloads = [
-                self._verdict_for(payload, record.package, dynamic)
+                self._verdict_for(payload, record.package, dynamic, decision)
                 for payload in dynamic.intercepted
             ]
+        if decision is not None:
+            if not decision.decided:
+                self.metrics.counter("triage.fallthrough").inc()
+            elif any(p.verdict_source == "triage" for p in analysis.payloads):
+                analysis.verdict_source = "triage"
+                self.metrics.counter("triage.hit").inc()
+            else:
+                # Decided, but every payload resolved from the LRU or the
+                # verdict store -- tier 1/2 results always win over tier 0.
+                self.metrics.counter("triage.override").inc()
 
         # 6. code-injection vulnerability classification.
         with stage(self.tracer, self.metrics, "vulnerability") as span:
@@ -209,8 +238,19 @@ class DyDroid:
             )
             span.set(findings=len(analysis.vulnerabilities))
 
-        # 7. Table VIII replays for malware-flagged apps.
-        if self.config.run_replays and any(p.is_malicious for p in analysis.payloads):
+        # 5b. online hard-example harvesting: a fall-through ran the full
+        # analyzers, so its tier-1 label is free training data.
+        if decision is not None and not decision.decided:
+            self.triage.harvest(decision, full_pipeline_label(analysis))
+
+        # 7. Table VIII replays for malware-flagged apps.  Triage-decided
+        # apps skip replays: a synthetic "suspected" verdict must not
+        # trigger tier-1 work the short-circuit exists to avoid.
+        if (
+            self.config.run_replays
+            and analysis.verdict_source != "triage"
+            and any(p.is_malicious for p in analysis.payloads)
+        ):
             with stage(self.tracer, self.metrics, "replay"):
                 analysis.replay_loaded = self._replay(record)
         return analysis
@@ -251,7 +291,11 @@ class DyDroid:
         )
 
     def _verdict_for(
-        self, payload: InterceptedPayload, package: str, dynamic: DynamicReport
+        self,
+        payload: InterceptedPayload,
+        package: str,
+        dynamic: DynamicReport,
+        decision: Optional[TriageDecision] = None,
     ) -> PayloadVerdict:
         entity = Entity.UNKNOWN
         if payload.call_site:
@@ -285,11 +329,21 @@ class DyDroid:
                 self.metrics.distinct("cache.detection.digests").add(digest)
                 if digest not in self._detection_cache:
                     self.metrics.counter("cache.detection.miss").inc()
-                    self._detection_cache[digest] = self._detect(payload, digest, span)
+                    detection, from_triage = self._detect(
+                        payload, digest, span, decision
+                    )
+                    verdict.detection = detection
+                    if from_triage:
+                        # Tier-0 verdict: never cached, never published --
+                        # a misprediction must not outlive this app.
+                        verdict.verdict_source = "triage"
+                        span.set(triage=True)
+                    else:
+                        self._detection_cache[digest] = detection
                 else:
                     self.metrics.counter("cache.detection.hit").inc()
                     span.set(detection_cached=True)
-                verdict.detection = self._detection_cache[digest]
+                    verdict.detection = self._detection_cache[digest]
                 if verdict.detection is not None:
                     span.set(malicious=verdict.detection.family)
 
@@ -298,24 +352,49 @@ class DyDroid:
                 self.metrics.distinct("cache.privacy.digests").add(digest)
                 if digest not in self._privacy_cache:
                     self.metrics.counter("cache.privacy.miss").inc()
-                    self._privacy_cache[digest] = self._leaks(payload, digest, span)
+                    leaks, from_triage = self._leaks(payload, digest, span, decision)
+                    verdict.leaks = leaks
+                    if from_triage:
+                        verdict.verdict_source = "triage"
+                        span.set(triage=True)
+                    else:
+                        self._privacy_cache[digest] = leaks
                 else:
                     self.metrics.counter("cache.privacy.hit").inc()
                     span.set(privacy_cached=True)
-                verdict.leaks = self._privacy_cache[digest]
+                    verdict.leaks = self._privacy_cache[digest]
         return verdict
 
-    def _detect(self, payload: InterceptedPayload, digest: str, span):
-        """Tier-2 probe -> compute -> publish for one detection verdict."""
+    def _detect(
+        self,
+        payload: InterceptedPayload,
+        digest: str,
+        span,
+        decision: Optional[TriageDecision] = None,
+    ):
+        """Tier-2 probe -> tier-0 gate -> compute -> publish for one
+        detection verdict.  Returns ``(detection, from_triage)``; triage
+        results are synthesized, not computed, and must not be published.
+        """
         if self.verdict_store is not None:
             with stage(self.tracer, self.metrics, "store", tier="detection"):
                 found, detection = self.verdict_store.get_detection(digest)
             if found:
                 self.metrics.counter("store.detection.hit").inc()
                 span.set(detection_stored=True)
-                return detection
+                return detection, False
             self.metrics.counter("store.detection.miss").inc()
+        if decision is not None and decision.decided:
+            self.metrics.counter("triage.analyzers_skipped").inc()
+            detection = (
+                self.triage.suspected_detection(decision)
+                if decision.label == "hazard"
+                else None
+            )
+            return detection, True
         binary = payload.as_dex() or payload.as_native()
+        if binary is not None:
+            self.metrics.counter("analyzer.droidnative.invocations").inc()
         detection = (
             self.droidnative.detect(binary, tracer=self.tracer)
             if binary is not None
@@ -328,19 +407,32 @@ class DyDroid:
                 "store.publish", tier="detection", digest=digest[:12],
                 malicious=detection is not None,
             )
-        return detection
+        return detection, False
 
-    def _leaks(self, payload: InterceptedPayload, digest: str, span) -> tuple:
-        """Tier-2 probe -> compute -> publish for one privacy verdict."""
+    def _leaks(
+        self,
+        payload: InterceptedPayload,
+        digest: str,
+        span,
+        decision: Optional[TriageDecision] = None,
+    ):
+        """Tier-2 probe -> tier-0 gate -> compute -> publish for one
+        privacy verdict.  Returns ``(leaks, from_triage)``.
+        """
         if self.verdict_store is not None:
             with stage(self.tracer, self.metrics, "store", tier="privacy"):
                 found, leaks = self.verdict_store.get_privacy(digest)
             if found:
                 self.metrics.counter("store.privacy.hit").inc()
                 span.set(privacy_stored=True)
-                return leaks
+                return leaks, False
             self.metrics.counter("store.privacy.miss").inc()
+        if decision is not None and decision.decided:
+            self.metrics.counter("triage.analyzers_skipped").inc()
+            return (), True
         dex = payload.as_dex()
+        if dex:
+            self.metrics.counter("analyzer.flowdroid.invocations").inc()
         leaks = tuple(analyze_dex(dex, tracer=self.tracer)) if dex else ()
         if self.verdict_store is not None:
             with stage(self.tracer, self.metrics, "store", tier="privacy"):
@@ -349,7 +441,7 @@ class DyDroid:
                 "store.publish", tier="privacy", digest=digest[:12],
                 leaks=len(leaks),
             )
-        return leaks
+        return leaks, False
 
     def close(self) -> None:
         """Release the verdict store if this pipeline opened it from a path."""

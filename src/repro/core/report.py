@@ -157,6 +157,10 @@ class PayloadVerdict:
     #: sha256 of the payload bytes; the cross-version identity the
     #: evolution differ tracks (empty on records predating this field).
     digest: str = ""
+    #: who produced the analysis verdict: "full" = tier-1 analyzers (or
+    #: the caches/store fed by them), "triage" = the tier-0 gate
+    #: short-circuited them (:mod:`repro.triage`).
+    verdict_source: str = "full"
 
     @property
     def is_malicious(self) -> bool:
@@ -172,6 +176,7 @@ class PayloadVerdict:
             "detection": _detection_to_dict(self.detection) if self.detection else None,
             "leaks": [_plain_dict(leak) for leak in self.leaks],
             "digest": self.digest,
+            "verdict_source": self.verdict_source,
         }
 
     @classmethod
@@ -185,6 +190,7 @@ class PayloadVerdict:
             detection=_detection_from_dict(data["detection"]) if data["detection"] else None,
             leaks=tuple(_leak_from_dict(leak) for leak in data["leaks"]),
             digest=data.get("digest", ""),
+            verdict_source=data.get("verdict_source", "full"),
         )
 
 
@@ -205,6 +211,10 @@ class AppAnalysis:
     #: position in the generated corpus; the farm's merge key.  -1 for
     #: analyses built outside a corpus run (hand-made, unit tests).
     corpus_index: int = -1
+    #: "triage" when the tier-0 gate short-circuited at least one payload
+    #: verdict for this app, else "full"; keeps cheap predictions from
+    #: being conflated with analyzer results anywhere downstream.
+    verdict_source: str = "full"
 
     # -- derived views -----------------------------------------------------------
 
@@ -284,6 +294,7 @@ class AppAnalysis:
             "replay_loaded": {
                 config: sorted(paths) for config, paths in self.replay_loaded.items()
             },
+            "verdict_source": self.verdict_source,
         }
 
     @classmethod
@@ -303,6 +314,7 @@ class AppAnalysis:
             replay_loaded={
                 config: set(paths) for config, paths in data["replay_loaded"].items()
             },
+            verdict_source=data.get("verdict_source", "full"),
         )
 
 
@@ -777,6 +789,60 @@ class MeasurementReport:
             lines.append("  rule {:<22}{:>10}".format(rule, count))
         return "\n".join(lines)
 
+    # -- triage: tier-0 verdict provenance -------------------------------------------------------------------------
+
+    def triage_table(self) -> Dict[str, object]:
+        """Which verdicts came from the tier-0 gate vs the full analyzers.
+
+        Counts apps and payloads by ``verdict_source`` so a triage
+        short-circuit is never silently conflated with an analyzer
+        verdict; ``suspected`` counts the synthetic ``triage.suspected``
+        detections among the triage-sourced apps.
+        """
+        payload_apps = triaged_apps = suspected = 0
+        triaged_payloads = full_payloads = 0
+        for app in self.apps:
+            if not app.payloads:
+                continue
+            payload_apps += 1
+            if app.verdict_source == "triage":
+                triaged_apps += 1
+            for payload in app.payloads:
+                if payload.verdict_source == "triage":
+                    triaged_payloads += 1
+                    if payload.detection is not None:
+                        suspected += 1
+                else:
+                    full_payloads += 1
+        return {
+            "payload_apps": payload_apps,
+            "triaged_apps": triaged_apps,
+            "full_apps": payload_apps - triaged_apps,
+            "triaged_payloads": triaged_payloads,
+            "full_payloads": full_payloads,
+            "suspected_detections": suspected,
+        }
+
+    def render_triage_table(self) -> str:
+        table = self.triage_table()
+        lines = [
+            "TRIAGE: tier-0 verdict provenance over {} applications with payloads".format(
+                table["payload_apps"]
+            ),
+            "{:<30}{:>12}".format(
+                "Apps short-circuited",
+                "{} ({})".format(
+                    table["triaged_apps"],
+                    _pct(table["triaged_apps"], table["payload_apps"]),
+                ),
+            ),
+            "{:<30}{:>12}".format("Apps fully analyzed", table["full_apps"]),
+            "{:<30}{:>12}".format("Payload verdicts from triage", table["triaged_payloads"]),
+            "{:<30}{:>12}".format("Payload verdicts from tier 1", table["full_payloads"]),
+            "{:<30}{:>12}".format("Suspected-hazard verdicts", table["suspected_detections"]),
+        ]
+        return "\n".join(lines)
+
     # -- machine-readable export -------------------------------------------------------------------------------------
 
     def to_dict(self, include_apps: bool = False) -> Dict[str, object]:
@@ -814,6 +880,7 @@ class MeasurementReport:
             "table9_vulnerabilities": vulnerability,
             "table10_privacy": self.privacy_table(),
             "defense_enforcement": self.defense_table(),
+            "triage_provenance": self.triage_table(),
         }
 
     @classmethod
@@ -862,4 +929,7 @@ class MeasurementReport:
         # output byte-identical to the pre-firewall pipeline.
         if self.defense_table()["policies"]:
             blocks.append(self.render_defense_table())
+        # Same for triage: only runs with tier-0 short-circuits grow it.
+        if self.triage_table()["triaged_apps"]:
+            blocks.append(self.render_triage_table())
         return "\n\n".join(blocks)

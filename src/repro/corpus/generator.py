@@ -787,6 +787,26 @@ class CorpusGenerator:
             )
         return [self.build_record(blueprints[index]) for index in indices]
 
+    def split(
+        self, n_apps: int, ratio: float = 0.5, split_seed: int = 0
+    ) -> Tuple[List[int], List[int]]:
+        """Seeded, disjoint (train, test) index partition of an ``n_apps`` corpus.
+
+        The shuffle is keyed by (corpus seed, split seed, size, ratio), so
+        the same arguments always produce the same partition -- ``repro
+        triage train`` and ``repro triage eval`` can never see each other's
+        apps.  Both halves are guaranteed non-empty for ``n_apps >= 2``.
+        """
+        if n_apps < 2:
+            raise ValueError("a train/test split needs at least 2 apps")
+        if not 0.0 < ratio < 1.0:
+            raise ValueError("split ratio must be in (0, 1), got {}".format(ratio))
+        key = "corpus-split-{}-{}-{}-{}".format(self.seed, split_seed, n_apps, ratio)
+        order = list(range(n_apps))
+        random.Random(key).shuffle(order)
+        n_train = min(max(int(n_apps * ratio), 1), n_apps - 1)
+        return sorted(order[:n_train]), sorted(order[n_train:])
+
     def lineage(self, n_apps: int, n_versions: int, spec=None):
         """Plan a deterministic multi-version lineage for every package.
 

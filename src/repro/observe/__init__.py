@@ -52,6 +52,7 @@ from repro.observe.metrics import (
     MetricsRegistry,
     defense_summary,
     evolution_summary,
+    triage_summary,
     verdict_cache_summary,
     verdict_store_summary,
 )
@@ -113,6 +114,7 @@ __all__ = [
     "stage_stats",
     "to_chrome_events",
     "to_prometheus",
+    "triage_summary",
     "verdict_cache_summary",
     "verdict_store_summary",
     "write_trace",

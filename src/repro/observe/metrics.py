@@ -24,6 +24,7 @@ __all__ = [
     "MetricsRegistry",
     "defense_summary",
     "evolution_summary",
+    "triage_summary",
     "verdict_cache_summary",
     "verdict_store_summary",
 ]
@@ -313,6 +314,28 @@ def defense_summary(registry: MetricsRegistry) -> Dict[str, object]:
             for name, value in counters.items()
             if name.startswith(prefix)
         },
+    }
+
+
+def triage_summary(registry: MetricsRegistry) -> Dict[str, object]:
+    """Tier-0 gate numbers from the ``triage.*`` counters.
+
+    ``gated`` counts every session the gate scored, ``hit`` the apps whose
+    verdicts it short-circuited, ``fallthrough`` the undecided apps that
+    ran the full analyzers (and were harvested as training data), and
+    ``override`` the decided apps where every payload resolved from the
+    LRU/verdict store anyway -- tier 1/2 results always beat predictions.
+    ``analyzers_skipped`` counts per-payload analyzer invocations avoided.
+    """
+    gated = registry.counter_value("triage.gated")
+    hit = registry.counter_value("triage.hit")
+    return {
+        "gated": gated,
+        "hit": hit,
+        "fallthrough": registry.counter_value("triage.fallthrough"),
+        "override": registry.counter_value("triage.override"),
+        "analyzers_skipped": registry.counter_value("triage.analyzers_skipped"),
+        "short_circuit_rate": round(hit / gated, 4) if gated else 0.0,
     }
 
 

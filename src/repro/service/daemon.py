@@ -44,7 +44,7 @@ from repro.core.config import DyDroidConfig
 from repro.core.pipeline import DyDroid
 from repro.observe.events import EventLog
 from repro.observe.merge import merge_span_lists
-from repro.observe.metrics import MetricsRegistry
+from repro.observe.metrics import MetricsRegistry, triage_summary
 from repro.observe.prom import to_prometheus
 from repro.observe.tracer import NULL_TRACER, Tracer, stage
 from repro.service.cache import ResultCache
@@ -200,6 +200,12 @@ class AnalysisService:
             spec = JobSpec.from_payload(payload)
         except SpecError as exc:
             return 400, {"error": str(exc)}, _NO_HEADERS
+        if spec.triage == "on" and not self.config.pipeline.triage_model:
+            return (
+                400,
+                {"error": "triage requested but the daemon has no triage model"},
+                _NO_HEADERS,
+            )
         client = payload.get("client") or peer
         if not isinstance(client, str):
             return 400, {"error": "'client' must be a string"}, _NO_HEADERS
@@ -228,11 +234,12 @@ class AnalysisService:
         with self._lock:
             cached = self.cache.lookup_spec(spec_key)
             if cached is not None:
-                digest, _ = cached
+                digest, analysis = cached
                 job = self.jobs.create(spec, client, priority)
                 job.state = JobState.DONE
                 job.digest = digest
                 job.cached = True
+                job.verdict_source = str(analysis.get("verdict_source", ""))
                 job.finished_ts = time.time()
                 self.jobs.mark_finished(job)
                 self.registry.counter("service.cache.hit").inc()
@@ -320,21 +327,27 @@ class AnalysisService:
 
     # -- execution (scheduler worker thread) -----------------------------------
 
-    def _pipeline_for_thread(self, policy: str = "") -> DyDroid:
-        # One pipeline per (worker thread, firewall policy): tenants that
-        # submit under different policies must not share enforcement
-        # config, but everything expensive (DroidNative training, caches)
-        # stays thread-resident.
+    def _pipeline_for_thread(self, spec: JobSpec) -> DyDroid:
+        # One pipeline per (worker thread, firewall policy, triage
+        # override): tenants that submit under different policies or
+        # triage settings must not share enforcement/gate config, but
+        # everything expensive (DroidNative training, caches) stays
+        # thread-resident.
         pipelines = getattr(self._local, "pipelines", None)
         if pipelines is None:
             pipelines = self._local.pipelines = {}
-        pipeline = pipelines.get(policy)
+        key = (spec.policy, spec.triage, spec.triage_threshold)
+        pipeline = pipelines.get(key)
         if pipeline is None:
-            config = self.config.pipeline
-            if policy and policy != config.firewall_policy:
-                from dataclasses import replace
+            from dataclasses import replace
 
-                config = replace(config, firewall_policy=policy)
+            config = self.config.pipeline
+            if spec.policy and spec.policy != config.firewall_policy:
+                config = replace(config, firewall_policy=spec.policy)
+            if spec.triage == "off":
+                config = replace(config, triage_model="", triage_threshold=0.0)
+            elif spec.triage == "on" and spec.triage_threshold:
+                config = replace(config, triage_threshold=spec.triage_threshold)
             # Every worker thread borrows the daemon's one store instance
             # (VerdictStore is internally locked), so a verdict computed
             # by any worker -- or any prior daemon -- is reused by all.
@@ -344,7 +357,7 @@ class AnalysisService:
             pipeline = DyDroid(
                 config, verdict_store=self.verdict_store, events=self.events
             )
-            pipelines[policy] = pipeline
+            pipelines[key] = pipeline
         return pipeline
 
     def execute(self, job_id: str, worker_id: int) -> None:
@@ -369,6 +382,13 @@ class AnalysisService:
                     # APK bytes under a different policy is a different
                     # content-cache entry.
                     digest = "{}-{}".format(digest, job.spec.policy)
+                if job.spec.triage:
+                    # Tier-0 short-circuits change what verdicts the result
+                    # carries, so triage overrides split the content cache
+                    # the same way policies do.
+                    digest = "{}-triage-{}".format(digest, job.spec.triage)
+                    if job.spec.triage_threshold:
+                        digest = "{}-{}".format(digest, job.spec.triage_threshold)
                 job.digest = digest
                 cached = self.cache.get(digest)
                 if cached is not None:
@@ -378,12 +398,13 @@ class AnalysisService:
                     analysis_dict = cached
                     hit = True
                 else:
-                    pipeline = self._pipeline_for_thread(job.spec.policy)
+                    pipeline = self._pipeline_for_thread(job.spec)
                     pipeline.tracer = tracer
                     pipeline.metrics = registry
                     with stage(tracer, registry, "service.analyze"):
                         analysis_dict = pipeline.analyze_app(record).to_dict()
                     hit = False
+                job.verdict_source = str(analysis_dict.get("verdict_source", ""))
             elapsed = time.perf_counter() - started
             with self._lock:
                 if hit:
@@ -506,6 +527,11 @@ class AnalysisService:
                     ),
                 },
                 "counters": counters,
+                "triage": {
+                    "model": self.config.pipeline.triage_model or None,
+                    "threshold": self.config.pipeline.triage_threshold or None,
+                    "summary": triage_summary(self.registry),
+                },
                 "slo": self.slo.snapshot() if self.slo is not None else None,
                 "events": {
                     "emitted": self.events.emitted,

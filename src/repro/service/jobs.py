@@ -54,6 +54,9 @@ class Job:
     #: submissions coalesced onto this job while it was in flight.
     coalesced: int = 0
     analyze_s: float = 0.0
+    #: who produced the verdicts: "triage" when the tier-0 gate
+    #: short-circuited, "full" for analyzer runs, "" until known.
+    verdict_source: str = ""
 
     @property
     def finished(self) -> bool:
@@ -74,6 +77,7 @@ class Job:
             "cached": self.cached,
             "coalesced": self.coalesced,
             "analyze_s": round(self.analyze_s, 6),
+            "verdict_source": self.verdict_source,
         }
 
 

@@ -52,6 +52,13 @@ class JobSpec:
     #: part of the submission identity -- the same app analyzed under two
     #: policies is two different results.
     policy: str = ""
+    #: per-tenant tier-0 triage override: "" = daemon default, "on" =
+    #: require the gate (rejected when the daemon has no model), "off" =
+    #: full analyzers for this submission regardless of the daemon model.
+    triage: str = ""
+    #: per-tenant confidence bar; 0.0 = the daemon's configured/default
+    #: threshold.  Only meaningful with ``triage="on"``.
+    triage_threshold: float = 0.0
 
     # -- construction ----------------------------------------------------------
 
@@ -73,6 +80,18 @@ class JobSpec:
                         policy, ", ".join(policy_names())
                     )
                 )
+        triage = payload.get("triage", "")
+        if triage not in ("", "on", "off"):
+            raise SpecError("'triage' must be \"on\" or \"off\"")
+        raw_threshold = payload.get("triage_threshold", 0.0)
+        try:
+            triage_threshold = float(raw_threshold)
+        except (TypeError, ValueError):
+            raise SpecError("'triage_threshold' must be a number")
+        if triage_threshold and triage != "on":
+            raise SpecError("'triage_threshold' requires triage: \"on\"")
+        if triage_threshold and not 0.5 <= triage_threshold <= 1.0:
+            raise SpecError("'triage_threshold' must be in [0.5, 1.0]")
         if kind == "corpus":
             try:
                 seed = int(payload["seed"])
@@ -91,7 +110,8 @@ class JobSpec:
                     "index {} out of range for a corpus of {} apps".format(index, n_apps)
                 )
             return cls(
-                kind="corpus", seed=seed, n_apps=n_apps, index=index, policy=policy
+                kind="corpus", seed=seed, n_apps=n_apps, index=index, policy=policy,
+                triage=triage, triage_threshold=triage_threshold,
             )
         if kind == "apk":
             raw = payload.get("apk_b64")
@@ -105,7 +125,10 @@ class JobSpec:
                 Apk.from_bytes(data)
             except ApkFormatError as exc:
                 raise SpecError("apk_b64 does not decode to an APK: {}".format(exc))
-            return cls(kind="apk", apk_b64=raw, policy=policy)
+            return cls(
+                kind="apk", apk_b64=raw, policy=policy,
+                triage=triage, triage_threshold=triage_threshold,
+            )
         raise SpecError("unknown spec kind {!r}".format(kind))
 
     # -- identity --------------------------------------------------------------
@@ -113,20 +136,28 @@ class JobSpec:
     def key(self) -> str:
         """Stable submission identity (dedup / coalescing key).
 
-        ``policy`` enters the canonical form only when set, so keys of
-        policy-less submissions are byte-identical to those of daemons
-        (and journals) that predate the field.
+        ``policy`` and the triage settings enter the canonical form only
+        when set, so keys of plain submissions are byte-identical to those
+        of daemons (and journals) that predate the fields.
         """
         if self.kind == "apk":
             # identical bytes submitted under different encodings dedupe.
             raw = b"apk:" + base64.b64decode(self.apk_b64)
             if self.policy:
                 raw += b":policy:" + self.policy.encode("utf-8")
+            if self.triage:
+                raw += b":triage:" + self.triage.encode("utf-8")
+            if self.triage_threshold:
+                raw += b":triage_threshold:" + repr(self.triage_threshold).encode("utf-8")
         else:
             canonical = {"kind": "corpus", "seed": self.seed,
                          "n_apps": self.n_apps, "index": self.index}
             if self.policy:
                 canonical["policy"] = self.policy
+            if self.triage:
+                canonical["triage"] = self.triage
+            if self.triage_threshold:
+                canonical["triage_threshold"] = self.triage_threshold
             raw = json.dumps(canonical, sort_keys=True).encode("utf-8")
         return hashlib.sha256(raw).hexdigest()[:16]
 
@@ -142,6 +173,10 @@ class JobSpec:
             }
         if self.policy:
             body["policy"] = self.policy
+        if self.triage:
+            body["triage"] = self.triage
+        if self.triage_threshold:
+            body["triage_threshold"] = self.triage_threshold
         return body
 
     # -- materialization (worker side) -----------------------------------------

@@ -1,0 +1,44 @@
+"""Tier-0 behavioral-fingerprint triage: cheap verdicts before tier 1.
+
+Layout:
+
+- :mod:`repro.triage.fingerprint` -- deterministic, shard-invariant
+  hashed feature vectors from one dynamic session;
+- :mod:`repro.triage.model` -- stdlib logistic regression over the hashed
+  space, versioned JSON serialization;
+- :mod:`repro.triage.tier` -- the runtime gate the pipeline consults
+  between the verdict-store probe and the full analyzers;
+- :mod:`repro.triage.harness` -- train/eval over seeded corpus splits
+  (imported by the CLI, not re-exported here: it pulls in the pipeline).
+"""
+
+from repro.triage.fingerprint import (
+    FINGERPRINT_VERSION,
+    N_FEATURES,
+    TriageFingerprint,
+    fingerprint_session,
+    vectorize,
+)
+from repro.triage.model import MODEL_VERSION, TriageError, TriageModel, train_model
+from repro.triage.tier import (
+    DEFAULT_THRESHOLD,
+    TriageDecision,
+    TriageGate,
+    full_pipeline_label,
+)
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "FINGERPRINT_VERSION",
+    "MODEL_VERSION",
+    "N_FEATURES",
+    "TriageDecision",
+    "TriageError",
+    "TriageFingerprint",
+    "TriageGate",
+    "TriageModel",
+    "fingerprint_session",
+    "full_pipeline_label",
+    "train_model",
+    "vectorize",
+]

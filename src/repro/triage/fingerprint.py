@@ -1,0 +1,222 @@
+"""Behavioral fingerprints: one dynamic session -> a compact feature vector.
+
+DySign-style triage needs a representation that is (a) cheap to build from
+what the dynamic stage already collected, (b) *deterministic* -- the same
+session must fingerprint byte-identically across process restarts, shard
+counts, and trace-event interleavings -- and (c) fixed-width, so a single
+model file scores every app.
+
+Every feature is therefore order-invariant by construction: histograms
+accumulate by addition, path/call-site sets are sorted before hashing, and
+nothing timestamp- or id-derived enters the feature dict.  Hashing uses
+sha256 (never the builtin ``hash``, whose per-process randomization would
+break restart determinism) to map feature names into ``N_FEATURES``
+buckets with a deterministic sign, the standard hashing-trick layout.
+
+App-package-specific path components are rewritten to a ``<pkg>``
+placeholder so the model learns "loads plugin_core.jar from its files
+dir", not the package name of one corpus app.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+#: fixed feature-vector width; part of the model-compatibility contract.
+N_FEATURES = 256
+
+#: bump when the feature extraction below changes incompatibly; serialized
+#: into fingerprints and model files so stale models fail loudly.
+FINGERPRINT_VERSION = 1
+
+
+def _bucket(name: str) -> int:
+    """Deterministic feature index in ``[0, N_FEATURES)``."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % N_FEATURES
+
+
+def _sign(name: str) -> float:
+    """Deterministic +-1 sign, decorrelating colliding features."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return 1.0 if digest[8] & 1 else -1.0
+
+
+def _squash(value: float) -> float:
+    """log1p squashing so busy sessions don't drown the rare features."""
+    return math.log1p(abs(value)) * (1.0 if value >= 0 else -1.0)
+
+
+def _normalize_path(path: str, package: str) -> str:
+    """Replace the app's own package in a path with a ``<pkg>`` marker."""
+    return path.replace(package, "<pkg>") if package else path
+
+
+def _top_dir(path: str) -> str:
+    parts = [p for p in path.split("/") if p]
+    return parts[0] if parts else ""
+
+
+def _basename(path: str) -> str:
+    return path.rsplit("/", 1)[-1]
+
+
+def _dirname(path: str) -> str:
+    return path.rsplit("/", 1)[0] if "/" in path else ""
+
+
+def _shape(name: str) -> str:
+    """Digit-stripped basename: ``libengine375.so`` -> ``libengine#.so``.
+
+    Generated payload names carry per-app random numbers; collapsing every
+    digit run to ``#`` turns them into one transferable vocabulary entry.
+    """
+    out: List[str] = []
+    in_digits = False
+    for ch in name:
+        if ch.isdigit():
+            if not in_digits:
+                out.append("#")
+            in_digits = True
+        else:
+            out.append(ch)
+            in_digits = False
+    return "".join(out)
+
+
+def _size_bucket(n_bytes: int) -> int:
+    return int(math.log2(n_bytes + 1))
+
+
+@dataclass
+class TriageFingerprint:
+    """One session's behavioral fingerprint: named features + hashed vector."""
+
+    package: str
+    features: Dict[str, float]
+    vector: List[float] = field(default_factory=list)
+    digest: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": FINGERPRINT_VERSION,
+            "package": self.package,
+            "features": {k: self.features[k] for k in sorted(self.features)},
+            "digest": self.digest,
+        }
+
+
+def vectorize(features: Dict[str, float]) -> List[float]:
+    """Hash a named-feature dict into the fixed-width vector.
+
+    Iteration is over the *sorted* feature names so float accumulation
+    order -- and therefore the exact bit pattern of every component -- is
+    independent of extraction order.
+    """
+    vector = [0.0] * N_FEATURES
+    for name in sorted(features):
+        vector[_bucket(name)] += _sign(name) * _squash(features[name])
+    return vector
+
+
+def fingerprint_digest(features: Dict[str, float]) -> str:
+    """sha256 over the canonical JSON form of the feature dict."""
+    canonical = json.dumps(
+        {"version": FINGERPRINT_VERSION, "features": features},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def fingerprint_session(package: str, dynamic) -> TriageFingerprint:
+    """Build the fingerprint of one dynamic session (live ``DynamicReport``).
+
+    Consumes only session-local state, so the result is identical whether
+    the app ran serially, on a 4-shard farm, or in a service worker.
+    """
+    features: Dict[str, float] = {}
+
+    def add(name: str, value: float = 1.0) -> None:
+        features[name] = features.get(name, 0.0) + value
+
+    outcome = getattr(dynamic.outcome, "value", dynamic.outcome)
+    add("outcome:{}".format(outcome))
+    add("events_run", float(dynamic.events_run))
+    add("coverage_bucket:{}".format(int(dynamic.method_coverage * 10)))
+    if dynamic.crash_reason:
+        add("crashed")
+    if dynamic.rewritten:
+        add("rewritten")
+    add("storage_cleanups", float(dynamic.storage_cleanups))
+    add("exfiltrated", float(len(dynamic.exfiltrated)))
+
+    # DCL shape: counts + loader/API dispatch histograms (order-invariant).
+    dcl = dynamic.dcl
+    add("dex_events", float(len(dcl.dex_events)))
+    add("native_events", float(len(dcl.native_events)))
+    add("rejected_events", float(len(dcl.rejected_events)))
+    for event in dcl.dex_events:
+        add("loader:{}".format(event.loader_kind))
+    for event in dcl.native_events:
+        add("native_api:{}".format(event.api))
+
+    # Loaded-path vocabulary (sorted distinct; first-seen order discarded).
+    # Besides the exact path, each load contributes its directory, its
+    # basename, and the digit-stripped basename *shape* -- the transferable
+    # features a per-app random payload name still shares with its family.
+    for path in sorted(dcl.dex_paths()):
+        norm = _normalize_path(path, package)
+        add("dex_path:{}".format(norm))
+        add("dex_base:{}".format(_basename(norm)))
+        add("dex_shape:{}".format(_shape(_basename(norm))))
+        add("dex_dirname:{}".format(_dirname(norm)))
+        add("dex_dir:{}".format(_top_dir(norm)))
+    for path in sorted(dcl.native_paths()):
+        norm = _normalize_path(path, package)
+        add("native_path:{}".format(norm))
+        add("native_base:{}".format(_basename(norm)))
+        add("native_shape:{}".format(_shape(_basename(norm))))
+        add("native_dirname:{}".format(_dirname(norm)))
+    for site in dcl.call_sites():
+        add("call_site:{}".format(_normalize_path(site, package)))
+
+    # Download-tracker flow shape: per-rule edge histogram + graph extent.
+    for edge in dynamic.tracker.edges:
+        add("flow_rule:{}".format(edge.rule))
+    add("url_nodes", float(len(dynamic.tracker.url_nodes())))
+    add("downloaded_files", float(len(dynamic.tracker.downloaded_files())))
+
+    # Intercepted payloads: kind/loader/size/provenance histograms.
+    for payload in dynamic.intercepted:
+        norm = _normalize_path(payload.path, package)
+        add("payload_kind:{}".format(payload.kind.value))
+        add("payload_loader:{}".format(payload.loader))
+        add("payload_base:{}".format(_basename(norm)))
+        add("payload_shape:{}".format(_shape(_basename(norm))))
+        add("payload_dirname:{}".format(_dirname(norm)))
+        add("payload_size:{}".format(_size_bucket(len(payload.data))))
+        if dynamic.tracker.is_remote(payload.path):
+            add("payload_remote")
+
+    # Firewall/provenance signals (present only on defended sessions).
+    if dynamic.firewall_policy:
+        add("fw_policy:{}".format(dynamic.firewall_policy))
+    for decision in dynamic.firewall_decisions:
+        verdict = getattr(decision, "verdict", None)
+        rule = getattr(decision, "rule", None)
+        if verdict is None and isinstance(decision, dict):
+            verdict = decision.get("verdict", "")
+            rule = decision.get("rule", "")
+        add("fw:{}:{}".format(verdict, rule))
+
+    return TriageFingerprint(
+        package=package,
+        features=features,
+        vector=vectorize(features),
+        digest=fingerprint_digest(features),
+    )

@@ -1,0 +1,345 @@
+"""Train/eval harness for the tier-0 gate (``repro triage train|eval``).
+
+Training runs an *analyzer-free* pipeline pass (malware/privacy/replays
+off) over the train half of a seeded :meth:`CorpusGenerator.split` -- the
+dynamic traces are all the fingerprint needs, so labelling a corpus costs
+a fraction of a full measurement.  Labels come from corpus ground truth
+(:func:`repro.defense.evaluation.hazard_kind`), restricted to apps whose
+session actually intercepted a payload: that is exactly the population the
+runtime gate ever scores.
+
+Evaluation runs the *full* pipeline (triage off) over the held-out test
+half as ground truth and scores the model's would-be decisions offline:
+precision among decided apps, effective hazard recall (a fall-through is
+never a miss -- it runs tier 1), and false-positive rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import DyDroidConfig
+from repro.corpus.generator import CorpusGenerator
+from repro.defense.evaluation import hazard_kind
+from repro.triage.fingerprint import TriageFingerprint, fingerprint_session
+from repro.triage.model import (
+    DEFAULT_EPOCHS,
+    DEFAULT_L2,
+    DEFAULT_LEARNING_RATE,
+    TriageError,
+    TriageModel,
+    train_model,
+)
+from repro.triage.tier import (
+    DEFAULT_THRESHOLD,
+    TriageGate,
+    full_pipeline_label,
+    load_harvest,
+)
+
+#: default corpus fraction used for training (rest is held out for eval).
+DEFAULT_SPLIT_RATIO = 0.5
+
+#: default number of auxiliary training corpora.  Rare hazard roles are
+#: planted ~once per corpus (:meth:`CorpusProfile.planted_count` floors at
+#: 1), so the train half of a single split can randomly lack a whole
+#: hazard class; extra corpora generated from derived seeds multiply the
+#: hazard examples without ever touching the eval corpus's apps.
+DEFAULT_AUX_CORPORA = 2
+
+
+def _aux_seed(seed: int, k: int) -> int:
+    """Seed of the k-th auxiliary training corpus (disjoint app universe)."""
+    return seed + 1000 * (k + 1) + 17
+
+
+def _trace_config(base: Optional[DyDroidConfig]) -> DyDroidConfig:
+    """The cheap trace-collection pass: dynamic stage only, no analyzers."""
+    return replace(
+        base or DyDroidConfig(),
+        run_malware=False,
+        run_privacy=False,
+        run_replays=False,
+        triage_model="",
+    )
+
+
+def _full_config(base: Optional[DyDroidConfig]) -> DyDroidConfig:
+    """The ground-truth pass: full analyzers, triage off."""
+    return replace(base or DyDroidConfig(), run_replays=False, triage_model="")
+
+
+@dataclass
+class LabelledSession:
+    """One analyzed app the harness can train or evaluate on."""
+
+    package: str
+    corpus_index: int
+    fingerprint: TriageFingerprint
+    label: int            # 1 = hazard
+    hazard: str = ""      # ground-truth hazard class ("" = benign)
+
+
+def _sessions(
+    config: DyDroidConfig, n_apps: int, seed: int, indices: List[int], labeller
+) -> List[LabelledSession]:
+    """Analyze ``indices`` of the corpus and fingerprint the payload apps."""
+    from repro.core.pipeline import DyDroid
+
+    generator = CorpusGenerator(seed=seed)
+    blueprints = {b.index: b for b in generator.sample_blueprints(n_apps)}
+    pipeline = DyDroid(config)
+    sessions = []
+    try:
+        for record in generator.records_at(n_apps, indices):
+            analysis = pipeline.analyze_app(record)
+            dynamic = analysis.dynamic
+            if dynamic is None or not dynamic.intercepted_any:
+                continue  # the runtime gate never sees payload-less apps
+            blueprint = blueprints[analysis.corpus_index]
+            sessions.append(
+                LabelledSession(
+                    package=analysis.package,
+                    corpus_index=analysis.corpus_index,
+                    fingerprint=fingerprint_session(analysis.package, dynamic),
+                    label=labeller(blueprint, analysis),
+                    hazard=hazard_kind(blueprint),
+                )
+            )
+    finally:
+        pipeline.close()
+    return sessions
+
+
+def train_triage_model(
+    n_apps: int,
+    seed: int = 7,
+    ratio: float = DEFAULT_SPLIT_RATIO,
+    split_seed: int = 0,
+    epochs: int = DEFAULT_EPOCHS,
+    learning_rate: float = DEFAULT_LEARNING_RATE,
+    l2: float = DEFAULT_L2,
+    train_seed: int = 0,
+    harvest: str = "",
+    aux_corpora: int = DEFAULT_AUX_CORPORA,
+    config: Optional[DyDroidConfig] = None,
+) -> Tuple[TriageModel, Dict[str, object]]:
+    """Train on the train half of the seeded split; returns (model, summary).
+
+    Besides the train half, ``aux_corpora`` whole corpora generated from
+    derived seeds join the training set -- disjoint app universes, so the
+    held-out eval apps still never leak into training.
+    """
+    trace_config = _trace_config(config)
+    label_blueprint = lambda blueprint, analysis: int(hazard_kind(blueprint) != "")  # noqa: E731
+    train_indices, _ = CorpusGenerator(seed=seed).split(n_apps, ratio, split_seed)
+    sessions = _sessions(trace_config, n_apps, seed, train_indices, label_blueprint)
+    aux_sessions = 0
+    for k in range(aux_corpora):
+        extra = _sessions(
+            trace_config, n_apps, _aux_seed(seed, k), list(range(n_apps)),
+            label_blueprint,
+        )
+        aux_sessions += len(extra)
+        sessions.extend(extra)
+    samples = [(s.fingerprint.vector, s.label) for s in sessions]
+    harvested = load_harvest(harvest) if harvest else []
+    samples.extend(harvested)
+    if not samples:
+        raise TriageError(
+            "no training samples: none of the {} train-split apps "
+            "intercepted a payload".format(len(train_indices))
+        )
+    model = train_model(
+        samples, epochs=epochs, learning_rate=learning_rate, l2=l2, seed=train_seed
+    )
+    model.train_config.update(
+        {
+            "corpus_seed": seed,
+            "corpus_n_apps": n_apps,
+            "split_ratio": ratio,
+            "split_seed": split_seed,
+            "aux_corpora": aux_corpora,
+            "harvested": len(harvested),
+        }
+    )
+    summary = {
+        "train_apps": len(train_indices) + aux_corpora * n_apps,
+        "train_sessions": len(sessions),
+        "aux_sessions": aux_sessions,
+        "harvested": len(harvested),
+        "n_hazard": sum(label for _, label in samples),
+        "n_samples": len(samples),
+        "config_fingerprint": model.config_fingerprint,
+    }
+    return model, summary
+
+
+@dataclass
+class TriageEvaluation:
+    """Held-out scorecard of a model against the full pipeline."""
+
+    threshold: float
+    n_apps: int
+    seed: int
+    test_indices: List[int] = field(default_factory=list)
+    true_positive: int = 0
+    false_positive: int = 0
+    true_negative: int = 0
+    false_negative: int = 0
+    fallthrough_hazard: int = 0
+    fallthrough_benign: int = 0
+    #: confidently-benign apps the full pipeline labels hazardous.
+    missed: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def n_sessions(self) -> int:
+        return (
+            self.true_positive
+            + self.false_positive
+            + self.true_negative
+            + self.false_negative
+            + self.fallthrough_hazard
+            + self.fallthrough_benign
+        )
+
+    @property
+    def n_decided(self) -> int:
+        return self.n_sessions - self.fallthrough_hazard - self.fallthrough_benign
+
+    @property
+    def n_hazard(self) -> int:
+        return self.true_positive + self.false_negative + self.fallthrough_hazard
+
+    @property
+    def n_benign(self) -> int:
+        return self.false_positive + self.true_negative + self.fallthrough_benign
+
+    @property
+    def recall(self) -> float:
+        """Effective hazard recall: fall-throughs run tier 1, so they count."""
+        if not self.n_hazard:
+            return 1.0
+        return (self.true_positive + self.fallthrough_hazard) / self.n_hazard
+
+    @property
+    def precision(self) -> float:
+        flagged = self.true_positive + self.false_positive
+        return self.true_positive / flagged if flagged else 1.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        return self.false_positive / self.n_benign if self.n_benign else 0.0
+
+    @property
+    def short_circuit_rate(self) -> float:
+        return self.n_decided / self.n_sessions if self.n_sessions else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "threshold": self.threshold,
+            "n_apps": self.n_apps,
+            "seed": self.seed,
+            "test_indices": list(self.test_indices),
+            "sessions": self.n_sessions,
+            "decided": self.n_decided,
+            "hazards": self.n_hazard,
+            "benign": self.n_benign,
+            "true_positive": self.true_positive,
+            "false_positive": self.false_positive,
+            "true_negative": self.true_negative,
+            "false_negative": self.false_negative,
+            "fallthrough_hazard": self.fallthrough_hazard,
+            "fallthrough_benign": self.fallthrough_benign,
+            "recall": round(self.recall, 4),
+            "precision": round(self.precision, 4),
+            "false_positive_rate": round(self.false_positive_rate, 4),
+            "short_circuit_rate": round(self.short_circuit_rate, 4),
+            "missed": list(self.missed),
+        }
+
+    def render(self) -> str:
+        lines = [
+            "TRIAGE EVALUATION: threshold {} over {} held-out payload apps "
+            "({} of {} corpus apps, seed {})".format(
+                self.threshold,
+                self.n_sessions,
+                len(self.test_indices),
+                self.n_apps,
+                self.seed,
+            ),
+            "=" * 74,
+            "{:<34}{:>10}".format("Decided (tier 1 skipped)", self.n_decided),
+            "{:<34}{:>10}".format(
+                "Fell through to tier 1",
+                self.fallthrough_hazard + self.fallthrough_benign,
+            ),
+            "{:<34}{:>10}".format("True positives", self.true_positive),
+            "{:<34}{:>10}".format("False positives", self.false_positive),
+            "{:<34}{:>10}".format("True negatives", self.true_negative),
+            "{:<34}{:>10}".format("Missed hazards (FN)", self.false_negative),
+            "-" * 74,
+            "{:<34}{:>10.1%}".format("Hazard recall (effective)", self.recall),
+            "{:<34}{:>10.1%}".format("Precision (decided hazards)", self.precision),
+            "{:<34}{:>10.1%}".format("False-positive rate", self.false_positive_rate),
+            "{:<34}{:>10.1%}".format("Short-circuit rate", self.short_circuit_rate),
+        ]
+        for miss in self.missed:
+            lines.append(
+                "  MISSED {} (p={}, full pipeline: {})".format(
+                    miss["package"], miss["probability"], miss["hazard"] or "hazard"
+                )
+            )
+        return "\n".join(lines)
+
+
+def evaluate_triage(
+    model: TriageModel,
+    n_apps: int,
+    seed: int = 7,
+    threshold: float = DEFAULT_THRESHOLD,
+    ratio: float = DEFAULT_SPLIT_RATIO,
+    split_seed: int = 0,
+    config: Optional[DyDroidConfig] = None,
+) -> TriageEvaluation:
+    """Score the model on the held-out half, full pipeline as ground truth."""
+    _, test_indices = CorpusGenerator(seed=seed).split(n_apps, ratio, split_seed)
+    sessions = _sessions(
+        _full_config(config),
+        n_apps,
+        seed,
+        test_indices,
+        labeller=lambda blueprint, analysis: full_pipeline_label(analysis),
+    )
+    gate = TriageGate(model, threshold=threshold)
+    evaluation = TriageEvaluation(
+        threshold=threshold, n_apps=n_apps, seed=seed, test_indices=test_indices
+    )
+    for session in sessions:
+        probability = model.predict_proba(session.fingerprint.vector)
+        confidence = max(probability, 1.0 - probability)
+        if confidence < gate.threshold:
+            if session.label:
+                evaluation.fallthrough_hazard += 1
+            else:
+                evaluation.fallthrough_benign += 1
+            continue
+        predicted_hazard = probability >= 0.5
+        if predicted_hazard and session.label:
+            evaluation.true_positive += 1
+        elif predicted_hazard:
+            evaluation.false_positive += 1
+        elif session.label:
+            evaluation.false_negative += 1
+            evaluation.missed.append(
+                {
+                    "package": session.package,
+                    "corpus_index": session.corpus_index,
+                    "probability": round(probability, 4),
+                    "hazard": session.hazard,
+                }
+            )
+        else:
+            evaluation.true_negative += 1
+    return evaluation

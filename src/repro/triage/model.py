@@ -1,0 +1,215 @@
+"""The tier-0 classifier: hashed features + stdlib logistic regression.
+
+A deliberately tiny model: ``N_FEATURES + 1`` floats trained by seeded SGD.
+No third-party dependency, deterministic given (samples, hyperparameters,
+seed), and serialized to a versioned JSON file whose train-config
+fingerprint lets ``repro triage inspect`` and the service stats tell two
+models apart without diffing weights.
+
+Python's ``json`` emits ``repr``-round-trippable floats, so ``save`` ->
+``load`` reproduces the exact weights -- scoring after a round trip is
+bit-identical to scoring the freshly trained model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.triage.fingerprint import FINGERPRINT_VERSION, N_FEATURES
+
+#: bump when the JSON model layout changes incompatibly.
+MODEL_VERSION = 1
+
+#: default SGD hyperparameters (exposed as ``repro triage train`` flags).
+DEFAULT_EPOCHS = 40
+DEFAULT_LEARNING_RATE = 0.5
+DEFAULT_L2 = 1e-4
+
+
+class TriageError(Exception):
+    """A triage model could not be loaded, trained, or applied."""
+
+
+def _sigmoid(z: float) -> float:
+    if z >= 0:
+        return 1.0 / (1.0 + math.exp(-min(z, 60.0)))
+    return math.exp(max(z, -60.0)) / (1.0 + math.exp(max(z, -60.0)))
+
+
+@dataclass
+class TriageModel:
+    """Logistic-regression weights over the hashed fingerprint space."""
+
+    weights: List[float]
+    bias: float = 0.0
+    n_features: int = N_FEATURES
+    fingerprint_version: int = FINGERPRINT_VERSION
+    #: training provenance, carried verbatim in the model file.
+    train_config: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != self.n_features:
+            raise TriageError(
+                "weight vector has {} entries, expected {}".format(
+                    len(self.weights), self.n_features
+                )
+            )
+
+    # -- scoring ---------------------------------------------------------------
+
+    def predict_proba(self, vector: Sequence[float]) -> float:
+        """P(hazard) for one fingerprint vector."""
+        if len(vector) != self.n_features:
+            raise TriageError(
+                "vector has {} entries, model expects {}".format(
+                    len(vector), self.n_features
+                )
+            )
+        z = self.bias
+        for w, x in zip(self.weights, vector):
+            z += w * x
+        return _sigmoid(z)
+
+    # -- serialization ---------------------------------------------------------
+
+    @property
+    def config_fingerprint(self) -> str:
+        """sha256 over the training configuration (not the weights)."""
+        canonical = repr(
+            (
+                "triage-model",
+                MODEL_VERSION,
+                self.fingerprint_version,
+                self.n_features,
+                tuple(sorted(self.train_config.items())),
+            )
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "model_version": MODEL_VERSION,
+            "fingerprint_version": self.fingerprint_version,
+            "n_features": self.n_features,
+            "train_config": dict(sorted(self.train_config.items())),
+            "config_fingerprint": self.config_fingerprint,
+            "bias": self.bias,
+            "weights": list(self.weights),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TriageModel":
+        version = data.get("model_version")
+        if version != MODEL_VERSION:
+            raise TriageError(
+                "unsupported triage model version {!r} (expected {})".format(
+                    version, MODEL_VERSION
+                )
+            )
+        if data.get("fingerprint_version") != FINGERPRINT_VERSION:
+            raise TriageError(
+                "model was trained on fingerprint version {!r}, "
+                "this build extracts version {}".format(
+                    data.get("fingerprint_version"), FINGERPRINT_VERSION
+                )
+            )
+        return cls(
+            weights=[float(w) for w in data["weights"]],
+            bias=float(data["bias"]),
+            n_features=int(data["n_features"]),
+            fingerprint_version=int(data["fingerprint_version"]),
+            train_config=dict(data.get("train_config", {})),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "TriageModel":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as exc:
+            raise TriageError("cannot read triage model {}: {}".format(path, exc))
+        except ValueError as exc:
+            raise TriageError("triage model {} is not JSON: {}".format(path, exc))
+        return cls.from_dict(data)
+
+
+def train_model(
+    samples: Sequence[Tuple[Sequence[float], int]],
+    epochs: int = DEFAULT_EPOCHS,
+    learning_rate: float = DEFAULT_LEARNING_RATE,
+    l2: float = DEFAULT_L2,
+    seed: int = 0,
+    pos_weight: float = 0.0,
+) -> TriageModel:
+    """Seeded SGD over ``(vector, label)`` pairs; label 1 = hazard.
+
+    Deterministic: the per-epoch shuffle comes from one ``random.Random``
+    seeded by ``seed``, and weights start at zero.
+
+    ``pos_weight`` scales the gradient of hazard samples; hazards are a
+    few percent of any realistic corpus and triage must be recall-first,
+    so the default (0.0 = auto) balances the classes by weighting each
+    hazard sample ``n_benign / n_hazard``, capped at 10x.
+    """
+    if not samples:
+        raise TriageError("cannot train on an empty sample set")
+    n_hazard = sum(1 for _, label in samples if label)
+    if n_hazard in (0, len(samples)):
+        raise TriageError(
+            "training data needs both classes (got {} hazard / {} total)".format(
+                n_hazard, len(samples)
+            )
+        )
+    for vector, _ in samples:
+        if len(vector) != N_FEATURES:
+            raise TriageError(
+                "sample vector has {} entries, expected {}".format(
+                    len(vector), N_FEATURES
+                )
+            )
+
+    if pos_weight <= 0.0:
+        pos_weight = min((len(samples) - n_hazard) / n_hazard, 10.0)
+
+    weights = [0.0] * N_FEATURES
+    bias = 0.0
+    rng = random.Random(seed)
+    order = list(range(len(samples)))
+    for _ in range(epochs):
+        rng.shuffle(order)
+        for i in order:
+            vector, label = samples[i]
+            z = bias
+            for w, x in zip(weights, vector):
+                z += w * x
+            gradient = _sigmoid(z) - float(label)
+            if label:
+                gradient *= pos_weight
+            bias -= learning_rate * gradient
+            for j, x in enumerate(vector):
+                if x:
+                    weights[j] -= learning_rate * (gradient * x + l2 * weights[j])
+
+    return TriageModel(
+        weights=weights,
+        bias=bias,
+        train_config={
+            "epochs": epochs,
+            "learning_rate": learning_rate,
+            "l2": l2,
+            "seed": seed,
+            "pos_weight": round(pos_weight, 4),
+            "n_samples": len(samples),
+            "n_hazard": n_hazard,
+        },
+    )
