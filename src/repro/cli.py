@@ -168,6 +168,79 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default: the --checkpoint directory)")
     _add_observe_flags(farm_run)
 
+    farm_serve = farm_sub.add_parser(
+        "serve",
+        help="coordinate the same run over HTTP: `farm join` nodes lease "
+             "shards, renew from heartbeats, and ship results back",
+    )
+    farm_serve.add_argument("--host", default="127.0.0.1")
+    farm_serve.add_argument("--port", type=int, default=8788,
+                            help="listen port (0 picks an ephemeral port)")
+    farm_serve.add_argument("--lease", type=float, default=15.0,
+                            help="shard lease seconds; a worker that stops "
+                                 "renewing for this long loses its shard")
+    farm_serve.add_argument("--apps", type=int, default=600, help="corpus size")
+    farm_serve.add_argument("--seed", type=int, default=7)
+    farm_serve.add_argument("--shards", type=int, default=None,
+                            help="shard count (default: 8)")
+    farm_serve.add_argument("--shard-strategy", default="contiguous",
+                            choices=["contiguous", "round-robin"])
+    farm_serve.add_argument("--timeout", type=float, default=None,
+                            help="per-app analysis deadline in seconds")
+    farm_serve.add_argument("--max-retries", type=int, default=2,
+                            help="per-app retries before quarantine")
+    farm_serve.add_argument("--checkpoint", metavar="FILE",
+                            help="append-only JSONL journal of settled apps "
+                                 "(coordinator-owned; workers never touch it)")
+    farm_serve.add_argument("--resume", action="store_true",
+                            help="skip apps already settled in --checkpoint")
+    farm_serve.add_argument("--verdict-store", metavar="FILE",
+                            help="shared verdict store: each distinct payload "
+                                 "digest is analyzed once fleet-wide")
+    farm_serve.add_argument("--triage-model", metavar="FILE", default="",
+                            help="enable the tier-0 triage gate with this "
+                                 "trained model (see `triage train`)")
+    farm_serve.add_argument("--triage-threshold", type=float, default=0.0,
+                            help="confidence bar for tier-0 short-circuits "
+                                 "(default: {})".format(DEFAULT_THRESHOLD))
+    farm_serve.add_argument("--metrics-out", metavar="FILE",
+                            help="write the JSON metrics summary here")
+    farm_serve.add_argument("--train", type=int, default=3,
+                            help="DroidNative samples per family")
+    farm_serve.add_argument("--no-replays", action="store_true",
+                            help="skip Table VIII replays")
+    farm_serve.add_argument(
+        "--table",
+        default="all",
+        choices=["all"] + sorted(TABLE_RENDERERS),
+        help="which table to print",
+    )
+    farm_serve.add_argument("--json", action="store_true",
+                            help="emit the full serialized report as JSON")
+    _add_observe_flags(farm_serve)
+
+    farm_join = farm_sub.add_parser(
+        "join",
+        help="lease and analyze shards from a `farm serve` coordinator "
+             "until its run drains",
+    )
+    farm_join.add_argument("--host", default="127.0.0.1")
+    farm_join.add_argument("--port", type=int, default=8788)
+    farm_join.add_argument("--workers", type=int, default=1,
+                           help="local worker processes (= concurrent leases); "
+                                "1 runs in-process")
+    farm_join.add_argument("--name", default=None,
+                           help="worker id shown in the coordinator's status "
+                                "(default: hostname:pid)")
+    farm_join.add_argument("--telemetry-dir", metavar="DIR",
+                           help="node-local flight recordings and heartbeats; "
+                                "renewals report per-app progress from here")
+    farm_join.add_argument("--poll", type=float, default=0.5,
+                           help="seconds between lease attempts while the "
+                                "queue is empty")
+    farm_join.add_argument("--json", action="store_true",
+                           help="emit the join summary as JSON")
+
     evolve = sub.add_parser("evolve", help="longitudinal (multi-version) measurement")
     evolve_sub = evolve.add_subparsers(dest="evolve_command", required=True)
     evolve_run = evolve_sub.add_parser(
@@ -405,6 +478,20 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_export.add_argument("--out", metavar="FILE", default=None,
                                 help="write here instead of stdout")
 
+    store = sub.add_parser("store", help="verdict-store / warehouse tooling")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_compact = store_sub.add_parser(
+        "compact",
+        help="garbage-collect a verdict store or snapshot warehouse in "
+             "place (drop duplicates, corrupt debris, stale index lines) "
+             "and rebuild its sqlite sidecar index",
+    )
+    store_compact.add_argument("store_file",
+                               help="verdict store or warehouse JSONL "
+                                    "(auto-detected from the header)")
+    store_compact.add_argument("--json", action="store_true",
+                               help="emit the compaction stats as JSON")
+
     corpus = sub.add_parser("corpus", help="print ground-truth corpus statistics")
     corpus.add_argument("--apps", type=int, default=1000)
     corpus.add_argument("--seed", type=int, default=7)
@@ -497,29 +584,15 @@ def cmd_measure(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_farm(args: argparse.Namespace) -> int:
-    from repro.farm import CheckpointError, FarmConfig, run_farm
-    from repro.store import StoreError
-
-    config = FarmConfig(
-        n_apps=args.apps,
-        corpus_seed=args.seed,
-        workers=args.workers,
-        n_shards=args.shards,
-        shard_strategy=args.shard_strategy,
-        timeout_s=args.timeout,
-        max_retries=args.max_retries,
-        checkpoint=args.checkpoint,
-        resume=args.resume,
-        pipeline=DyDroidConfig(
-            train_samples_per_family=args.train, run_replays=not args.no_replays,
-            triage_model=args.triage_model,
-            triage_threshold=args.triage_threshold,
-        ),
-        trace=bool(args.trace_out),
-        verdict_store=args.verdict_store,
-        telemetry_dir=args.telemetry_dir,
+def _farm_pipeline_config(args: argparse.Namespace) -> DyDroidConfig:
+    return DyDroidConfig(
+        train_samples_per_family=args.train, run_replays=not args.no_replays,
+        triage_model=args.triage_model,
+        triage_threshold=args.triage_threshold,
     )
+
+
+def _farm_check_triage(args: argparse.Namespace, verb: str) -> None:
     if args.triage_model:
         # fail fast here rather than quarantining every app when each
         # worker process discovers the broken model on its own.
@@ -528,11 +601,12 @@ def cmd_farm(args: argparse.Namespace) -> int:
         try:
             TriageModel.load(args.triage_model)
         except TriageError as exc:
-            raise SystemExit("farm run: {}".format(exc))
-    try:
-        result = run_farm(config)
-    except (CheckpointError, StoreError, ValueError) as exc:
-        raise SystemExit("farm run: {}".format(exc))
+            raise SystemExit("{}: {}".format(verb, exc))
+
+
+def _print_farm_result(result, args: argparse.Namespace, label: str) -> None:
+    """The shared tail of ``farm run`` and ``farm serve``: tables, quarantine
+    lines, metrics/trace files, one summary line."""
     _print_report(result.report, args)
     for record in result.quarantined:
         print(
@@ -549,8 +623,9 @@ def cmd_farm(args: argparse.Namespace) -> int:
         write_trace(result.spans, args.trace_out, fmt=args.trace_format)
     print()
     print(
-        "[farm: {} apps ({} resumed) in {:.1f}s ({:.1f} apps/s), "
+        "[{}: {} apps ({} resumed) in {:.1f}s ({:.1f} apps/s), "
         "{} retries, {} quarantined]".format(
+            label,
             result.report.n_total,
             result.resumed_apps,
             result.metrics["wall_s"],
@@ -560,6 +635,192 @@ def cmd_farm(args: argparse.Namespace) -> int:
         ),
         file=sys.stderr,
     )
+
+
+def _cmd_farm_run(args: argparse.Namespace) -> int:
+    from repro.farm import CheckpointError, FarmConfig, run_farm
+    from repro.store import StoreError
+
+    config = FarmConfig(
+        n_apps=args.apps,
+        corpus_seed=args.seed,
+        workers=args.workers,
+        n_shards=args.shards,
+        shard_strategy=args.shard_strategy,
+        timeout_s=args.timeout,
+        max_retries=args.max_retries,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        pipeline=_farm_pipeline_config(args),
+        trace=bool(args.trace_out),
+        verdict_store=args.verdict_store,
+        telemetry_dir=args.telemetry_dir,
+    )
+    _farm_check_triage(args, "farm run")
+    try:
+        result = run_farm(config)
+    except (CheckpointError, StoreError, ValueError) as exc:
+        raise SystemExit("farm run: {}".format(exc))
+    _print_farm_result(result, args, "farm")
+    return 0
+
+
+def _cmd_farm_serve(args: argparse.Namespace) -> int:
+    from repro.farm import CheckpointError, FarmConfig, FarmCoordinator
+    from repro.store import StoreError
+
+    config = FarmConfig(
+        n_apps=args.apps,
+        corpus_seed=args.seed,
+        n_shards=args.shards,
+        shard_strategy=args.shard_strategy,
+        timeout_s=args.timeout,
+        max_retries=args.max_retries,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        pipeline=_farm_pipeline_config(args),
+        trace=bool(args.trace_out),
+        verdict_store=args.verdict_store,
+    )
+    _farm_check_triage(args, "farm serve")
+    try:
+        coordinator = FarmCoordinator(
+            config, host=args.host, port=args.port, lease_s=args.lease
+        ).start()
+    except (CheckpointError, StoreError, ValueError, OSError) as exc:
+        raise SystemExit("farm serve: {}".format(exc))
+    snapshot = coordinator.ledger.snapshot()
+    print(
+        "[farm coordinator on {}:{}: {} apps, {} shards pending "
+        "({} resumed apps), lease {:.1f}s]".format(
+            coordinator.host,
+            coordinator.port,
+            args.apps,
+            snapshot["pending"],
+            coordinator._resumed_apps,
+            args.lease,
+        ),
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        result = coordinator.wait()
+    finally:
+        coordinator.stop()
+    _print_farm_result(result, args, "farm serve")
+    leases = result.metrics.get("leases", {})
+    print(
+        "[leases: {} granted, {} renewed, {} expired, {} stolen, "
+        "{} stale; workers: {}]".format(
+            leases.get("granted", 0),
+            leases.get("renewed", 0),
+            leases.get("expired", 0),
+            leases.get("stolen", 0),
+            leases.get("stale", 0),
+            result.metrics.get("workers", 0),
+        ),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_farm_join(args: argparse.Namespace) -> int:
+    from repro.farm import FarmJoinError, join_farm
+
+    try:
+        summary = join_farm(
+            args.host,
+            args.port,
+            workers=args.workers,
+            worker_id=args.name,
+            telemetry_dir=args.telemetry_dir,
+            poll_s=args.poll,
+        )
+    except FarmJoinError as exc:
+        raise SystemExit("farm join: {}".format(exc))
+    if args.json:
+        import json as json_module
+        from dataclasses import asdict
+
+        print(json_module.dumps(asdict(summary), indent=1, sort_keys=True))
+    else:
+        print(
+            "[{}: {} shards completed ({} stale, {} failed), {} apps "
+            "analyzed, {} quarantined, {} leases lost, {:.1f}s]".format(
+                summary.worker,
+                summary.shards_completed,
+                summary.shards_stale,
+                summary.shards_failed,
+                summary.apps_analyzed,
+                summary.apps_quarantined,
+                summary.lost_leases,
+                summary.wall_s,
+            )
+        )
+        for error in summary.errors:
+            print("[shard failed: {}]".format(error), file=sys.stderr)
+    return 0
+
+
+def cmd_farm(args: argparse.Namespace) -> int:
+    if args.farm_command == "serve":
+        return _cmd_farm_serve(args)
+    if args.farm_command == "join":
+        return _cmd_farm_join(args)
+    return _cmd_farm_run(args)
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    try:
+        with open(args.store_file, "rb") as handle:
+            first = handle.readline()
+    except OSError as exc:
+        raise SystemExit("store compact: {}".format(exc))
+    try:
+        header = json_module.loads(first.decode("utf-8", "replace") or "{}")
+    except ValueError:
+        header = {}
+    # Both files start with a {"kind": "header", ...} line; the warehouse's
+    # carries "serialization", the verdict store's a config "fingerprint".
+    is_warehouse = isinstance(header, dict) and "serialization" in header
+    if is_warehouse:
+        from repro.evolution import WarehouseError, compact_warehouse
+
+        try:
+            stats = compact_warehouse(args.store_file)
+        except (WarehouseError, OSError) as exc:
+            raise SystemExit("store compact: {}".format(exc))
+        kept, flavor = stats["snapshots"], "warehouse"
+    else:
+        from repro.store import StoreError, compact_store
+
+        try:
+            stats = compact_store(args.store_file)
+        except (StoreError, OSError) as exc:
+            raise SystemExit("store compact: {}".format(exc))
+        kept, flavor = stats["entries"], "verdict store"
+    if args.json:
+        payload = dict(stats)
+        payload["kind"] = flavor
+        print(json_module.dumps(payload, indent=1, sort_keys=True))
+    else:
+        print(
+            "[compacted {} {}: {} kept, {} duplicates + {} corrupt{} "
+            "dropped, {} -> {} bytes]".format(
+                flavor,
+                args.store_file,
+                kept,
+                stats["dropped_duplicates"],
+                stats["dropped_corrupt"],
+                " + {} stale index lines".format(stats["dropped_index_lines"])
+                if "dropped_index_lines" in stats
+                else "",
+                stats["bytes_before"],
+                stats["bytes_after"],
+            )
+        )
     return 0
 
 
@@ -1243,6 +1504,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "status": cmd_status,
         "top": cmd_top,
         "metrics": cmd_metrics,
+        "store": cmd_store,
         "corpus": cmd_corpus,
         "analyze": cmd_analyze,
         "families": cmd_families,

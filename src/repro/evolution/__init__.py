@@ -42,6 +42,7 @@ from repro.evolution.warehouse import (
     WAREHOUSE_VERSION,
     SnapshotWarehouse,
     WarehouseError,
+    compact_warehouse,
 )
 from repro.evolution.worker import (
     LineageShardJob,
@@ -68,6 +69,7 @@ __all__ = [
     "build_timeline",
     "build_version_record",
     "classify_pair",
+    "compact_warehouse",
     "diff_analyses",
     "diff_digest",
     "load_warehouse_timeline",

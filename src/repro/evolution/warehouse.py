@@ -28,9 +28,23 @@ in-memory index holds offsets only -- ``get`` seeks and parses a single
 line, so opening a multi-gigabyte warehouse never materializes every
 snapshot.
 
-Snapshots are immutable: appending a key that already exists is a no-op
-(first write wins), which makes warm re-runs idempotent -- the file, and
-therefore ``repro evolve diff`` output, is byte-stable across repeats.
+The warehouse also keeps the same sqlite sidecar the verdict store uses
+(:mod:`repro.store.index`, ``<warehouse>.idx``), which covers exactly the
+case the trailing index cannot: a writer that died *without* sealing.
+The sidecar's watermark advances with every append, so reopening a
+crashed warehouse scans only the unindexed tail instead of the whole
+file -- and when the watermark reaches EOF the open reads nothing but the
+header line.  The sidecar is derived data; losing or corrupting it costs
+one full scan (the trailing-index path remains the portable, sqlite-free
+fallback).
+
+Both indexes, and :func:`compact_warehouse`, keep the first-wins rule:
+snapshots are immutable, appending a key that already exists is a no-op,
+which makes warm re-runs idempotent -- the file, and therefore ``repro
+evolve diff`` output, is byte-stable across repeats.  Compaction is the
+GC for what append-only leaves behind (duplicate snapshots, stale
+interior index lines, corrupt debris); like the verdict store's it
+rewrites in place under the exclusive lock and is offline-only.
 """
 
 from __future__ import annotations
@@ -43,15 +57,31 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core.report import SERIALIZATION_VERSION, AppAnalysis
+from repro.store.index import (
+    SQLITE_ERRORS,
+    StoreIndex,
+    index_path,
+    sqlite_available,
+)
 
 try:  # POSIX only; elsewhere the warehouse degrades to thread-safety.
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None
 
-__all__ = ["WAREHOUSE_VERSION", "SnapshotWarehouse", "WarehouseError"]
+__all__ = [
+    "WAREHOUSE_VERSION",
+    "SnapshotWarehouse",
+    "WarehouseError",
+    "compact_warehouse",
+]
 
 WAREHOUSE_VERSION = 1
+
+
+def _warehouse_fingerprint() -> str:
+    """What the sidecar must have been built against to be trusted."""
+    return "warehouse:v{}:s{}".format(WAREHOUSE_VERSION, SERIALIZATION_VERSION)
 
 
 class WarehouseError(ValueError):
@@ -78,7 +108,7 @@ def _key(package: str, version_code: int) -> str:
 class SnapshotWarehouse:
     """Append-only store of per-version analyses keyed by (package, version)."""
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: Union[str, Path], index: bool = True) -> None:
         self.path = Path(path)
         #: key -> byte offset of the snapshot line.
         self._index: Dict[str, int] = {}
@@ -87,7 +117,12 @@ class SnapshotWarehouse:
         #: True when the last open used the trailing index line instead of
         #: a full scan (exposed for tests and ``evolve report`` curiosity).
         self.fast_opened = False
+        #: True when the last open came from the sqlite sidecar (possibly
+        #: plus a tail scan) instead of reading the whole file.
+        self.sidecar_opened = False
         self._sealed = False
+        self._sidecar: Optional[StoreIndex] = None
+        self._want_sidecar = bool(index) and sqlite_available()
         #: file size as of our last write/scan; lets ``seal`` notice (and
         #: fold in) snapshots a sibling writer appended meanwhile, so the
         #: trailing index never drops someone else's data.
@@ -108,8 +143,11 @@ class SnapshotWarehouse:
                         }
                     )
                     self._header_checked = True
+                    self._open_sidecar(self._end)
+                    self._advance_sidecar([], self._end)
                     return
                 self._seal_torn_tail(size)
+                self._open_sidecar(size)
                 self._load(size)
                 self._end = size
         if not self._header_checked:
@@ -125,7 +163,16 @@ class SnapshotWarehouse:
             self._handle.flush()
 
     def _load(self, size: int) -> None:
-        """Build the key->offset index: trailing-index fast path, else scan."""
+        """Build the key->offset index.
+
+        Fastest first: the sqlite sidecar (reads only the header line plus
+        the tail past its watermark -- the only path that stays cheap after
+        an *unsealed* crash), then the trailing in-file index (reads the
+        whole file but parses two lines), then the full scan, which seeds
+        the sidecar for the next open.
+        """
+        if self._load_from_sidecar(size):
+            return
         self._handle.seek(0)
         data = self._handle.read(size)
         cut = data.rfind(b"\n")
@@ -145,9 +192,20 @@ class SnapshotWarehouse:
             # The trailing index already covers everything: read-only opens
             # must not grow the file with another identical index on close.
             self._sealed = True
+            self._rebuild_sidecar(size)
             return
-        offset = 0
+        rows = self._scan_range(data, 0)
+        if self._sidecar is not None:
+            self._advance_sidecar(rows, size)
+
+    def _scan_range(self, data: bytes, base: int) -> List[Tuple[str, str, int]]:
+        """Fold complete lines of ``data`` (file offset ``base``) into the
+        in-memory index; returns the sidecar rows for first-win inserts."""
+        rows: List[Tuple[str, str, int]] = []
+        offset = base
         for raw in data.splitlines(keepends=True):
+            # A final line without its newline was sealed by open (the
+            # newline sits just past ``data``); parse it like any other.
             entry = self._parse(raw)
             if entry is None:
                 self.corrupt_lines += 1
@@ -162,12 +220,87 @@ class SnapshotWarehouse:
                 ):
                     key = _key(entry["package"], entry["version_code"])
                     # first write wins: duplicates are later, identical noise
-                    self._index.setdefault(key, offset)
+                    if key not in self._index:
+                        self._index[key] = offset
+                        rows.append(("snapshot", key, offset))
                 elif kind == "index":
                     pass  # stale interior index from an earlier seal
                 else:
                     self.corrupt_lines += 1
             offset += len(raw)
+        return rows
+
+    # -- the sqlite sidecar ------------------------------------------------------
+
+    def _open_sidecar(self, size: int) -> None:
+        if not self._want_sidecar:
+            return
+        try:
+            self._sidecar = StoreIndex(
+                index_path(self.path), _warehouse_fingerprint(), size
+            )
+        except SQLITE_ERRORS:
+            self._sidecar = None
+
+    def _load_from_sidecar(self, size: int) -> bool:
+        """Open from the sidecar watermark; False falls back to file paths."""
+        if self._sidecar is None:
+            return False
+        try:
+            watermark = self._sidecar.watermark()
+            if watermark <= 0:
+                return False
+            entries = self._sidecar.entries("snapshot")
+        except SQLITE_ERRORS:
+            self._drop_sidecar()
+            return False
+        # The header still gets checked -- the sidecar fingerprint pins the
+        # format versions, but not that this file is a warehouse at all.
+        self._handle.seek(0)
+        first = self._parse(self._handle.readline())
+        if not first:
+            return False
+        self._dispatch_header(first)
+        self._index = {key: offset for key, offset in entries}
+        if watermark < size:
+            self._handle.seek(watermark)
+            rows = self._scan_range(self._handle.read(size - watermark), watermark)
+            self._advance_sidecar(rows, size)
+        else:
+            # Watermark at EOF: nothing but the header line was read.  Do
+            # not grow the file with a trailing index on a read-only cycle.
+            self.fast_opened = True
+            self._sealed = True
+        self.sidecar_opened = True
+        return True
+
+    def _rebuild_sidecar(self, watermark: int) -> None:
+        if self._sidecar is None:
+            return
+        try:
+            self._sidecar.rebuild(
+                [("snapshot", key, offset) for key, offset in self._index.items()],
+                watermark,
+            )
+        except SQLITE_ERRORS:
+            self._drop_sidecar()
+
+    def _advance_sidecar(self, rows, watermark: int) -> None:
+        if self._sidecar is None:
+            return
+        try:
+            self._sidecar.advance(rows, watermark)
+        except SQLITE_ERRORS:
+            self._drop_sidecar()
+
+    def _drop_sidecar(self) -> None:
+        """Sqlite failed: run without the sidecar (it is only a cache)."""
+        if self._sidecar is not None:
+            try:
+                self._sidecar.close()
+            except SQLITE_ERRORS:  # pragma: no cover - close rarely fails
+                pass
+            self._sidecar = None
 
     def _parse(self, raw: bytes) -> Optional[Dict[str, object]]:
         try:
@@ -221,6 +354,7 @@ class SnapshotWarehouse:
             self._handle.write(b"\n")
             self._handle.flush()
         offset = self._end
+        rows: List[Tuple[str, str, int]] = []
         for raw in data.splitlines(keepends=True):
             if raw.endswith(b"\n"):
                 entry = self._parse(raw)
@@ -231,9 +365,12 @@ class SnapshotWarehouse:
                     and "version_code" in entry
                 ):
                     key = _key(entry["package"], entry["version_code"])
-                    self._index.setdefault(key, offset)
+                    if key not in self._index:
+                        self._index[key] = offset
+                        rows.append(("snapshot", key, offset))
             offset += len(raw)
         self._end = offset + (1 if torn else 0)
+        self._advance_sidecar(rows, self._end)
 
     def append(self, analysis: Union[AppAnalysis, Dict[str, object]]) -> bool:
         """Store one snapshot; returns False if its key already exists."""
@@ -261,6 +398,7 @@ class SnapshotWarehouse:
                     }
                 )
             self._index[key] = offset
+            self._advance_sidecar([("snapshot", key, offset)], self._end)
             self._sealed = False
         return True
 
@@ -272,6 +410,9 @@ class SnapshotWarehouse:
             with _file_lock(self._handle, exclusive=True):
                 self._fold_tail()
                 self._write_line({"kind": "index", "entries": dict(self._index)})
+            # The index line holds no snapshots; the watermark just moves
+            # past it so the next open starts at EOF.
+            self._advance_sidecar([], self._end)
             self._sealed = True
 
     # -- reads -------------------------------------------------------------------
@@ -326,6 +467,7 @@ class SnapshotWarehouse:
     def close(self) -> None:
         self.seal()
         with self._mutex:
+            self._drop_sidecar()
             if not self._handle.closed:
                 self._handle.close()
 
@@ -334,3 +476,122 @@ class SnapshotWarehouse:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+# -- compaction (``repro store compact``) ------------------------------------------
+
+
+def compact_warehouse(path: Union[str, Path]) -> Dict[str, int]:
+    """Garbage-collect a warehouse file in place; rebuild both indexes.
+
+    Drops duplicate snapshot keys (keeping the *first*, matching the
+    fold rule), every stale interior ``index`` line left by earlier
+    seals, corrupt lines, and a crash-torn tail, then rewrites the
+    surviving snapshot lines byte-identically and appends one fresh
+    trailing index -- so ``get`` answers exactly as before, from a
+    smaller file that fast-opens with or without sqlite.  Same offline
+    contract as :func:`repro.store.verdicts.compact_store`: the rewrite
+    is seek+truncate under the exclusive flock, so no live readers or
+    writers may share the path.
+
+    Returns ``{"snapshots", "dropped_duplicates", "dropped_corrupt",
+    "dropped_index_lines", "bytes_before", "bytes_after"}``.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise WarehouseError("{}: no such warehouse".format(path))
+    with path.open("r+b") as handle:
+        with _file_lock(handle, exclusive=True):
+            data = handle.read()
+            if not data:
+                raise WarehouseError("{}: no warehouse header found".format(path))
+            lines = data.splitlines(keepends=True)
+            dropped_corrupt = 0
+            if lines and not lines[-1].endswith(b"\n"):
+                dropped_corrupt += 1  # crash-torn tail
+                lines = lines[:-1]
+            if not lines:
+                raise WarehouseError("{}: no warehouse header found".format(path))
+            try:
+                header = json.loads(lines[0])
+            except json.JSONDecodeError:
+                header = None
+            if not isinstance(header, dict) or header.get("kind") != "header":
+                raise WarehouseError("{}: no warehouse header found".format(path))
+            if header.get("version") != WAREHOUSE_VERSION:
+                raise WarehouseError(
+                    "{}: unsupported warehouse version {}".format(
+                        path, header.get("version")
+                    )
+                )
+            if header.get("serialization") != SERIALIZATION_VERSION:
+                raise WarehouseError(
+                    "{}: snapshots use report serialization {}, this build "
+                    "reads {}".format(
+                        path, header.get("serialization"), SERIALIZATION_VERSION
+                    )
+                )
+            kept = [lines[0]]
+            index: Dict[str, int] = {}
+            dropped_duplicates = 0
+            dropped_index_lines = 0
+            offset = len(lines[0])
+            for raw in lines[1:]:
+                try:
+                    entry = json.loads(raw)
+                except json.JSONDecodeError:
+                    dropped_corrupt += 1
+                    continue
+                if not isinstance(entry, dict):
+                    dropped_corrupt += 1
+                    continue
+                kind = entry.get("kind")
+                if kind == "index":
+                    dropped_index_lines += 1
+                    continue
+                if (
+                    kind != "snapshot"
+                    or "package" not in entry
+                    or "version_code" not in entry
+                ):
+                    dropped_corrupt += 1
+                    continue
+                key = _key(entry["package"], entry["version_code"])
+                if key in index:
+                    dropped_duplicates += 1
+                    continue
+                index[key] = offset
+                kept.append(raw)
+                offset += len(raw)
+            kept.append(
+                json.dumps(
+                    {"kind": "index", "entries": index}, sort_keys=True
+                ).encode("utf-8")
+                + b"\n"
+            )
+            compacted = b"".join(kept)
+            if compacted != data:
+                handle.seek(0)
+                handle.write(compacted)
+                handle.truncate(len(compacted))
+                handle.flush()
+            if sqlite_available():
+                try:
+                    sidecar = StoreIndex(
+                        index_path(path), _warehouse_fingerprint(), len(compacted)
+                    )
+                    sidecar.rebuild(
+                        [("snapshot", key, off) for key, off in index.items()],
+                        len(compacted),
+                    )
+                    sidecar.close()
+                except SQLITE_ERRORS:  # pragma: no cover - index is derived data
+                    pass  # a stale sidecar self-heals on the next open
+    return {
+        "snapshots": len(index),
+        "dropped_duplicates": dropped_duplicates,
+        "dropped_corrupt": dropped_corrupt,
+        "dropped_index_lines": dropped_index_lines,
+        "bytes_before": len(data),
+        "bytes_after": len(compacted),
+    }

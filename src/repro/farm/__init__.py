@@ -15,12 +15,18 @@ emulators; this package is that scheduling layer for the reproduction:
 - :mod:`repro.farm.metrics`     -- throughput / latency / failure metrics;
 - :mod:`repro.farm.flight`      -- per-shard flight recorder, worker
   heartbeats, and the coordinator's live ``status.json``;
-- :mod:`repro.farm.coordinator` -- :func:`run_farm` gluing it all together.
+- :mod:`repro.farm.coordinator` -- :func:`run_farm` gluing it all together;
+- :mod:`repro.farm.netcoord`    -- the coordinator as an HTTP service
+  (``repro farm serve``): a lease ledger workers pull shards from, with
+  expiry-driven re-queue of shards whose worker died;
+- :mod:`repro.farm.networker`   -- ``repro farm join``: lease, analyze
+  via :func:`run_shard`, renew from heartbeats, ship results back.
 
 Determinism guarantee: for a fixed corpus seed and pipeline config, the
-merged report of any shard/worker configuration renders byte-identically
-to the serial ``DyDroid.measure`` run (quarantined apps excepted -- those
-are reported, not silently dropped).
+merged report of any shard/worker configuration -- local pool or
+multi-node -- renders byte-identically to the serial ``DyDroid.measure``
+run (quarantined apps excepted -- those are reported, not silently
+dropped).
 """
 
 from repro.farm.checkpoint import CheckpointError, CheckpointJournal
@@ -44,6 +50,8 @@ from repro.farm.jobs import (
 )
 from repro.farm.merger import merge_reports, merge_serialized
 from repro.farm.metrics import FarmMetrics
+from repro.farm.netcoord import FarmCoordinator, LeaseEntry, ShardLedger
+from repro.farm.networker import FarmJoinError, JoinSummary, join_farm
 from repro.farm.shards import ShardSpec, plan_shards
 from repro.farm.worker import AppTimeoutError, run_shard
 
@@ -65,11 +73,16 @@ __all__ = [
     "CheckpointError",
     "CheckpointJournal",
     "FarmConfig",
+    "FarmCoordinator",
+    "FarmJoinError",
     "FarmMetrics",
     "FarmResult",
     "FlightRecorder",
+    "JoinSummary",
     "LatencyHistogram",
+    "LeaseEntry",
     "QuarantineRecord",
+    "ShardLedger",
     "ShardJob",
     "ShardResult",
     "ShardSpec",
@@ -78,6 +91,7 @@ __all__ = [
     "create_executor",
     "flight_path",
     "heartbeat_path",
+    "join_farm",
     "load_flight",
     "merge_reports",
     "merge_serialized",

@@ -33,7 +33,13 @@ from repro.core.report import MeasurementReport
 from repro.farm.checkpoint import CheckpointJournal
 from repro.farm.executors import create_executor
 from repro.farm.flight import StatusWriter
-from repro.farm.jobs import ChaosSpec, QuarantineRecord, ShardJob, ShardResult
+from repro.farm.jobs import (
+    ChaosSpec,
+    QuarantineRecord,
+    ShardJob,
+    ShardResult,
+    with_indices,
+)
 from repro.farm.merger import merge_serialized
 from repro.farm.metrics import FarmMetrics
 from repro.farm.shards import plan_shards
@@ -101,7 +107,12 @@ class FarmResult:
     spans: List[Dict[str, object]] = field(default_factory=list)
 
 
-def _shard_jobs(config: FarmConfig, shards, skip) -> List[ShardJob]:
+def build_shard_jobs(config: FarmConfig, shards, skip) -> List[ShardJob]:
+    """Jobs for every shard that still has unsettled indices.
+
+    Shared by the in-process pool below and the network coordinator
+    (:mod:`repro.farm.netcoord`), so both dispatch identical work units.
+    """
     jobs = []
     flight_dir = config.effective_telemetry_dir()
     for shard in shards:
@@ -167,7 +178,7 @@ def run_farm(config: FarmConfig) -> FarmResult:
         metrics.record_resumed(resumed_apps, len(journal.quarantined))
 
     skip = journal.settled_indices() if journal else set()
-    jobs = _shard_jobs(config, shards, skip)
+    jobs = build_shard_jobs(config, shards, skip)
     shard_spans: List[Tuple[int, List[Dict[str, object]]]] = []
 
     telemetry_dir = config.effective_telemetry_dir()
@@ -212,23 +223,9 @@ def run_farm(config: FarmConfig) -> FarmResult:
                                 journal.append_quarantine(record)
                             metrics.record_coordinator_quarantine()
                             continue
-                        for index in job.indices:
-                            retry_jobs.append(
-                                ShardJob(
-                                    shard_id=job.shard_id,
-                                    corpus_seed=job.corpus_seed,
-                                    n_apps=job.n_apps,
-                                    indices=(index,),
-                                    config=job.config,
-                                    timeout_s=job.timeout_s,
-                                    max_retries=job.max_retries,
-                                    backoff_s=job.backoff_s,
-                                    chaos=job.chaos,
-                                    trace=job.trace,
-                                    verdict_store=job.verdict_store,
-                                    flight_dir=job.flight_dir,
-                                )
-                            )
+                        retry_jobs.extend(
+                            with_indices(job, (index,)) for index in job.indices
+                        )
                         continue
                     metrics.record_shard(shard_result)
                     shards_done += 1

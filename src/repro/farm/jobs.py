@@ -4,15 +4,23 @@ Everything here is plain-data and picklable; crucially, a :class:`ShardJob`
 carries *no* APK objects -- workers regenerate their slice of the corpus
 from ``(corpus_seed, n_apps, indices)``, which keeps job payloads tiny and
 makes every shard independently re-runnable.
+
+The same property makes jobs *wire-able*: the ``*_to_wire`` /
+``*_from_wire`` pairs below round-trip jobs and results through plain
+JSON for the network farm (:mod:`repro.farm.netcoord`), where workers on
+other hosts lease shards over HTTP instead of receiving pickles.  The
+round trip is exact -- a reconstructed config ``repr``-matches the
+original, so :func:`run_fingerprint` computed on either side agrees,
+which is how a joining worker proves it is analyzing the same run.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.config import DyDroidConfig
+from repro.core.config import DyDroidConfig, EnvironmentConfig
 
 
 @dataclass(frozen=True)
@@ -93,6 +101,82 @@ class ShardResult:
     spans: List[Dict[str, object]] = field(default_factory=list)
     #: serialized worker registry (``MetricsRegistry.to_dict``).
     metrics: Dict[str, object] = field(default_factory=dict)
+
+
+def with_indices(job: ShardJob, indices: Tuple[int, ...]) -> ShardJob:
+    """The same job narrowed to a subset of its corpus indices.
+
+    Used when isolating poison: a shard whose worker died is re-dispatched
+    one app at a time so a single bad app cannot take siblings down with
+    it (both the local process farm and the network ledger reuse this).
+    """
+    return replace(job, indices=tuple(indices))
+
+
+# -- wire format (network farm) ----------------------------------------------------
+
+
+def config_to_wire(config: DyDroidConfig) -> Dict[str, object]:
+    """A :class:`DyDroidConfig` as a JSON-able dict (tuples become lists)."""
+    return asdict(config)
+
+
+def config_from_wire(data: Dict[str, object]) -> DyDroidConfig:
+    data = dict(data)
+    data["replay_configs"] = tuple(
+        EnvironmentConfig(**dict(env)) for env in data.get("replay_configs") or ()
+    )
+    return DyDroidConfig(**data)
+
+
+def chaos_to_wire(chaos: ChaosSpec) -> Dict[str, object]:
+    return asdict(chaos)
+
+
+def chaos_from_wire(data: Dict[str, object]) -> ChaosSpec:
+    data = dict(data)
+    data["fail_packages"] = tuple(data.get("fail_packages") or ())
+    data["slow_packages"] = tuple(data.get("slow_packages") or ())
+    return ChaosSpec(**data)
+
+
+def shard_job_to_wire(job: ShardJob) -> Dict[str, object]:
+    data = asdict(job)
+    data["config"] = config_to_wire(job.config)
+    data["chaos"] = chaos_to_wire(job.chaos)
+    return data
+
+
+def shard_job_from_wire(data: Dict[str, object]) -> ShardJob:
+    data = dict(data)
+    data["indices"] = tuple(data.get("indices") or ())
+    data["config"] = config_from_wire(data["config"])
+    data["chaos"] = chaos_from_wire(data.get("chaos") or {})
+    return ShardJob(**data)
+
+
+def shard_result_to_wire(result: ShardResult) -> Dict[str, object]:
+    return {
+        "shard_id": result.shard_id,
+        "results": [asdict(app) for app in result.results],
+        "quarantined": [asdict(rec) for rec in result.quarantined],
+        "wall_s": result.wall_s,
+        "spans": result.spans,
+        "metrics": result.metrics,
+    }
+
+
+def shard_result_from_wire(data: Dict[str, object]) -> ShardResult:
+    return ShardResult(
+        shard_id=data["shard_id"],
+        results=[AppResult(**dict(app)) for app in data.get("results") or []],
+        quarantined=[
+            QuarantineRecord(**dict(rec)) for rec in data.get("quarantined") or []
+        ],
+        wall_s=data.get("wall_s", 0.0),
+        spans=list(data.get("spans") or []),
+        metrics=dict(data.get("metrics") or {}),
+    )
 
 
 def run_fingerprint(corpus_seed: int, n_apps: int, config: DyDroidConfig) -> str:

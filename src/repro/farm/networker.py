@@ -1,0 +1,294 @@
+"""The network farm worker: ``repro farm join`` leasing shards over HTTP.
+
+A join worker is the stateless half of :mod:`repro.farm.netcoord`: it
+fetches the run descriptor, proves it reconstructs the same run
+fingerprint from the wire-serialized pipeline config (the resume
+contract, extended over the network), then loops lease -> analyze ->
+complete until the coordinator reports the ledger drained.  Shards
+execute through the same :func:`repro.farm.worker.run_shard` and
+executor stack as the local farm, so one node with ``--workers N`` is
+exactly an N-process farm whose coordinator happens to live elsewhere.
+
+Lease renewal rides the existing per-app heartbeats: ``run_shard``
+atomically rewrites ``heartbeat-<shard>.json`` after every settled app
+(when a telemetry dir is set), and a background renewal thread reads
+that file and POSTs its ``completed/total`` progress with each
+``/v1/renew`` -- so the coordinator's status endpoint shows per-app
+progress for every node in the fleet without any new instrumentation in
+the analysis path.  A worker that dies simply stops renewing; nothing
+here needs cleanup for the fleet to recover (the coordinator's reaper
+re-queues the lease).
+
+Completion is shipped optimistically even if a renewal reported the
+lease lost: the ledger is first-completion-wins, so the attempt either
+lands (our work counts) or returns ``accepted: false`` (someone else
+finished first; we drop it and lease the next shard).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.farm.executors import create_executor
+from repro.farm.flight import read_heartbeats
+from repro.farm.jobs import (
+    ShardJob,
+    config_from_wire,
+    run_fingerprint,
+    shard_job_from_wire,
+    shard_result_to_wire,
+)
+from repro.farm.worker import run_shard
+from repro.service.client import ServiceClient, ServiceClientError
+
+__all__ = ["FarmJoinError", "JoinSummary", "join_farm"]
+
+
+class FarmJoinError(RuntimeError):
+    """The coordinator is unreachable or describes a different run."""
+
+
+@dataclass
+class JoinSummary:
+    """What one join node did before the coordinator drained."""
+
+    worker: str
+    shards_completed: int = 0
+    shards_stale: int = 0
+    shards_failed: int = 0
+    apps_analyzed: int = 0
+    apps_quarantined: int = 0
+    lost_leases: int = 0
+    wall_s: float = 0.0
+    errors: List[str] = field(default_factory=list)
+
+
+def default_worker_id() -> str:
+    return "{}:{}".format(socket.gethostname(), os.getpid())
+
+
+class _Renewer:
+    """Background lease-renewal thread over all of a node's active leases."""
+
+    def __init__(
+        self,
+        client: ServiceClient,
+        worker: str,
+        lease_s: float,
+        telemetry_dir: Optional[str],
+    ) -> None:
+        self._client = client
+        self._worker = worker
+        #: renew at a third of the lease so two consecutive losses still
+        #: leave margin before expiry.
+        self._interval_s = max(0.05, lease_s / 3.0)
+        self._telemetry_dir = telemetry_dir
+        self._active: Dict[int, ShardJob] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self.lost = 0
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-farm-renewer", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def track(self, entry_id: int, job: ShardJob) -> None:
+        with self._lock:
+            self._active[entry_id] = job
+
+    def untrack(self, entry_id: int) -> None:
+        with self._lock:
+            self._active.pop(entry_id, None)
+
+    def _progress_for(self, job: ShardJob) -> Dict[str, int]:
+        if not self._telemetry_dir:
+            return {}
+        heartbeat = read_heartbeats(self._telemetry_dir).get(job.shard_id)
+        if not heartbeat:
+            return {}
+        return {
+            "completed": int(heartbeat.get("completed", 0)),
+            "total": int(heartbeat.get("total", len(job.indices))),
+        }
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            with self._lock:
+                active = list(self._active.items())
+            for entry_id, job in active:
+                try:
+                    response = self._client.request(
+                        "POST",
+                        "/v1/renew",
+                        {
+                            "worker": self._worker,
+                            "entry_id": entry_id,
+                            "progress": self._progress_for(job),
+                        },
+                    )
+                except ServiceClientError:
+                    continue  # coordinator briefly unreachable; retry next tick
+                if not response.get("ok"):
+                    # Lease lost (expired and possibly re-granted).  Keep
+                    # computing: completion is first-wins, so the work may
+                    # still land; the counter records the near-miss.
+                    self.lost += 1
+                    self.untrack(entry_id)
+
+
+def join_farm(
+    host: str,
+    port: int,
+    workers: int = 1,
+    worker_id: Optional[str] = None,
+    telemetry_dir: Optional[str] = None,
+    poll_s: float = 0.5,
+    request_timeout_s: float = 30.0,
+) -> JoinSummary:
+    """Lease and analyze shards from ``host:port`` until the run drains.
+
+    ``workers`` bounds concurrent leases (and local analysis processes,
+    via the same executor the local farm uses).  ``telemetry_dir`` is
+    node-local: flight recordings, heartbeats, and renewal progress all
+    come from there, so two nodes must not share one (they may freely
+    share the verdict store the coordinator names, which is the point).
+    """
+    client = ServiceClient(host, port, timeout=request_timeout_s)
+    worker = worker_id or default_worker_id()
+    started = time.perf_counter()
+    summary = JoinSummary(worker=worker)
+
+    try:
+        run = client.request("GET", "/v1/run")
+    except ServiceClientError as exc:
+        raise FarmJoinError("cannot fetch run descriptor: {}".format(exc))
+    config = config_from_wire(run.get("pipeline") or {})
+    expected = run.get("fingerprint")
+    actual = run_fingerprint(run.get("corpus_seed", 0), run.get("n_apps", 0), config)
+    if actual != expected:
+        raise FarmJoinError(
+            "run fingerprint mismatch (coordinator {} != reconstructed {}): "
+            "protocol or config drift between nodes".format(expected, actual)
+        )
+    lease_s = float(run.get("lease_s") or 15.0)
+
+    renewer = _Renewer(client, worker, lease_s, telemetry_dir)
+    renewer.start()
+    drained = False
+    active: Dict[int, Tuple[ShardJob, Future]] = {}
+    try:
+        with create_executor(max(1, workers)) as executor:
+            while True:
+                # Top up to one lease per local worker slot.
+                while not drained and len(active) < max(1, workers):
+                    response = _lease(client, worker)
+                    if response is None or response.get("done"):
+                        drained = response is None or bool(response.get("done"))
+                        if drained:
+                            break
+                    if response.get("empty"):
+                        break
+                    job = shard_job_from_wire(response["shard"])
+                    job = replace(job, flight_dir=telemetry_dir)
+                    entry_id = int(response["entry_id"])
+                    renewer.track(entry_id, job)
+                    # NB: with workers=1 the SyncExecutor runs the shard
+                    # inline here; the renewer thread keeps the lease
+                    # alive through the whole synchronous analysis.
+                    active[entry_id] = (job, executor.submit(run_shard, job))
+                if not active:
+                    if drained:
+                        break
+                    time.sleep(poll_s)
+                    continue
+                wait(
+                    [future for _, future in active.values()],
+                    timeout=poll_s,
+                    return_when=FIRST_COMPLETED,
+                )
+                for entry_id, (job, future) in list(active.items()):
+                    if not future.done():
+                        continue
+                    del active[entry_id]
+                    renewer.untrack(entry_id)
+                    try:
+                        result = future.result()
+                    except Exception as exc:  # worker process died mid-shard
+                        summary.shards_failed += 1
+                        summary.errors.append(str(exc))
+                        _post_settled(
+                            client,
+                            "/v1/fail",
+                            {
+                                "worker": worker,
+                                "entry_id": entry_id,
+                                "error": str(exc),
+                            },
+                        )
+                        continue
+                    response = _post_settled(
+                        client,
+                        "/v1/complete",
+                        {
+                            "worker": worker,
+                            "entry_id": entry_id,
+                            "result": shard_result_to_wire(result),
+                        },
+                    )
+                    if response is None:
+                        drained = True  # coordinator gone; nothing to ship to
+                    elif response.get("accepted"):
+                        summary.shards_completed += 1
+                        summary.apps_analyzed += len(result.results)
+                        summary.apps_quarantined += len(result.quarantined)
+                    else:
+                        summary.shards_stale += 1
+                    if response is not None and response.get("done"):
+                        drained = True
+    finally:
+        renewer.stop()
+        summary.lost_leases = renewer.lost
+        summary.wall_s = time.perf_counter() - started
+    return summary
+
+
+def _lease(client: ServiceClient, worker: str) -> Optional[Dict[str, object]]:
+    """One lease attempt; None means the coordinator is gone (treat as done)."""
+    try:
+        return client.request("POST", "/v1/lease", {"worker": worker})
+    except ServiceClientError:
+        return None
+
+
+def _post_settled(
+    client: ServiceClient,
+    path: str,
+    payload: Dict[str, object],
+    attempts: int = 3,
+    backoff_s: float = 0.2,
+) -> Optional[Dict[str, object]]:
+    """Ship a completion/failure with brief retries; None if unreachable.
+
+    A completed shard is minutes of analysis -- worth a few retries over
+    a transient network blip -- but the coordinator exiting after the
+    last shard is normal, so persistent unreachability is not an error.
+    """
+    for attempt in range(attempts):
+        try:
+            return client.request("POST", path, payload)
+        except ServiceClientError:
+            if attempt + 1 < attempts:
+                time.sleep(backoff_s * (attempt + 1))
+    return None

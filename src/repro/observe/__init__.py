@@ -52,6 +52,7 @@ from repro.observe.metrics import (
     MetricsRegistry,
     defense_summary,
     evolution_summary,
+    lease_summary,
     triage_summary,
     verdict_cache_summary,
     verdict_store_summary,
@@ -102,6 +103,7 @@ __all__ = [
     "digest_line",
     "evolution_summary",
     "histogram_quantiles",
+    "lease_summary",
     "load_events",
     "load_spans",
     "merge_expositions",

@@ -24,6 +24,7 @@ __all__ = [
     "MetricsRegistry",
     "defense_summary",
     "evolution_summary",
+    "lease_summary",
     "triage_summary",
     "verdict_cache_summary",
     "verdict_store_summary",
@@ -267,6 +268,23 @@ def verdict_store_summary(registry: MetricsRegistry) -> Dict[str, Dict[str, int]
         misses = registry.counter_value("store.{}.miss".format(kind))
         summary[kind] = {"probes": hits + misses, "hits": hits, "misses": misses}
     return summary
+
+
+def lease_summary(registry: MetricsRegistry) -> Dict[str, int]:
+    """Network-farm lease-ledger numbers from the ``farm.lease.*`` counters.
+
+    ``granted`` counts every lease handed to a worker (including
+    re-grants of requeued shards -- the work-stealing path), ``renewed``
+    successful heartbeat extensions, ``expired`` leases the reaper
+    reclaimed from silent workers, ``stolen`` expired shards re-leased to
+    a different worker, and ``stale`` completions that arrived after the
+    ledger had already accepted the shard from someone else (discarded;
+    exactly-once folding is first-completion-wins).
+    """
+    return {
+        name: registry.counter_value("farm.lease.{}".format(name))
+        for name in ("granted", "renewed", "expired", "stolen", "stale")
+    }
 
 
 def evolution_summary(registry: MetricsRegistry) -> Dict[str, object]:

@@ -51,7 +51,7 @@ from repro.service.cache import ResultCache
 from repro.service.jobs import Job, JobState, JobTable
 from repro.service.persist import ResultJournal
 from repro.service.queue import JobQueue, QueueClosedError
-from repro.service.ratelimit import RateLimitedError, RateLimiter
+from repro.service.ratelimit import MAX_RETRY_AFTER_S, RateLimitedError, RateLimiter
 from repro.service.scheduler import SchedulerPool
 from repro.service.slo import SloObjectives, SloTracker
 from repro.service.spec import JobSpec, SpecError
@@ -217,7 +217,9 @@ class AnalysisService:
         try:
             self.limiter.allow(client)
         except RateLimitedError as exc:
-            retry_after = exc.retry_after_s
+            # A zero-rate bucket reports an infinite wait; clamp before any
+            # serialization -- int(inf) raises and JSON has no Infinity.
+            retry_after = min(exc.retry_after_s, MAX_RETRY_AFTER_S)
             with self._lock:
                 self.registry.counter("service.rejected.rate_limited").inc()
                 self.events.emit(

@@ -31,7 +31,7 @@ from repro.observe.prom import PROM_CONTENT_TYPE
 from repro.observe.tracer import NULL_TRACER, Tracer
 from repro.service.daemon import AnalysisService
 
-__all__ = ["ServiceHTTPServer", "make_server"]
+__all__ = ["JsonRequestHandler", "MAX_BODY_BYTES", "ServiceHTTPServer", "make_server"]
 
 #: reject request bodies past this size (a full APK fits comfortably).
 MAX_BODY_BYTES = 32 * 1024 * 1024
@@ -48,18 +48,20 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         self.service = service
 
 
-class _Handler(BaseHTTPRequestHandler):
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """Shared JSON-over-HTTP plumbing for repro's stdlib servers.
+
+    The daemon handler below and the network farm coordinator
+    (:mod:`repro.farm.netcoord`) both subclass this: quiet logging,
+    keep-alive HTTP/1.1, JSON request parsing with a body-size cap, and
+    JSON/bytes response writers.  Subclasses implement routing.
+    """
+
     server_version = "repro-service/1"
     protocol_version = "HTTP/1.1"
 
-    # -- plumbing --------------------------------------------------------------
-
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # request metrics live in the registry, not on stderr
-
-    @property
-    def service(self) -> AnalysisService:
-        return self.server.service
 
     def _send(self, status: int, body: Dict[str, object], headers: Dict[str, str]) -> None:
         payload = json.dumps(body, sort_keys=True).encode("utf-8")
@@ -93,6 +95,14 @@ class _Handler(BaseHTTPRequestHandler):
         if not isinstance(payload, dict):
             return None, "request body must be a JSON object"
         return payload, None
+
+
+class _Handler(JsonRequestHandler):
+    # -- plumbing --------------------------------------------------------------
+
+    @property
+    def service(self) -> AnalysisService:
+        return self.server.service
 
     # -- dispatch --------------------------------------------------------------
 

@@ -30,6 +30,11 @@ from typing import Dict, List, Optional, Union
 
 from repro.core.config import DyDroidConfig
 
+try:  # POSIX only; elsewhere single-writer enforcement degrades to trust.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
 __all__ = ["JOURNAL_VERSION", "ResultJournal", "ServicePersistError", "pipeline_fingerprint"]
 
 JOURNAL_VERSION = 1
@@ -51,7 +56,18 @@ def pipeline_fingerprint(config: DyDroidConfig) -> str:
 
 
 class ResultJournal:
-    """Single-file journal shared by all scheduler threads (lock-serialized)."""
+    """Single-file journal shared by all scheduler threads (lock-serialized).
+
+    Crash-consistency audit (vs. the sibling-torn-tail hole fixed in
+    :meth:`repro.store.verdicts.VerdictStore._publish`): all appends to
+    this journal go through one handle behind one mutex, so a torn tail
+    can only be this daemon's own crash debris, healed on the next open
+    before new appends.  The hole needs a *second* process appending to
+    the same path -- two daemons started with the same ``--persist`` --
+    so the handle takes a non-blocking exclusive ``flock`` for its whole
+    lifetime and the second daemon fails fast with
+    :class:`ServicePersistError` instead of silently interleaving.
+    """
 
     def __init__(self, path: Union[str, Path], config: DyDroidConfig) -> None:
         self.path = Path(path)
@@ -59,19 +75,37 @@ class ResultJournal:
         self._lock = threading.Lock()
         #: entries restored from a previous daemon's lifetime.
         self.restored: List[Dict[str, object]] = []
+        # Open append-mode and lock *before* any truncation, so a second
+        # daemon can never clobber the live owner's file.
         if self.path.exists() and self.path.stat().st_size > 0:
             self._load()
-            self._truncate_torn_tail()
             self._handle = self.path.open("a", encoding="utf-8")
+            self._lock_exclusive()
+            self._truncate_torn_tail()
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = self.path.open("w", encoding="utf-8")
+            self._handle = self.path.open("a", encoding="utf-8")
+            self._lock_exclusive()
+            self._handle.truncate(0)
             self._write_line(
                 {
                     "kind": "header",
                     "version": JOURNAL_VERSION,
                     "fingerprint": self.fingerprint,
                 }
+            )
+
+    def _lock_exclusive(self) -> None:
+        """Claim sole ownership of the journal for this handle's lifetime."""
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            return
+        try:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            self._handle.close()
+            raise ServicePersistError(
+                "result journal {} is already owned by a live daemon; "
+                "refusing to double-write it".format(self.path)
             )
 
     # -- restore ---------------------------------------------------------------

@@ -16,10 +16,18 @@ import time
 from collections import OrderedDict
 from typing import Callable, Optional
 
-__all__ = ["RateLimitedError", "RateLimiter", "TokenBucket"]
+__all__ = ["MAX_RETRY_AFTER_S", "RateLimitedError", "RateLimiter", "TokenBucket"]
 
 #: forget the least-recently-seen client past this many tracked buckets.
 MAX_TRACKED_CLIENTS = 4096
+
+#: ceiling for any serialized retry hint.  ``TokenBucket.try_acquire``
+#: reports ``inf`` when ``rate_per_s <= 0`` (a bucket created under a
+#: previous rate, raced with a config that has since disabled refill);
+#: ``inf`` is truthful in-process but must never reach the wire --
+#: ``int(inf)`` raises and JSON has no ``Infinity`` -- so HTTP layers
+#: clamp to this before building ``Retry-After`` headers or bodies.
+MAX_RETRY_AFTER_S = 3600.0
 
 
 class RateLimitedError(RuntimeError):

@@ -19,6 +19,7 @@ jobs are finished, not dropped.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, List, Optional
 
 from repro.service.queue import JobQueue
@@ -43,10 +44,12 @@ class SchedulerPool:
         execute: Callable[[str, int], None],
         workers: int,
         on_error: Optional[Callable[[str, BaseException], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers
+        self._clock = clock
         self._queue = queue
         self._execute = execute
         self._on_error = on_error
@@ -80,9 +83,21 @@ class SchedulerPool:
         return self.join(timeout=timeout)
 
     def join(self, timeout: Optional[float] = None) -> bool:
+        """Join every worker against one shared deadline.
+
+        ``timeout`` bounds the *total* wait, not the per-thread wait: a
+        ``drain(timeout=T)`` during SIGTERM must return within ~T even
+        with W stuck workers, where a per-thread timeout would block for
+        W x T.  Threads already joined consume none of the budget, so the
+        remaining allowance flows to whichever thread is still running.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
         alive = False
         for thread in self._threads:
-            thread.join(timeout=timeout)
+            if deadline is None:
+                thread.join()
+            else:
+                thread.join(timeout=max(0.0, deadline - self._clock()))
             alive = alive or thread.is_alive()
         return not alive
 

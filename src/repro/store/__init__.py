@@ -1,10 +1,27 @@
 """Process-safe, content-addressed verdict store (tier 2 behind the LRU)."""
 
+from repro.store.index import (
+    INDEX_SCHEMA_VERSION,
+    StoreIndex,
+    index_path,
+    sqlite_available,
+)
 from repro.store.verdicts import (
     STORE_VERSION,
     StoreError,
     VerdictStore,
+    compact_store,
     verdict_fingerprint,
 )
 
-__all__ = ["STORE_VERSION", "StoreError", "VerdictStore", "verdict_fingerprint"]
+__all__ = [
+    "INDEX_SCHEMA_VERSION",
+    "STORE_VERSION",
+    "StoreError",
+    "StoreIndex",
+    "VerdictStore",
+    "compact_store",
+    "index_path",
+    "sqlite_available",
+    "verdict_fingerprint",
+]

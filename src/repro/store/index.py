@@ -1,0 +1,225 @@
+"""Sqlite sidecar index for the JSONL verdict store.
+
+The JSONL file stays the single source of truth and the portable
+interchange format; this module adds a derived ``<store>.idx`` sqlite
+database next to it so warm opens and point lookups stop paying a linear
+re-scan.  Design constraints, in order:
+
+1. **The index is a cache, never an authority.**  Every row is derived
+   from the JSONL by a scan that already folded the same bytes, and any
+   validation failure (schema drift, fingerprint mismatch, watermark past
+   EOF after an external truncate) resets the index rather than erroring.
+   Losing the sidecar costs one full re-scan, nothing else.
+2. **Crash consistency by ordering.**  The ``watermark`` (byte offset the
+   index covers) only advances inside the same transaction that upserts
+   every entry parsed from ``[old_watermark, new_watermark)``.  A crash
+   between a JSONL append and the next index update merely leaves an
+   unindexed tail, which the next reader's incremental scan heals.
+3. **The flock contract is unchanged.**  Appends still serialize on the
+   JSONL's advisory lock; sqlite provides its own cross-process locking
+   for the sidecar (``INSERT OR IGNORE`` + monotonic watermark updates
+   make concurrent healers idempotent).
+
+Schema (version 1)::
+
+    meta(key TEXT PRIMARY KEY, value TEXT)
+        -- schema_version, fingerprint, watermark
+    entries(kind TEXT, digest TEXT, offset INTEGER,
+            PRIMARY KEY (kind, digest)) WITHOUT ROWID
+
+``offset`` is the byte position of the first JSONL line publishing that
+``(kind, digest)``; first write wins, matching the store's fold rule.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Tuple, Union
+
+try:  # stdlib, but allow degraded operation if the build lacks it.
+    import sqlite3
+except ImportError:  # pragma: no cover - sqlite3 ships with CPython
+    sqlite3 = None
+
+__all__ = [
+    "INDEX_SCHEMA_VERSION",
+    "SQLITE_ERRORS",
+    "StoreIndex",
+    "index_path",
+    "sqlite_available",
+]
+
+INDEX_SCHEMA_VERSION = 1
+
+#: exception types meaning "the sidecar is unavailable, fall back to scans".
+SQLITE_ERRORS = (sqlite3.Error,) if sqlite3 is not None else ()
+
+#: rows are (kind, digest, byte offset of the line in the JSONL).
+IndexRow = Tuple[str, str, int]
+
+
+def sqlite_available() -> bool:
+    return sqlite3 is not None
+
+
+def index_path(store_path: Union[str, Path]) -> Path:
+    """Sidecar path for a store file: ``verdicts.jsonl`` -> ``verdicts.jsonl.idx``."""
+    store_path = Path(store_path)
+    return store_path.with_name(store_path.name + ".idx")
+
+
+class StoreIndex:
+    """Offset index over one append-only JSONL file.
+
+    ``fingerprint`` is the owning store's header fingerprint; a sidecar
+    written for a different fingerprint (the JSONL was replaced) is reset
+    on open.  ``store_size`` is the JSONL's current byte size, used to
+    detect a stale watermark after an external truncate or swap.
+
+    All methods may raise :class:`sqlite3.Error` under disk pressure or
+    pathological lock contention; callers treat that as "index
+    unavailable" and fall back to scanning.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], fingerprint: str, store_size: int
+    ) -> None:
+        if sqlite3 is None:  # pragma: no cover - sqlite3 ships with CPython
+            raise RuntimeError("sqlite3 is unavailable")
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._conn = sqlite3.connect(
+            str(self.path), timeout=5.0, check_same_thread=False
+        )
+        self._conn.isolation_level = None  # explicit transactions only
+        self._ensure_schema(store_size)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _ensure_schema(self, store_size: int) -> None:
+        cur = self._conn
+        cur.execute("BEGIN IMMEDIATE")
+        try:
+            cur.execute(
+                "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
+            )
+            cur.execute(
+                "CREATE TABLE IF NOT EXISTS entries ("
+                " kind TEXT NOT NULL, digest TEXT NOT NULL, offset INTEGER NOT NULL,"
+                " PRIMARY KEY (kind, digest)) WITHOUT ROWID"
+            )
+            version = self._meta(cur, "schema_version")
+            fingerprint = self._meta(cur, "fingerprint")
+            watermark = self._meta(cur, "watermark")
+            stale = (
+                version != str(INDEX_SCHEMA_VERSION)
+                or fingerprint != self.fingerprint
+                or watermark is None
+                or not watermark.isdigit()
+                or int(watermark) > store_size
+            )
+            if stale:
+                cur.execute("DELETE FROM entries")
+                cur.execute("DELETE FROM meta")
+                rows = [
+                    ("schema_version", str(INDEX_SCHEMA_VERSION)),
+                    ("fingerprint", self.fingerprint),
+                    ("watermark", "0"),
+                ]
+                cur.executemany("INSERT INTO meta (key, value) VALUES (?, ?)", rows)
+            cur.execute("COMMIT")
+        except BaseException:
+            cur.execute("ROLLBACK")
+            raise
+
+    @staticmethod
+    def _meta(conn, key: str) -> Optional[str]:
+        row = conn.execute("SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return None if row is None else str(row[0])
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # -- reads -------------------------------------------------------------------
+
+    def watermark(self) -> int:
+        value = self._meta(self._conn, "watermark")
+        return int(value) if value is not None and value.isdigit() else 0
+
+    def lookup(self, kind: str, digest: str) -> Optional[int]:
+        row = self._conn.execute(
+            "SELECT offset FROM entries WHERE kind = ? AND digest = ?",
+            (kind, digest),
+        ).fetchone()
+        return None if row is None else int(row[0])
+
+    def count(self, kind: str) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM entries WHERE kind = ?", (kind,)
+        ).fetchone()
+        return int(row[0])
+
+    def entries(self, kind: str) -> Iterable[Tuple[str, int]]:
+        """All ``(digest, offset)`` pairs of one kind, for bulk map loads.
+
+        The warehouse uses this to rebuild its in-memory key->offset map
+        without touching the JSONL; the verdict store never needs it (it
+        probes per digest instead of materializing).
+        """
+        return [
+            (str(digest), int(offset))
+            for digest, offset in self._conn.execute(
+                "SELECT digest, offset FROM entries WHERE kind = ?", (kind,)
+            )
+        ]
+
+    # -- writes ------------------------------------------------------------------
+
+    def advance(self, rows: Iterable[IndexRow], new_watermark: int) -> None:
+        """Fold one scanned range: upsert ``rows`` and raise the watermark.
+
+        First write wins (``INSERT OR IGNORE``) and the watermark only
+        moves forward, so concurrent healers scanning overlapping ranges
+        commute.  Entries and watermark move in one transaction: the
+        watermark never claims coverage the entries table lacks.
+        """
+        cur = self._conn
+        cur.execute("BEGIN IMMEDIATE")
+        try:
+            cur.executemany(
+                "INSERT OR IGNORE INTO entries (kind, digest, offset)"
+                " VALUES (?, ?, ?)",
+                list(rows),
+            )
+            cur.execute(
+                "UPDATE meta SET value = ? WHERE key = 'watermark'"
+                " AND CAST(value AS INTEGER) < ?",
+                (str(int(new_watermark)), int(new_watermark)),
+            )
+            cur.execute("COMMIT")
+        except BaseException:
+            cur.execute("ROLLBACK")
+            raise
+
+    def rebuild(self, rows: Iterable[IndexRow], watermark: int) -> None:
+        """Replace the whole index (compaction rewrote the JSONL)."""
+        cur = self._conn
+        cur.execute("BEGIN IMMEDIATE")
+        try:
+            cur.execute("DELETE FROM entries")
+            cur.executemany(
+                "INSERT OR IGNORE INTO entries (kind, digest, offset)"
+                " VALUES (?, ?, ?)",
+                list(rows),
+            )
+            cur.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES ('watermark', ?)",
+                (str(int(watermark)),),
+            )
+            cur.execute("COMMIT")
+        except BaseException:
+            cur.execute("ROLLBACK")
+            raise
+
+    def reset(self) -> None:
+        self.rebuild([], 0)

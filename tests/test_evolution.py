@@ -296,6 +296,96 @@ class TestSnapshotWarehouse:
             SnapshotWarehouse(path)
 
 
+class TestWarehouseSidecar:
+    """The sqlite sidecar: cheap reopen even after an *unsealed* crash."""
+
+    def test_sealed_reopen_uses_sidecar(self, tmp_path):
+        from repro.store import sqlite_available
+
+        if not sqlite_available():
+            pytest.skip("sqlite3 unavailable")
+        path = tmp_path / "w.jsonl"
+        with SnapshotWarehouse(path) as warehouse:
+            warehouse.append(analysis(version_code=1))
+        with SnapshotWarehouse(path) as warehouse:
+            assert warehouse.sidecar_opened
+            assert warehouse.fast_opened
+            assert warehouse.versions("com.example.app") == [1]
+
+    def test_unsealed_crash_scans_only_the_tail(self, tmp_path):
+        from repro.store import sqlite_available
+
+        if not sqlite_available():
+            pytest.skip("sqlite3 unavailable")
+        path = tmp_path / "w.jsonl"
+        with SnapshotWarehouse(path) as warehouse:
+            warehouse.append(analysis(version_code=1))
+            warehouse.append(analysis(version_code=2))
+            # crash: no seal() -- suppress the trailing-index write
+            warehouse._sealed = True
+            warehouse._drop_sidecar()
+            warehouse._handle.close()
+        with SnapshotWarehouse(path) as warehouse:
+            # the trailing index is absent, but the sidecar's watermark
+            # covers both appends: open reads nothing but the header.
+            assert warehouse.sidecar_opened
+            assert warehouse.versions("com.example.app") == [1, 2]
+
+    def test_without_sidecar_behaves_as_before(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        with SnapshotWarehouse(path, index=False) as warehouse:
+            warehouse.append(analysis(version_code=1))
+        from repro.store import index_path
+
+        assert not index_path(path).exists()
+        with SnapshotWarehouse(path, index=False) as warehouse:
+            assert not warehouse.sidecar_opened
+            assert warehouse.fast_opened  # trailing index still works
+            assert warehouse.versions("com.example.app") == [1]
+
+
+class TestCompactWarehouse:
+    def test_compaction_drops_debris_and_preserves_lookups(self, tmp_path):
+        from repro.evolution import compact_warehouse
+
+        path = tmp_path / "w.jsonl"
+        with SnapshotWarehouse(path) as warehouse:
+            warehouse.append(analysis(package="com.a", version_code=1))
+        with SnapshotWarehouse(path) as warehouse:  # leaves interior index
+            warehouse.append(analysis(package="com.b", version_code=1))
+            expected = warehouse.get("com.a", 1)
+        duplicate = None
+        for raw in path.read_bytes().splitlines(keepends=True):
+            entry = json.loads(raw)
+            if entry.get("kind") == "snapshot" and entry["package"] == "com.a":
+                duplicate = raw
+        with path.open("ab") as handle:
+            handle.write(duplicate)
+            handle.write(b"junk line\n")
+            handle.write(b'{"kind": "snapshot", "package": "com.torn')
+        stats = compact_warehouse(path)
+        assert stats["snapshots"] == 2
+        assert stats["dropped_duplicates"] == 1
+        assert stats["dropped_corrupt"] == 2  # junk + torn tail
+        assert stats["dropped_index_lines"] >= 1
+        assert stats["bytes_after"] < stats["bytes_before"]
+        with SnapshotWarehouse(path) as warehouse:
+            assert warehouse.fast_opened or warehouse.sidecar_opened
+            assert warehouse.packages() == ["com.a", "com.b"]
+            assert warehouse.get("com.a", 1) == expected
+        assert compact_warehouse(path)["bytes_after"] == stats["bytes_after"]
+
+    def test_rejects_foreign_files(self, tmp_path):
+        from repro.evolution import compact_warehouse
+
+        with pytest.raises(WarehouseError):
+            compact_warehouse(tmp_path / "missing.jsonl")
+        junk = tmp_path / "junk.jsonl"
+        junk.write_text("hello\n")
+        with pytest.raises(WarehouseError):
+            compact_warehouse(junk)
+
+
 # -- differ -----------------------------------------------------------------------
 
 

@@ -591,6 +591,89 @@ class TestDrain:
         assert "drained: 1 completed" in output, output
 
 
+class TestDrainDeadline:
+    def test_join_timeout_is_a_shared_deadline(self):
+        """Regression: ``join(timeout=T)`` used to pass T to *every*
+        thread, so W stuck workers blocked a SIGTERM drain for W x T."""
+        from repro.service.scheduler import SchedulerPool
+
+        now = [0.0]
+        pool = SchedulerPool(
+            JobQueue(4), lambda job_id, worker_id: None, workers=0,
+            clock=lambda: now[0],
+        )
+        joins = []
+
+        class StuckThread:
+            def join(self, timeout=None):
+                joins.append(timeout)
+                now[0] += timeout  # a stuck thread eats its whole allowance
+
+            def is_alive(self):
+                return True
+
+        pool._threads.extend(StuckThread() for _ in range(4))
+        assert pool.join(timeout=1.0) is False
+        # one shared deadline: ~1.0s total, not 4 x 1.0s
+        assert now[0] == pytest.approx(1.0)
+        assert joins[0] == pytest.approx(1.0)
+        assert all(t == pytest.approx(0.0) for t in joins[1:])
+
+    def test_joined_threads_consume_no_budget(self):
+        from repro.service.scheduler import SchedulerPool
+
+        now = [0.0]
+        pool = SchedulerPool(
+            JobQueue(4), lambda job_id, worker_id: None, workers=0,
+            clock=lambda: now[0],
+        )
+
+        class DoneThread:
+            def join(self, timeout=None):
+                pass  # returns immediately, clock does not move
+
+            def is_alive(self):
+                return False
+
+        pool._threads.extend(DoneThread() for _ in range(3))
+        assert pool.join(timeout=5.0) is True
+        assert now[0] == 0.0
+
+
+class TestRetryAfterClamp:
+    def test_infinite_retry_after_serializes_finite(self, monkeypatch):
+        """Regression: a zero-rate bucket reports ``retry_after_s=inf``;
+        ``int(inf)`` raises OverflowError and ``json.dumps(inf)`` emits
+        ``Infinity``, which is not JSON.  The daemon clamps before both."""
+        from repro.service.ratelimit import MAX_RETRY_AFTER_S
+
+        service = AnalysisService(
+            ServiceConfig(workers=0, pipeline=pipeline_config())
+        )
+        service.start()
+        try:
+            monkeypatch.setattr(
+                service.limiter,
+                "allow",
+                lambda client: (_ for _ in ()).throw(
+                    RateLimitedError(client, float("inf"))
+                ),
+            )
+            status, body, headers = service.submit(dict(SPEC))
+            assert status == 429
+            assert body["retry_after_s"] == MAX_RETRY_AFTER_S
+            json.dumps(body)  # must be valid JSON, not Infinity
+            assert int(headers["Retry-After"]) == int(MAX_RETRY_AFTER_S)
+        finally:
+            service.drain(timeout=60.0)
+
+    def test_zero_rate_bucket_still_reports_infinity_in_process(self):
+        """The truth stays in-process: only serialization clamps."""
+        bucket = TokenBucket(rate_per_s=0.0, burst=1, clock=lambda: 0.0)
+        assert bucket.try_acquire() is None  # the one burst token
+        assert bucket.try_acquire() == float("inf")  # never refills
+
+
 # -- CLI ---------------------------------------------------------------------------
 
 

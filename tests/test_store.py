@@ -12,7 +12,14 @@ from repro.farm import FarmConfig, run_farm
 from repro.observe import MetricsRegistry
 from repro.static_analysis.malware.droidnative import Detection
 from repro.static_analysis.privacy.flowdroid import PrivacyLeak
-from repro.store import StoreError, VerdictStore, verdict_fingerprint
+from repro.store import (
+    StoreError,
+    VerdictStore,
+    compact_store,
+    index_path,
+    sqlite_available,
+    verdict_fingerprint,
+)
 
 N_APPS = 24
 SEED = 19
@@ -156,6 +163,163 @@ class TestVerdictStore:
             store.put_detection("d2", DETECTION)
         with VerdictStore(path, pipeline_config()) as store:
             assert store.get_detection("d2") == (True, DETECTION)
+
+    def test_publish_seals_siblings_torn_tail(self, tmp_path):
+        """Regression: ``_publish`` must seal a crash-torn tail before
+        appending, or its line concatenates onto the debris and *both*
+        records become one corrupt line."""
+        path = tmp_path / "s.jsonl"
+        with VerdictStore(path, pipeline_config()) as survivor:
+            # a sibling process died mid-append: torn line, no newline
+            with path.open("a") as handle:
+                handle.write('{"kind": "detection", "digest": "dX"')
+            survivor.put_detection("d1", DETECTION)
+        # index=False forces a full scan, so corrupt_lines is observable
+        with VerdictStore(path, pipeline_config(), index=False) as store:
+            assert store.get_detection("d1") == (True, DETECTION)
+            assert store.counts() == {"detection": 1, "privacy": 0}
+            assert store.corrupt_lines == 1  # only the sealed debris
+
+
+# -- unit: the sqlite sidecar index ------------------------------------------------
+
+
+@pytest.mark.skipif(not sqlite_available(), reason="sqlite3 unavailable")
+class TestStoreSidecarIndex:
+    def test_warm_open_does_zero_full_scans(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with VerdictStore(path, pipeline_config()) as store:
+            assert store.full_scans == 1  # cold: no sidecar yet
+            store.put_detection("d1", DETECTION)
+            store.put_privacy("d1", (LEAK,))
+        with VerdictStore(path, pipeline_config()) as store:
+            assert store.full_scans == 0
+            assert store.get_detection("d1") == (True, DETECTION)
+            assert store.get_privacy("d1") == (True, (LEAK,))
+            assert store.counts() == {"detection": 1, "privacy": 1}
+            assert store.full_scans == 0
+            stats = store.index_stats()
+            assert stats["enabled"] and stats["full_scans"] == 0
+
+    def test_point_lookup_hits_index_not_scan(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with VerdictStore(path, pipeline_config()) as store:
+            for i in range(50):
+                store.put_detection("d{}".format(i), None)
+        with VerdictStore(path, pipeline_config()) as store:
+            assert store.get_detection("d37") == (True, None)
+            assert store.index_hits == 1
+            assert store.full_scans == 0
+
+    def test_deleted_sidecar_is_rebuilt(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with VerdictStore(path, pipeline_config()) as store:
+            store.put_detection("d1", DETECTION)
+        index_path(path).unlink()
+        with VerdictStore(path, pipeline_config()) as store:
+            assert store.full_scans == 1  # one healing scan...
+            assert store.get_detection("d1") == (True, DETECTION)
+        with VerdictStore(path, pipeline_config()) as store:
+            assert store.full_scans == 0  # ...and the sidecar is back
+            assert store.get_detection("d1") == (True, DETECTION)
+
+    def test_stale_watermark_after_external_truncate_resets(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with VerdictStore(path, pipeline_config()) as store:
+            store.put_detection("d1", DETECTION)
+            store.put_detection("d2", None)
+        # an external tool rewrote the store shorter: watermark > size
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:2]))  # header + d1
+        with VerdictStore(path, pipeline_config()) as store:
+            assert store.full_scans == 1  # reset, rescan from zero
+            assert store.get_detection("d1") == (True, DETECTION)
+            assert store.get_detection("d2") == (False, None)
+
+    def test_index_disabled_still_works(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with VerdictStore(path, pipeline_config(), index=False) as store:
+            store.put_detection("d1", DETECTION)
+            assert not store.index_stats()["enabled"]
+        with VerdictStore(path, pipeline_config(), index=False) as store:
+            assert store.get_detection("d1") == (True, DETECTION)
+            assert store.full_scans == 1
+            assert not index_path(path).exists()
+
+    def test_refused_store_grows_no_sidecar(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        VerdictStore(path, pipeline_config()).close()
+        index_path(path).unlink()
+        with pytest.raises(StoreError):
+            VerdictStore(path, pipeline_config(droidnative_threshold=0.5))
+        assert not index_path(path).exists()
+
+
+# -- unit: compaction --------------------------------------------------------------
+
+
+class TestCompactStore:
+    def test_drops_duplicates_corrupt_and_torn_tail(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with VerdictStore(path, pipeline_config()) as store:
+            store.put_detection("d1", DETECTION)
+            store.put_detection("d2", None)
+            store.put_privacy("d1", (LEAK,))
+        lines = path.read_bytes().splitlines(keepends=True)
+        with path.open("ab") as handle:
+            handle.write(lines[1])  # byte-identical duplicate publish
+            handle.write(b"not json\n")
+            handle.write(b'{"kind": "privacy", "digest": "dT"')  # torn
+        stats = compact_store(path)
+        assert stats["entries"] == 3
+        assert stats["dropped_duplicates"] == 1
+        assert stats["dropped_corrupt"] == 2
+        assert stats["bytes_after"] < stats["bytes_before"]
+
+    def test_lookups_identical_before_and_after(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with VerdictStore(path, pipeline_config()) as store:
+            store.put_detection("d1", DETECTION)
+            store.put_detection("d2", None)
+            store.put_privacy("d1", (LEAK,))
+            store.put_privacy("d2", ())
+            before = {
+                ("detection", d): store.get_detection(d) for d in ("d1", "d2", "d3")
+            }
+            before.update(
+                {("privacy", d): store.get_privacy(d) for d in ("d1", "d2", "d3")}
+            )
+        lines = path.read_bytes().splitlines(keepends=True)
+        with path.open("ab") as handle:
+            handle.write(lines[2])  # duplicate
+        compact_store(path)
+        with VerdictStore(path, pipeline_config()) as store:
+            for (kind, digest), expected in before.items():
+                actual = (
+                    store.get_detection(digest)
+                    if kind == "detection"
+                    else store.get_privacy(digest)
+                )
+                assert actual == expected
+
+    def test_idempotent(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with VerdictStore(path, pipeline_config()) as store:
+            store.put_detection("d1", DETECTION)
+        first = compact_store(path)
+        second = compact_store(path)
+        assert second["dropped_duplicates"] == 0
+        assert second["dropped_corrupt"] == 0
+        assert second["bytes_before"] == second["bytes_after"] == first["bytes_after"]
+
+    def test_rejects_non_store_files(self, tmp_path):
+        missing = tmp_path / "nope.jsonl"
+        with pytest.raises(StoreError):
+            compact_store(missing)
+        junk = tmp_path / "junk.jsonl"
+        junk.write_text("hello\n")
+        with pytest.raises(StoreError):
+            compact_store(junk)
 
 
 # -- integration: pipeline tiers --------------------------------------------------
@@ -311,3 +475,40 @@ class TestStoreCli:
         capsys.readouterr()
         summary = json.loads(metrics.read_text())["verdict_store"]
         assert summary["detection"]["misses"] == 0
+
+    def test_store_compact_cli(self, tmp_path, capsys):
+        path = tmp_path / "verdicts.jsonl"
+        with VerdictStore(path, pipeline_config()) as store:
+            store.put_detection("d1", DETECTION)
+        duplicate = path.read_bytes().splitlines(keepends=True)[1]
+        with path.open("ab") as handle:
+            handle.write(duplicate)
+        assert main(["store", "compact", str(path), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["kind"] == "verdict store"
+        assert stats["entries"] == 1
+        assert stats["dropped_duplicates"] == 1
+        with VerdictStore(path, pipeline_config()) as store:
+            assert store.get_detection("d1") == (True, DETECTION)
+
+    def test_store_compact_cli_detects_warehouse(self, tmp_path, capsys):
+        from repro.evolution import SnapshotWarehouse
+
+        path = tmp_path / "warehouse.jsonl"
+        with SnapshotWarehouse(path) as warehouse:
+            warehouse.append(
+                {"package": "com.a", "metadata": {"version_code": 1}}
+            )
+        # appending after a seal leaves a stale interior index line behind
+        with SnapshotWarehouse(path) as warehouse:
+            warehouse.append(
+                {"package": "com.b", "metadata": {"version_code": 1}}
+            )
+        assert main(["store", "compact", str(path), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["kind"] == "warehouse"
+        assert stats["snapshots"] == 2
+        assert stats["dropped_index_lines"] == 2  # interior + old trailing
+        with SnapshotWarehouse(path) as warehouse:
+            assert warehouse.get("com.a", 1)["package"] == "com.a"
+            assert warehouse.get("com.b", 1)["package"] == "com.b"
