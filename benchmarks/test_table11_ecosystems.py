@@ -1,0 +1,71 @@
+"""Table XI: modern DCL ecosystem hazards (the scenario-pack extension).
+
+No paper counterpart -- the 2016 landscape predates plugin frameworks at
+scale, split-APK delivery, multi-hop droppers, and self-debloating apps.
+The pack's calibration targets stand in for the paper column: of 58,739
+apps, 2,400 plugin hosts, 9,800 split-APK shippers, 310 staged
+downloaders, and 1,150 self-debloaters.  Shape: namespace collisions
+dominate (every plugin pack and feature split shadows host code), dropper
+chains are the rare tail, every class appears at least once.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_APPS, BENCH_SEED
+from benchmarks.paper_compare import fmt_compare, record_table
+from repro.core.config import DyDroidConfig
+from repro.core.pipeline import DyDroid
+from repro.corpus.generator import generate_corpus
+from repro.corpus.profiles import PAPER_TOTAL_APPS
+from repro.ecosystems import ALL_HAZARD_CLASSES, ECOSYSTEMS, ecosystems_profile
+
+
+@pytest.fixture(scope="module")
+def ecosystems_report():
+    """A pack-enabled corpus; the shared session corpus keeps the knobs 0."""
+    corpus = generate_corpus(
+        BENCH_APPS, seed=BENCH_SEED, profile=ecosystems_profile()
+    )
+    return DyDroid(DyDroidConfig(train_samples_per_family=3)).measure(corpus)
+
+
+def test_table11_ecosystems(benchmark, ecosystems_report):
+    table = benchmark(ecosystems_report.ecosystems_table)
+
+    lines = [ecosystems_report.render_ecosystems_table(), "", "calibration vs targets:"]
+    for key, spec in sorted(ECOSYSTEMS.items()):
+        planted = max(1, round(spec.paper_count * BENCH_APPS / PAPER_TOTAL_APPS))
+        lines.append(
+            fmt_compare(
+                key,
+                "{} of {}".format(spec.paper_count, PAPER_TOTAL_APPS),
+                "{} of {} planted".format(planted, BENCH_APPS),
+            )
+        )
+    record_table("Table XI (ecosystem hazards)", "\n".join(lines))
+
+    classes = table["classes"]
+    # every hazard class appears at least once...
+    for hazard in ALL_HAZARD_CLASSES:
+        assert hazard in classes, hazard
+        assert classes[hazard]["n_apps"] >= 1
+        assert classes[hazard]["n_payloads"] >= classes[hazard]["n_apps"]
+    # ...with the split-APK-driven collisions dominating, as calibrated.
+    assert (
+        classes["namespace-collision"]["n_apps"]
+        == max(row["n_apps"] for row in classes.values())
+    )
+    # plugin hijacks ride exactly the plugin hosts; droppers are the tail.
+    assert classes["plugin-hijack"]["n_apps"] >= classes["dropper-chain"]["n_apps"]
+    # planted volume matches the calibration targets (1:1 at any scale).
+    for key, flag in (
+        ("plugin-host", "plugin-hijack"),
+        ("self-debloating", "shelf-reload"),
+    ):
+        expected = max(
+            1, round(ECOSYSTEMS[key].paper_count * BENCH_APPS / PAPER_TOTAL_APPS)
+        )
+        assert classes[flag]["n_apps"] == expected, key
+    assert table["hazard_apps"] >= sum(
+        1 for row in classes.values() if row["n_apps"]
+    )

@@ -19,7 +19,7 @@ from typing import List, Optional
 
 from repro.android import bytecode as bc
 from repro.android.bytecode import Cmp, FieldRef, Instruction, MethodRef, Op
-from repro.android.dex import DexClass, DexMethod
+from repro.android.dex import DexClass, DexFile, DexMethod
 
 
 class MethodBuilder:
@@ -214,3 +214,34 @@ def empty_method(
     builder = MethodBuilder(name, class_name, arity=arity, is_static=is_static)
     builder.ret_void()
     return builder.build()
+
+
+def build_secondary_dex(classes: List[DexClass], index: int = 2) -> DexFile:
+    """A ``classesN.dex`` member for a multi-dex APK (``index`` >= 2)."""
+    if index < 2:
+        raise ValueError("secondary dex index starts at 2, got {}".format(index))
+    return DexFile(classes=list(classes), source_name="classes{}.dex".format(index))
+
+
+def build_split_apk(
+    package: str,
+    split_name: str,
+    classes: List[DexClass],
+    version_code: int = 1,
+    min_sdk: int = 14,
+) -> "Apk":
+    """A feature/config split APK: split-stamped manifest + one dex.
+
+    Splits declare no components of their own (the base APK's manifest
+    owns the component table); they only contribute code and resources.
+    """
+    from repro.android.apk import Apk
+    from repro.android.manifest import AndroidManifest
+
+    manifest = AndroidManifest(
+        package=package,
+        version_code=version_code,
+        min_sdk=min_sdk,
+        split=split_name,
+    )
+    return Apk.build(manifest, dex_files=[DexFile(classes=list(classes))])

@@ -63,6 +63,10 @@ class AndroidManifest:
     components: List[Component] = field(default_factory=list)
     #: the android:name attribute on <application>, or None when absent.
     application_name: Optional[str] = None
+    #: split name for feature/config APKs (``split="..."`` on <manifest>);
+    #: ``None`` for a base APK.  Serialized only when set so base-APK
+    #: manifests stay byte-identical to pre-split corpora.
+    split: Optional[str] = None
 
     def has_permission(self, permission: str) -> bool:
         return permission in self.permissions
@@ -102,6 +106,8 @@ class AndroidManifest:
                 for c in self.components
             ],
         }
+        if self.split:
+            payload["split"] = self.split
         return json.dumps(payload, sort_keys=True).encode("utf-8")
 
     @classmethod
@@ -119,6 +125,7 @@ class AndroidManifest:
                     Component(ComponentKind(raw[0]), raw[1], raw[2], *raw[3:5])
                     for raw in payload["components"]
                 ],
+                split=payload.get("split"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ManifestError("malformed manifest payload") from exc

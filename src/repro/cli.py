@@ -28,6 +28,9 @@ Commands:
 - ``metrics``  -- ``export`` converts a ``--metrics-out`` JSON registry to
   Prometheus text exposition;
 - ``corpus``   -- generate blueprints only and print ground-truth statistics;
+- ``ecosystems`` -- list/describe the modern-DCL scenario pack (plugin
+  hosts, split APKs, staged downloaders, self-debloating apps) that
+  ``--ecosystems`` plants into generated corpora;
 - ``analyze``  -- deep-dive one generated app (static + dynamic + verdicts);
 - ``families`` -- list the malware family corpus DroidNative trains on;
 - ``trace``    -- inspect a trace file written with ``--trace-out``.
@@ -59,7 +62,30 @@ TABLE_RENDERERS = {
     "8": "render_runtime_config_table",
     "9": "render_vulnerability_table",
     "10": "render_privacy_table",
+    "11": "render_ecosystems_table",
 }
+
+
+def _corpus_profile(args: argparse.Namespace):
+    """The corpus profile a command's knobs select (None = paper profile)."""
+    if not getattr(args, "ecosystems", False):
+        return None
+    from repro.ecosystems import ecosystems_profile
+
+    return ecosystems_profile(staged_depth=getattr(args, "staged_depth", 3))
+
+
+def _add_ecosystem_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ecosystems", action="store_true",
+        help="plant the modern-DCL scenario pack (plugin hosts, split APKs, "
+             "staged downloaders, self-debloating apps) at its calibrated "
+             "rates; see `ecosystems list`",
+    )
+    parser.add_argument(
+        "--staged-depth", type=int, default=3, metavar="N",
+        help="hops in each staged-downloader delivery chain (default: 3)",
+    )
 
 
 def _add_observe_flags(parser: argparse.ArgumentParser) -> None:
@@ -117,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="confidence bar for tier-0 short-circuits "
              "(default: {})".format(DEFAULT_THRESHOLD),
     )
+    _add_ecosystem_flags(measure)
 
     farm = sub.add_parser("farm", help="sharded, fault-tolerant analysis farm")
     farm_sub = farm.add_subparsers(dest="farm_command", required=True)
@@ -306,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="DroidNative samples per family")
     defend_eval.add_argument("--json", action="store_true",
                              help="emit the full scorecard as JSON")
+    _add_ecosystem_flags(defend_eval)
     defend_replay = defend_sub.add_parser(
         "replay", help="re-detonate quarantined payloads in a sandbox VM"
     )
@@ -496,6 +524,20 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--apps", type=int, default=1000)
     corpus.add_argument("--seed", type=int, default=7)
     corpus.add_argument("--export", metavar="DIR", help="also save the built corpus to DIR")
+    _add_ecosystem_flags(corpus)
+
+    ecosystems = sub.add_parser(
+        "ecosystems",
+        help="the modern-DCL scenario pack: list or describe its ecosystems",
+    )
+    ecosystems_sub = ecosystems.add_subparsers(dest="ecosystems_command", required=True)
+    ecosystems_sub.add_parser("list", help="one line per ecosystem")
+    ecosystems_describe = ecosystems_sub.add_parser(
+        "describe", help="full detail for one ecosystem"
+    )
+    ecosystems_describe.add_argument(
+        "key", help="ecosystem key (see `ecosystems list`)"
+    )
 
     analyze = sub.add_parser("analyze", help="deep-dive one generated app")
     analyze.add_argument("--apps", type=int, default=600)
@@ -545,7 +587,9 @@ def cmd_measure(args: argparse.Namespace) -> int:
 
         corpus = load_corpus(args.corpus_dir)
     else:
-        corpus = generate_corpus(args.apps, seed=args.seed)
+        corpus = generate_corpus(
+            args.apps, seed=args.seed, profile=_corpus_profile(args)
+        )
     config = DyDroidConfig(
         train_samples_per_family=args.train, run_replays=not args.no_replays,
         triage_model=args.triage_model, triage_threshold=args.triage_threshold,
@@ -1095,7 +1139,7 @@ def cmd_status(args: argparse.Namespace) -> int:
 
 
 def cmd_corpus(args: argparse.Namespace) -> int:
-    generator = CorpusGenerator(seed=args.seed)
+    generator = CorpusGenerator(profile=_corpus_profile(args), seed=args.seed)
     blueprints = generator.sample_blueprints(args.apps)
     n = len(blueprints)
 
@@ -1117,6 +1161,11 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     print("  malware carriers:    ", dict(families))
     entities = Counter(b.dex_entity for b in blueprints if b.dex_entity)
     print("  DEX entity mix:      ", dict(entities))
+    if getattr(args, "ecosystems", False):
+        print("  plugin hosts:        ", pct(sum(b.is_plugin_host for b in blueprints)))
+        print("  split-APK apps:      ", pct(sum(b.is_split_apk for b in blueprints)))
+        print("  staged downloaders:  ", pct(sum(b.is_staged_downloader for b in blueprints)))
+        print("  self-debloating:     ", pct(sum(b.is_self_debloating for b in blueprints)))
     if args.export:
         from repro.corpus.storage import save_corpus
 
@@ -1201,6 +1250,7 @@ def cmd_defend(args: argparse.Namespace) -> int:
                 quarantine_dir=args.quarantine_dir or "",
                 config=DyDroidConfig(train_samples_per_family=args.train),
                 workers=args.workers,
+                profile=_corpus_profile(args),
             )
         except (StoreError, ValueError) as exc:
             raise SystemExit("defend eval: {}".format(exc))
@@ -1491,6 +1541,34 @@ def cmd_families(_: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ecosystems(args: argparse.Namespace) -> int:
+    from repro.ecosystems import ECOSYSTEMS
+
+    if args.ecosystems_command == "list":
+        width = max(len(key) for key in ECOSYSTEMS)
+        for key in sorted(ECOSYSTEMS):
+            spec = ECOSYSTEMS[key]
+            print("{:<{w}}  {}".format(key, spec.title, w=width))
+        return 0
+
+    spec = ECOSYSTEMS.get(args.key)
+    if spec is None:
+        raise SystemExit(
+            "ecosystems describe: unknown ecosystem {!r} (known: {})".format(
+                args.key, ", ".join(sorted(ECOSYSTEMS))
+            )
+        )
+    print("key:             ", spec.key)
+    print("title:           ", spec.title)
+    print("profile field:   ", spec.profile_field)
+    print("calibrated count:", "{:,} of the paper corpus".format(spec.paper_count))
+    print("hazard classes:  ", ", ".join(spec.hazard_classes))
+    print("lineage mutation:", spec.lineage_mutation)
+    print()
+    print(spec.description)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -1506,6 +1584,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": cmd_metrics,
         "store": cmd_store,
         "corpus": cmd_corpus,
+        "ecosystems": cmd_ecosystems,
         "analyze": cmd_analyze,
         "families": cmd_families,
         "trace": cmd_trace,

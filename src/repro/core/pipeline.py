@@ -22,6 +22,7 @@ from repro.corpus.generator import AppRecord
 from repro.dynamic.engine import AppExecutionEngine, DynamicReport, EngineOptions
 from repro.dynamic.interceptor import InterceptedPayload, PayloadKind
 from repro.dynamic.provenance import Entity, Provenance
+from repro.ecosystems.hazards import classify_hazards
 from repro.observe.events import NULL_EVENT_LOG
 from repro.observe.metrics import MetricsRegistry
 from repro.observe.tracer import NULL_TRACER, stage
@@ -209,11 +210,21 @@ class DyDroid:
             self.metrics.counter("triage.gated").inc()
 
         # 5. provenance/entity + static analysis of every intercepted binary.
+        # Host-side facts for ecosystem hazard classification, computed
+        # once per app: the manifest component table and the classes the
+        # host packages in its own dex files.
+        component_names = record.apk.manifest.component_names()
+        host_classes = {
+            cls.name for dex in record.apk.dex_files() for cls in dex.classes
+        }
         with stage(
             self.tracer, self.metrics, "verdicts", n_payloads=len(dynamic.intercepted)
         ):
             analysis.payloads = [
-                self._verdict_for(payload, record.package, dynamic, decision)
+                self._verdict_for(
+                    payload, record.package, dynamic, decision,
+                    component_names=component_names, host_classes=host_classes,
+                )
                 for payload in dynamic.intercepted
             ]
         if decision is not None:
@@ -296,6 +307,8 @@ class DyDroid:
         package: str,
         dynamic: DynamicReport,
         decision: Optional[TriageDecision] = None,
+        component_names: Optional[Set[str]] = None,
+        host_classes: Optional[Set[str]] = None,
     ) -> PayloadVerdict:
         entity = Entity.UNKNOWN
         if payload.call_site:
@@ -316,7 +329,19 @@ class DyDroid:
             remote_sources=sources,
             digest=digest,
         )
+        verdict.hazards = classify_hazards(
+            path=payload.path,
+            data=payload.data,
+            entity=entity,
+            provenance=verdict.provenance,
+            remote_sources=sources,
+            component_names=component_names or set(),
+            host_classes=host_classes or set(),
+            app_package=package,
+        )
         self.metrics.counter("payload.kind." + payload.kind.value).inc()
+        for hazard in verdict.hazards:
+            self.metrics.counter("hazard." + hazard).inc()
 
         with self.tracer.span(
             "payload", digest=digest[:12], kind=payload.kind.value
@@ -324,6 +349,7 @@ class DyDroid:
             if self.config.run_malware and payload.kind in (
                 PayloadKind.DEX,
                 PayloadKind.NATIVE,
+                PayloadKind.APK,
             ):
                 self.metrics.counter("cache.detection.lookups").inc()
                 self.metrics.distinct("cache.detection.digests").add(digest)
@@ -347,7 +373,10 @@ class DyDroid:
                 if verdict.detection is not None:
                     span.set(malicious=verdict.detection.family)
 
-            if self.config.run_privacy and payload.kind is PayloadKind.DEX:
+            if self.config.run_privacy and payload.kind in (
+                PayloadKind.DEX,
+                PayloadKind.APK,
+            ):
                 self.metrics.counter("cache.privacy.lookups").inc()
                 self.metrics.distinct("cache.privacy.digests").add(digest)
                 if digest not in self._privacy_cache:

@@ -157,6 +157,10 @@ class PayloadVerdict:
     #: sha256 of the payload bytes; the cross-version identity the
     #: evolution differ tracks (empty on records predating this field).
     digest: str = ""
+    #: ecosystem hazard classes this payload triggered (see
+    #: :mod:`repro.ecosystems.hazards`); empty for classic-landscape loads
+    #: and on records predating the scenario pack.
+    hazards: Tuple[str, ...] = ()
     #: who produced the analysis verdict: "full" = tier-1 analyzers (or
     #: the caches/store fed by them), "triage" = the tier-0 gate
     #: short-circuited them (:mod:`repro.triage`).
@@ -176,6 +180,7 @@ class PayloadVerdict:
             "detection": _detection_to_dict(self.detection) if self.detection else None,
             "leaks": [_plain_dict(leak) for leak in self.leaks],
             "digest": self.digest,
+            "hazards": list(self.hazards),
             "verdict_source": self.verdict_source,
         }
 
@@ -190,6 +195,7 @@ class PayloadVerdict:
             detection=_detection_from_dict(data["detection"]) if data["detection"] else None,
             leaks=tuple(_leak_from_dict(leak) for leak in data["leaks"]),
             digest=data.get("digest", ""),
+            hazards=tuple(data.get("hazards", ())),
             verdict_source=data.get("verdict_source", "full"),
         )
 
@@ -250,7 +256,8 @@ class AppAnalysis:
         return {
             p.entity
             for p in self.payloads
-            if p.kind in (PayloadKind.DEX, PayloadKind.ENCRYPTED, PayloadKind.UNKNOWN)
+            if p.kind
+            in (PayloadKind.DEX, PayloadKind.ENCRYPTED, PayloadKind.APK, PayloadKind.UNKNOWN)
             and p.entity is not Entity.UNKNOWN
         }
 
@@ -843,6 +850,55 @@ class MeasurementReport:
         ]
         return "\n".join(lines)
 
+    # -- Table 11: modern DCL ecosystems --------------------------------------------------------------------------------
+
+    def ecosystems_table(self) -> Dict[str, object]:
+        """Hazard-class coverage of the modern-DCL ecosystem scenario pack.
+
+        One row per hazard class (apps triggering it, payloads carrying
+        it); zero rows on classic-landscape corpora, so the table -- like
+        the defense and triage extras -- only renders when it has data.
+        """
+        from repro.ecosystems.hazards import ALL_HAZARD_CLASSES
+
+        by_class: Dict[str, Dict[str, object]] = {}
+        hazard_apps: Set[str] = set()
+        for app in self.apps:
+            app_classes: Set[str] = set()
+            for payload in app.payloads:
+                for hazard in payload.hazards:
+                    row = by_class.setdefault(hazard, {"apps": set(), "payloads": 0})
+                    row["apps"].add(app.package)
+                    row["payloads"] += 1
+                    app_classes.add(hazard)
+            if app_classes:
+                hazard_apps.add(app.package)
+        return {
+            "hazard_apps": len(hazard_apps),
+            "classes": {
+                hazard: {
+                    "n_apps": len(by_class[hazard]["apps"]),
+                    "n_payloads": by_class[hazard]["payloads"],
+                }
+                for hazard in ALL_HAZARD_CLASSES
+                if hazard in by_class
+            },
+        }
+
+    def render_ecosystems_table(self) -> str:
+        table = self.ecosystems_table()
+        lines = [
+            "TABLE 11: modern DCL ecosystem hazards in {} of {} applications".format(
+                table["hazard_apps"], self.n_total
+            ),
+            "{:<24}{:>9}{:>12}".format("Hazard class", "#Apps", "#Payloads"),
+        ]
+        for hazard, row in table["classes"].items():
+            lines.append(
+                "{:<24}{:>9}{:>12}".format(hazard, row["n_apps"], row["n_payloads"])
+            )
+        return "\n".join(lines)
+
     # -- machine-readable export -------------------------------------------------------------------------------------
 
     def to_dict(self, include_apps: bool = False) -> Dict[str, object]:
@@ -881,6 +937,7 @@ class MeasurementReport:
             "table10_privacy": self.privacy_table(),
             "defense_enforcement": self.defense_table(),
             "triage_provenance": self.triage_table(),
+            "table11_ecosystems": self.ecosystems_table(),
         }
 
     @classmethod
@@ -932,4 +989,8 @@ class MeasurementReport:
         # Same for triage: only runs with tier-0 short-circuits grow it.
         if self.triage_table()["triaged_apps"]:
             blocks.append(self.render_triage_table())
+        # And for the ecosystem scenario pack: classic corpora trigger no
+        # ecosystem hazard classes and keep their original output.
+        if self.ecosystems_table()["classes"]:
+            blocks.append(self.render_ecosystems_table())
         return "\n\n".join(blocks)

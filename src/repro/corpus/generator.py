@@ -22,10 +22,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.android.apk import Apk
-from repro.android.builders import MethodBuilder, class_builder
+from repro.android.builders import (
+    MethodBuilder,
+    build_secondary_dex,
+    build_split_apk,
+    class_builder,
+)
 from repro.android.dex import DexClass, DexFile
 from repro.android.manifest import (
     INTERNET,
@@ -102,6 +107,22 @@ class AppBlueprint:
     #: Lineage mutations (:mod:`repro.evolution.lineage`) pin it so an SDK
     #: swap changes exactly one payload across versions.
     sdk_vendor: Optional[str] = None
+    # modern DCL ecosystems (scenario pack; all off under paper profiles).
+    #: app-as-host loading a whole sub-app through a plugin framework.
+    is_plugin_host: bool = False
+    #: ships secondary dex + feature/config split APKs loaded at runtime.
+    is_split_apk: bool = False
+    #: dropper chain: each fetched payload fetches the next stage.
+    is_staged_downloader: bool = False
+    staged_depth: int = 0
+    #: shelves features behind guard stubs, re-loads them on demand.
+    is_self_debloating: bool = False
+    #: lineage churn counters: bumping one re-generates that ecosystem's
+    #: payload bytes (hot update / split update / staged update / re-shelf).
+    plugin_generation: int = 0
+    split_generation: int = 0
+    stage_generation: int = 0
+    shelf_generation: int = 0
 
 
 @dataclass
@@ -193,13 +214,17 @@ class CorpusGenerator:
                     blueprint.dcl_trigger = "ui"
             blueprints.append(blueprint)
 
-        self._plant_rare_roles(rng, blueprints, n_apps)
+        taken = self._plant_rare_roles(rng, blueprints, n_apps)
         self._assign_privacy(rng, blueprints, n_apps)
+        # the ecosystem pack plants last, from its own rng stream, AFTER the
+        # privacy draws: the paper corpus must stay byte-identical with the
+        # pack's knobs off OR on (only planted apps may differ).
+        self._plant_ecosystem_roles(blueprints, n_apps, taken)
         return blueprints
 
     def _plant_rare_roles(
         self, rng: random.Random, blueprints: List[AppBlueprint], n_apps: int
-    ) -> None:
+    ) -> Set[int]:
         profile = self.profile
         order = list(range(len(blueprints)))
         rng.shuffle(order)
@@ -286,6 +311,61 @@ class CorpusGenerator:
                 else "com.adobe.air"
             )
             blueprint.native_entity = "own"
+        return taken
+
+    def _plant_ecosystem_roles(
+        self, blueprints: List[AppBlueprint], n_apps: int, taken: Set[int]
+    ) -> None:
+        """Modern DCL ecosystems (scenario pack).
+
+        Runs after every classic draw from its own rng stream so that with
+        the pack's knobs at their zero defaults -- and for every app the
+        pack does not claim -- the generated corpus is byte-identical to
+        the plain paper profile.
+        """
+        profile = self.profile
+        total = (
+            profile.n_plugin_host_apps
+            + profile.n_split_apk_apps
+            + profile.n_staged_downloader_apps
+            + profile.n_self_debloating_apps
+        )
+        if total == 0:
+            return
+        rng = random.Random("corpus-ecosystems-{}".format(self.seed))
+        order = list(range(len(blueprints)))
+        rng.shuffle(order)
+        cursor = iter(order)
+
+        def claim() -> AppBlueprint:
+            for index in cursor:
+                if index in taken:
+                    continue
+                blueprint = blueprints[index]
+                if blueprint.is_packed or blueprint.anti_decompilation:
+                    continue
+                taken.add(index)
+                blueprint.anti_repackaging = False
+                blueprint.no_activity = False
+                blueprint.crashy = False
+                blueprint.dcl_trigger = "launch"  # deterministic interception
+                blueprint.has_dex_dcl_code = True
+                blueprint.dex_dcl_reachable = True
+                if blueprint.dex_entity is None:
+                    blueprint.dex_entity = "third"
+                return blueprint
+            raise RuntimeError("corpus too small to plant all ecosystem roles")
+
+        for _ in range(profile.planted_count(profile.n_plugin_host_apps, n_apps)):
+            claim().is_plugin_host = True
+        for _ in range(profile.planted_count(profile.n_split_apk_apps, n_apps)):
+            claim().is_split_apk = True
+        for _ in range(profile.planted_count(profile.n_staged_downloader_apps, n_apps)):
+            blueprint = claim()
+            blueprint.is_staged_downloader = True
+            blueprint.staged_depth = profile.staged_downloader_depth
+        for _ in range(profile.planted_count(profile.n_self_debloating_apps, n_apps)):
+            claim().is_self_debloating = True
 
     def _sample_gates(self, rng: random.Random) -> EnvGates:
         profile = self.profile
@@ -467,6 +547,24 @@ class CorpusGenerator:
             stub = self._build_chathook_stub(rng, blueprint, ctx)
             dex.classes.append(stub.dex_class)
             stub_calls.append((stub.entry_class, stub.entry_method))
+        if blueprint.is_plugin_host:
+            stub = sdks.build_plugin_host_sdk(
+                ctx, hijack_class=activity_name,
+                generation=blueprint.plugin_generation,
+            )
+            dex.classes.append(stub.dex_class)
+            stub_calls.append((stub.entry_class, stub.entry_method))
+        if blueprint.is_staged_downloader:
+            stub = sdks.build_staged_downloader_sdk(
+                ctx, depth=blueprint.staged_depth or 3,
+                generation=blueprint.stage_generation,
+            )
+            dex.classes.append(stub.dex_class)
+            stub_calls.append((stub.entry_class, stub.entry_method))
+        if blueprint.is_self_debloating:
+            stub = self._build_self_debloating_stub(blueprint, ctx)
+            dex.classes.append(stub.dex_class)
+            stub_calls.append((stub.entry_class, stub.entry_method))
         if blueprint.vuln_kind == "native-other-app":
             ctx.companions.append(self._build_companion(rng, blueprint.vuln_other_app))
 
@@ -484,6 +582,11 @@ class CorpusGenerator:
             trigger = on_create
         for stub_class, stub_method in stub_calls:
             trigger.call_void(stub_class, stub_method, trigger.arg(CTX))
+        extra_dexes: List[DexFile] = []
+        if blueprint.is_split_apk:
+            extra_dexes.append(
+                self._emit_split_payloads(trigger, blueprint, ctx, class_names)
+            )
         if blueprint.dex_dcl_reachable and blueprint.dex_entity in ("own", "both"):
             self._emit_own_plugin_load(rng, trigger, blueprint, ctx)
         if blueprint.vuln_kind == "dex-external":
@@ -533,7 +636,10 @@ class CorpusGenerator:
         if blueprint.vuln_kind == "dex-external":
             manifest.min_sdk = 14  # verified as supporting pre-KitKat (Table IX)
         return Apk.build(
-            manifest, dex_files=[dex], native_libs=list(ctx.native_libs), assets=ctx.assets
+            manifest,
+            dex_files=[dex] + extra_dexes,
+            native_libs=list(ctx.native_libs),
+            assets=ctx.assets,
         )
 
     # -- packed apps -----------------------------------------------------------------------
@@ -677,6 +783,130 @@ class CorpusGenerator:
         return Apk.build(manifest, dex_files=[DexFile()], native_libs=[library])
 
     # -- per-app emission helpers ------------------------------------------------------------
+
+    def _emit_split_payloads(
+        self,
+        b: MethodBuilder,
+        blueprint: AppBlueprint,
+        ctx: BehaviorContext,
+        class_names: List[str],
+    ) -> DexFile:
+        """Multi-dex + split-APK ecosystem: returns the ``classes2.dex``.
+
+        The app ships a secondary dex (warmed from the trigger, so the
+        multi-dex install path is exercised), plus a feature split and a
+        config split as assets.  At runtime both splits are copied into
+        the app's private ``splits/`` dir and loaded through ONE
+        classloader whose dexPath lists them in the wrong order -- the
+        split-aware load-order logic in the runtime has to fix it.  The
+        feature split deliberately redefines a host class
+        (``class_names[1]``), the namespace-collision hazard.
+        """
+        package = blueprint.package
+        generation = blueprint.split_generation
+
+        secondary_name = "{}.multidex.Secondary".format(package)
+        secondary_cls = class_builder(secondary_name)
+        warm = MethodBuilder("warm", secondary_name, arity=1, is_static=True)
+        warm.call_void(
+            "android.util.Log", "d", warm.new_string("multidex"),
+            warm.new_string("secondary dex warm"),
+        )
+        warm.ret_void()
+        secondary_cls.add_method(warm.build())
+        b.call_void(secondary_name, "warm", b.arg(CTX))
+
+        feature_main = "{}.feature.FeatureMain".format(package)
+        feature_cls = class_builder(feature_main)
+        init = MethodBuilder("<init>", feature_main, arity=1)
+        init.ret_void()
+        feature_cls.add_method(init.build())
+        run = MethodBuilder("run", feature_main, arity=1)
+        run.call_void(
+            "android.util.Log", "d", run.new_string("split"),
+            run.new_string("feature split generation {}".format(generation)),
+        )
+        run.ret_void()
+        feature_cls.add_method(run.build())
+        collided = class_builder(class_names[1])
+        shadow = MethodBuilder("shadow", class_names[1], arity=1)
+        shadow.ret_void()
+        collided.add_method(shadow.build())
+        feature_apk = build_split_apk(
+            package, "feature", [feature_cls, collided], version_code=1 + generation
+        )
+
+        config_name = "{}.config.DensityPack".format(package)
+        config_cls = class_builder(config_name)
+        config_cls.add_method(
+            MethodBuilder("densities", config_name, arity=1).build()
+        )
+        config_apk = build_split_apk(
+            package, "config.xhdpi", [config_cls], version_code=1 + generation
+        )
+
+        ctx.assets["assets/split_feature.apk"] = feature_apk.to_bytes()
+        ctx.assets["assets/config.xhdpi.apk"] = config_apk.to_bytes()
+        splits_dir = "/data/data/{}/splits".format(package)
+        feature_dest = "{}/split_feature.apk".format(splits_dir)
+        config_dest = "{}/config.xhdpi.apk".format(splits_dir)
+        behaviors.emit_asset_to_file(b, "split_feature.apk", feature_dest)
+        behaviors.emit_asset_to_file(b, "config.xhdpi.apk", config_dest)
+        behaviors.emit_dex_load(
+            b,
+            "{}:{}".format(feature_dest, config_dest),  # deliberately unordered
+            "/data/data/{}/cache/odex".format(package),
+            entry_class=feature_main,
+        )
+        return build_secondary_dex([secondary_cls])
+
+    def _build_self_debloating_stub(
+        self, blueprint: AppBlueprint, ctx: BehaviorContext
+    ) -> sdks.SdkStub:
+        """Self-debloating ecosystem: shelved features behind guard stubs.
+
+        The inverse of the debloating rewriter: feature bodies live as
+        shelved dex assets; the in-app guard re-materializes each one
+        under the app's private ``shelf/`` dir and loads it on demand.
+        ``shelf_generation`` is baked into the shelved bytes, so every
+        re-shelve lineage version churns the payload digests.
+        """
+        package = ctx.package
+        generation = blueprint.shelf_generation
+        guard_name = "{}.shelf.ShelfGuards".format(package)
+        cls = class_builder(guard_name)
+        b = MethodBuilder("start", guard_name, arity=1, is_static=True)
+        for feature in (1, 2):
+            feature_class = "{}.shelf.Feature{}".format(package, feature)
+            payload_cls = class_builder(feature_class)
+            init = MethodBuilder("<init>", feature_class, arity=1)
+            init.ret_void()
+            payload_cls.add_method(init.build())
+            run = MethodBuilder("run", feature_class, arity=1)
+            run.call_void(
+                "android.util.Log", "d", run.new_string("shelf"),
+                run.new_string(
+                    "feature {} reloaded (generation {})".format(feature, generation)
+                ),
+            )
+            run.ret_void()
+            payload_cls.add_method(run.build())
+            payload = DexFile(
+                classes=[payload_cls], source_name="feature{}.jar".format(feature)
+            )
+            asset_name = "shelf/feature{}.bin".format(feature)
+            ctx.assets["assets/{}".format(asset_name)] = payload.to_bytes()
+            dest = "/data/data/{}/shelf/feature{}.dex".format(package, feature)
+            behaviors.emit_asset_to_file(b, asset_name, dest)
+            behaviors.emit_dex_load(
+                b,
+                dest,
+                "/data/data/{}/shelf/odex".format(package),
+                entry_class=feature_class,
+            )
+        b.ret_void()
+        cls.add_method(b.build())
+        return sdks.SdkStub(dex_class=cls, entry_class=guard_name)
 
     def _emit_own_plugin_load(
         self,

@@ -134,6 +134,17 @@ class CorpusProfile:
     n_vuln_dex_external: int = 7
     n_vuln_native_other_app: int = 7
 
+    # -- modern DCL ecosystems (scenario pack, not in the paper) -----------------------
+    #: all four knobs default to zero so paper-calibrated corpora are
+    #: byte-identical with or without this section; enable them through
+    #: :func:`repro.ecosystems.ecosystems_profile` (``--ecosystems``).
+    n_plugin_host_apps: int = 0
+    n_split_apk_apps: int = 0
+    n_staged_downloader_apps: int = 0
+    #: hops in a staged-downloader chain (payload fetches payload).
+    staged_downloader_depth: int = 3
+    n_self_debloating_apps: int = 0
+
     # -- Table X privacy ----------------------------------------------------------------------
     #: 15,012 of 16,768 intercepted-DEX apps load the (Google) ad library
     #: that only tracks Settings.

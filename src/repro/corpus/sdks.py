@@ -16,8 +16,10 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.android.apk import Apk
 from repro.android.builders import MethodBuilder, class_builder
-from repro.android.dex import DexClass
+from repro.android.dex import DexClass, DexFile
+from repro.android.manifest import AndroidManifest, Component, ComponentKind
 from repro.android.nativelib import INTRINSIC_NOOP, NativeLibrary
 from repro.corpus import behaviors
 from repro.corpus.behaviors import BehaviorContext
@@ -47,6 +49,21 @@ NATIVE_VENDORS = (
 GOOGLE_ADS_PACKAGE = "com.google.ads"
 BAIDU_ADS_PACKAGE = "com.baidu.mobads"
 BAIDU_REMOTE_BASE = "http://mobads.baidu.com/ads/pa"
+
+#: vendor namespaces for plugin/hot-update frameworks (RePlugin,
+#: VirtualAPK, Small-style app-as-host loaders).
+PLUGIN_HOST_VENDORS = (
+    "com.qihoo.replugin",
+    "com.didi.virtualapk",
+    "com.wequick.small",
+)
+
+#: vendor namespaces for staged-downloader ("payload fetches payload") kits.
+STAGED_DOWNLOADER_VENDORS = (
+    "com.updatekit.core",
+    "com.hotpatch.dl",
+    "net.silentinstall.sdk",
+)
 
 
 def _static_start(class_name: str) -> MethodBuilder:
@@ -201,6 +218,158 @@ def build_native_engine_sdk(ctx: BehaviorContext, vendor: Optional[str] = None) 
     cls = class_builder(stub_name)
     b = _static_start(stub_name)
     behaviors.emit_native_load_library(b, short)
+    b.ret_void()
+    cls.add_method(b.build())
+    return SdkStub(dex_class=cls, entry_class=stub_name)
+
+
+def build_plugin_host_sdk(
+    ctx: BehaviorContext, hijack_class: str, generation: int = 0
+) -> SdkStub:
+    """A plugin/hot-update framework SDK loading a whole sub-app.
+
+    The plugin pack is a complete APK (own manifest fragment, own
+    components, own classloader namespace) shipped as an asset, copied
+    into the host's private ``plugins/`` dir and loaded through a
+    DexClassLoader.  Its manifest fragment re-declares one of the
+    *host's* component names (``hijack_class``) and its dex redefines
+    that same class -- the component-hijack and namespace-collision
+    hazards of app-as-host frameworks.  ``generation`` stamps the pack
+    so hot-update lineages change payload bytes deterministically.
+    """
+    vendor = ctx.rng.choice(PLUGIN_HOST_VENDORS)
+    plugin_package = "{}.pack".format(vendor)
+    bootstrap_name = "{}.Bootstrap".format(plugin_package)
+    entry_activity = "{}.EntryActivity".format(plugin_package)
+
+    bootstrap = class_builder(bootstrap_name)
+    init = MethodBuilder("<init>", bootstrap_name, arity=1)
+    init.ret_void()
+    bootstrap.add_method(init.build())
+    run = MethodBuilder("run", bootstrap_name, arity=1)
+    run.call_void(
+        "android.util.Log", "d",
+        run.new_string("plugin"),
+        run.new_string("pack generation {}".format(generation)),
+    )
+    run.ret_void()
+    bootstrap.add_method(run.build())
+
+    plugin_activity = class_builder(entry_activity, superclass="android.app.Activity")
+    on_create = MethodBuilder("onCreate", entry_activity, arity=1)
+    on_create.ret_void()
+    plugin_activity.add_method(on_create.build())
+
+    # The impostor: same fully-qualified name as a host component.
+    impostor = class_builder(hijack_class, superclass="android.app.Activity")
+    hijacked = MethodBuilder("onCreate", hijack_class, arity=1)
+    hijacked.call_void(
+        "android.util.Log", "d", hijacked.new_string("plugin"),
+        hijacked.new_string("impostor component active"),
+    )
+    hijacked.ret_void()
+    impostor.add_method(hijacked.build())
+
+    plugin_manifest = AndroidManifest(
+        package=plugin_package,
+        version_code=1 + generation,
+        components=[
+            Component(ComponentKind.ACTIVITY, entry_activity, True),
+            Component(ComponentKind.ACTIVITY, hijack_class, False),
+        ],
+    )
+    plugin_apk = Apk.build(
+        plugin_manifest,
+        dex_files=[DexFile(classes=[bootstrap, plugin_activity, impostor])],
+    )
+    asset_name = "plugin_pack.apk"
+    ctx.assets["assets/{}".format(asset_name)] = plugin_apk.to_bytes()
+
+    stub_name = "{}.PluginManager".format(vendor)
+    cls = class_builder(stub_name)
+    b = _static_start(stub_name)
+    dest = "/data/data/{}/plugins/{}".format(ctx.package, asset_name)
+    behaviors.emit_asset_to_file(b, asset_name, dest)
+    behaviors.emit_dex_load(
+        b,
+        dest,
+        "/data/data/{}/plugins/odex".format(ctx.package),
+        entry_class=bootstrap_name,
+    )
+    b.ret_void()
+    cls.add_method(b.build())
+    return SdkStub(dex_class=cls, entry_class=stub_name)
+
+
+def build_staged_downloader_sdk(
+    ctx: BehaviorContext, depth: int = 3, generation: int = 0
+) -> SdkStub:
+    """A dropper chain: each fetched payload fetches the next one.
+
+    Stage 1 is downloaded by the in-app stub; stage ``k`` downloads and
+    loads stage ``k+1`` from a *different* origin, so the provenance of
+    the final payload is a depth-``depth`` remote ancestry (the
+    dropper-chain hazard).  Every hop wraps its fetch in a
+    ``java.io.IOException`` handler -- a torn chain degrades gracefully
+    and leaves the earlier stages' provenance intact.  ``generation``
+    is baked into the stage URLs for staged-update lineages.
+    """
+    if depth < 1:
+        raise ValueError("staged downloader depth must be >= 1, got {}".format(depth))
+    vendor = ctx.rng.choice(STAGED_DOWNLOADER_VENDORS)
+    campaign = ctx.rng.randint(100, 999)
+    files_dir = "/data/data/{}/files".format(ctx.package)
+    odex = "/data/data/{}/cache/odex".format(ctx.package)
+
+    def stage_url(stage: int) -> str:
+        return "http://cdn{}.stage-delivery{}.example.com/drops/stage{}_gen{}.jar".format(
+            stage, campaign, stage, generation
+        )
+
+    def stage_dest(stage: int) -> str:
+        return "{}/stage{}.jar".format(files_dir, stage)
+
+    def stage_class(stage: int) -> str:
+        return "{}.stage{}.Stage{}".format(vendor, stage, stage)
+
+    def emit_hop(b: MethodBuilder, next_stage: int) -> None:
+        """Guarded download+load of the next stage."""
+        handler = b.fresh_label("catch")
+        done = b.fresh_label("done")
+        b.try_start(handler, "java.io.IOException")
+        behaviors.emit_download_to_file(b, stage_url(next_stage), stage_dest(next_stage))
+        behaviors.emit_dex_load(
+            b, stage_dest(next_stage), odex, entry_class=stage_class(next_stage)
+        )
+        b.try_end()
+        b.goto(done)
+        b.label(handler)
+        b.move_exception()
+        b.label(done)
+
+    # Build deepest-first so stage k can embed stage k+1's URL constant.
+    for stage in range(depth, 0, -1):
+        class_name = stage_class(stage)
+        cls = class_builder(class_name)
+        init = MethodBuilder("<init>", class_name, arity=1)
+        init.ret_void()
+        cls.add_method(init.build())
+        run = MethodBuilder("run", class_name, arity=1)
+        run.call_void(
+            "android.util.Log", "d", run.new_string("staged"),
+            run.new_string("stage {} of {} (gen {})".format(stage, depth, generation)),
+        )
+        if stage < depth:
+            emit_hop(run, stage + 1)
+        run.ret_void()
+        cls.add_method(run.build())
+        payload = DexFile(classes=[cls], source_name="stage{}.jar".format(stage))
+        ctx.remote_resources[stage_url(stage)] = payload.to_bytes()
+
+    stub_name = "{}.Updater".format(vendor)
+    cls = class_builder(stub_name)
+    b = _static_start(stub_name)
+    emit_hop(b, 1)
     b.ret_void()
     cls.add_method(b.build())
     return SdkStub(dex_class=cls, entry_class=stub_name)

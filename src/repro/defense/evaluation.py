@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.config import DyDroidConfig
 from repro.core.report import MeasurementReport, _decision_fields
 from repro.corpus.generator import AppBlueprint, CorpusGenerator
+from repro.corpus.profiles import CorpusProfile
 from repro.defense.firewall import get_policy
 
 #: outcome quality ladder for the breakage comparison (higher is better).
@@ -54,6 +55,10 @@ def hazard_kind(blueprint: AppBlueprint) -> str:
     """Ground-truth hazard class of a blueprint ("" for benign apps)."""
     if blueprint.malware_family:
         return "known-malware"
+    if blueprint.is_plugin_host:
+        return "plugin-hijack"
+    if blueprint.is_staged_downloader:
+        return "dropper-chain"
     if blueprint.is_baidu_remote:
         return "remote-code"
     if blueprint.vuln_kind:
@@ -240,11 +245,15 @@ def _blocked_loads(analysis) -> List[Tuple[str, str]]:
 
 
 def _measure_in_process(
-    config: DyDroidConfig, store, n_apps: int, seed: int
+    config: DyDroidConfig,
+    store,
+    n_apps: int,
+    seed: int,
+    profile: Optional[CorpusProfile] = None,
 ) -> MeasurementReport:
     from repro.core.pipeline import DyDroid
 
-    corpus = CorpusGenerator(seed=seed).generate(n_apps)
+    corpus = CorpusGenerator(profile=profile, seed=seed).generate(n_apps)
     return DyDroid(config, verdict_store=store).measure(corpus)
 
 
@@ -273,6 +282,7 @@ def evaluate_defense(
     quarantine_dir: str = "",
     config: Optional[DyDroidConfig] = None,
     workers: int = 1,
+    profile: Optional[CorpusProfile] = None,
 ) -> DefenseEvaluation:
     """Run the two-phase (baseline, defended) evaluation on a seeded corpus.
 
@@ -297,6 +307,11 @@ def evaluate_defense(
     if workers > 1:
         if not verdict_store:
             raise ValueError("farm evaluation requires a --verdict-store path")
+        if profile is not None:
+            raise ValueError(
+                "farm evaluation runs the default corpus profile; "
+                "custom profiles require workers=1"
+            )
         baseline = _measure_on_farm(
             baseline_config, verdict_store, n_apps, seed, workers
         )
@@ -308,13 +323,17 @@ def evaluate_defense(
 
         store = VerdictStore(verdict_store, base_config) if verdict_store else None
         try:
-            baseline = _measure_in_process(baseline_config, store, n_apps, seed)
-            defended = _measure_in_process(defended_config, store, n_apps, seed)
+            baseline = _measure_in_process(
+                baseline_config, store, n_apps, seed, profile
+            )
+            defended = _measure_in_process(
+                defended_config, store, n_apps, seed, profile
+            )
         finally:
             if store is not None:
                 store.close()
 
-    blueprints = CorpusGenerator(seed=seed).sample_blueprints(n_apps)
+    blueprints = CorpusGenerator(profile=profile, seed=seed).sample_blueprints(n_apps)
     baseline_by_index = {a.corpus_index: a for a in baseline.apps}
     defended_by_index = {a.corpus_index: a for a in defended.apps}
 

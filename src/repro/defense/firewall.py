@@ -41,6 +41,7 @@ from repro.defense.policy import (
     PolicyRule,
     PolicyVerdict,
     default_policy,
+    ecosystem_rules,
 )
 from repro.runtime.instrumentation import DexLoadEvent, NativeLoadEvent
 from repro.runtime.objects import FirewallDeniedException
@@ -118,11 +119,14 @@ class PolicyDocument:
 
 
 def _default_rules(store: Optional[object]) -> List[PolicyRule]:
-    return [known_malware_rule(store)] + default_policy()
+    # ecosystem rules sit before default_policy() on purpose: decide() is
+    # first-match, and a staged chain tail must read "dropper-chain"
+    # (QUARANTINE), not collapse into the generic remote-code DENY.
+    return [known_malware_rule(store)] + ecosystem_rules() + default_policy()
 
 
 def _strict_rules(store: Optional[object]) -> List[PolicyRule]:
-    return [known_malware_rule(store)] + default_policy() + [
+    return [known_malware_rule(store)] + ecosystem_rules() + default_policy() + [
         PolicyRule("external-storage", _rule_external_any)
     ]
 

@@ -110,6 +110,67 @@ def _rule_world_writable_file(context: PolicyContext, path: str) -> Optional[str
     return None
 
 
+def _rule_plugin_component_hijack(context: PolicyContext, path: str) -> Optional[str]:
+    """A foreign sub-app that redefines a host component steals its intents.
+
+    Plugin/hot-update packs are APK containers with their own manifest
+    package; one carrying a class named after a host-declared component
+    gets every intent addressed to the real component.  The sub-app test
+    keeps packers out: a packer's decrypted payload carries the host's own
+    components under the host's own package and must load normally.
+    """
+    if context.vfs is None:
+        return None
+    try:
+        data = context.vfs.read(path)
+    except FileNotFoundError:
+        return None
+    from repro.ecosystems.hazards import container_package, payload_class_names
+
+    sub_app = container_package(data)
+    if sub_app is None or sub_app == context.app_package:
+        return None
+    hijacked = payload_class_names(data) & context.manifest.component_names()
+    if hijacked:
+        return "plugin pack {} redefines manifest component(s): {}".format(
+            sub_app, ", ".join(sorted(hijacked))
+        )
+    return None
+
+
+def _rule_dropper_chain(context: PolicyContext, path: str) -> Optional[str]:
+    """Multi-hop delivery: the payload's remote ancestry spans >= 2 origins.
+
+    The download tracker's staged-loader chaining makes each hop inherit its
+    dropper's provenance, so a depth-N chain shows N upstream URL specs on
+    the final payload.  One origin is ordinary remote code (the remote-code
+    rule's business); two or more means code fetched code.
+    """
+    if context.tracker is None:
+        return None
+    origins = set(context.tracker.remote_sources(path))
+    if len(origins) >= 2:
+        return "payload delivered through a staged dropper chain ({} remote origins)".format(
+            len(origins)
+        )
+    return None
+
+
+def ecosystem_rules() -> List[PolicyRule]:
+    """Enforcement for the modern-DCL hazard classes (scenario pack).
+
+    Ordered before :func:`default_policy` by the firewall presets so the
+    more specific verdicts win first-match: component hijack is an outright
+    DENY, dropper chains QUARANTINE (the chain tail is the evidence).
+    """
+    return [
+        PolicyRule("plugin-component-hijack", _rule_plugin_component_hijack),
+        PolicyRule(
+            "dropper-chain", _rule_dropper_chain, PolicyVerdict.QUARANTINE
+        ),
+    ]
+
+
 def default_policy() -> List[PolicyRule]:
     """The rules a DyDroid-informed OS would ship."""
     return [

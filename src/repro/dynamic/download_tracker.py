@@ -18,7 +18,13 @@ from typing import Dict, List, Optional, Set
 
 import networkx as nx
 
-from repro.runtime.instrumentation import FlowEdge, FlowNode, Instrumentation
+from repro.runtime.instrumentation import (
+    CodeOriginEvent,
+    DexLoadEvent,
+    FlowEdge,
+    FlowNode,
+    Instrumentation,
+)
 from repro.runtime.vfs import normalize
 
 
@@ -35,9 +41,14 @@ class DownloadTracker:
         #: complexity probe the regression tests assert on (O(payloads),
         #: not O(payloads x URLs)).
         self.reachability_passes = 0
+        #: class name -> (origin file path) of the dex it was defined from;
+        #: fed by CodeOriginEvent, consumed by the staged-loader chaining.
+        self._origin_of_class: Dict[str, str] = {}
 
     def attach(self, instrumentation: Instrumentation) -> "DownloadTracker":
         instrumentation.on_flow_edge(self.add_edge)
+        instrumentation.on_code_origin(self._on_code_origin)
+        instrumentation.on_dex_load(self._on_dex_load)
         return self
 
     # -- construction -----------------------------------------------------------
@@ -52,6 +63,30 @@ class DownloadTracker:
     def _ensure_node(self, node: FlowNode) -> None:
         if node.key not in self.graph:
             self.graph.add_node(node.key, kind=node.kind, detail=node.detail)
+
+    # -- staged-loader chaining ---------------------------------------------------
+    #
+    # When a class defined from file A constructs a loader on file B, B's
+    # provenance must include everything A's does (a dropper chain: the
+    # Table I rules alone only link B to the URL the *running* code hit,
+    # not to the chain that delivered that code).  CodeOriginEvent records
+    # class -> defining file; on a dex-load whose call site has a recorded
+    # origin we add a File -> File "StagedLoader" edge, and the ordinary
+    # reverse-reachability pass then yields the full remote ancestry.
+
+    def _on_code_origin(self, event: CodeOriginEvent) -> None:
+        self._origin_of_class.setdefault(event.class_name, event.path)
+
+    def _on_dex_load(self, event: DexLoadEvent) -> None:
+        origin = self._origin_of_class.get(event.call_site or "")
+        if origin is None:
+            return
+        src = FlowNode(key=self.file_key(origin), kind="File", detail=normalize(origin))
+        for path in event.dex_paths:
+            if normalize(path) == normalize(origin):
+                continue
+            dst = FlowNode(key=self.file_key(path), kind="File", detail=normalize(path))
+            self.add_edge(FlowEdge(src=src, dst=dst, rule="StagedLoader"))
 
     # -- queries ------------------------------------------------------------------
 

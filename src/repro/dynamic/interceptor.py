@@ -33,6 +33,9 @@ class PayloadKind(enum.Enum):
     DEX = "dex"
     NATIVE = "native"
     ENCRYPTED = "encrypted"
+    #: an APK/ZIP container (plugin pack, feature/config split) whose dex
+    #: members are the loadable code.
+    APK = "apk"
     UNKNOWN = "unknown"
 
 
@@ -43,6 +46,8 @@ def classify_payload(data: bytes) -> PayloadKind:
         return PayloadKind.NATIVE
     if is_encrypted_dex_bytes(data):
         return PayloadKind.ENCRYPTED
+    if data.startswith(b"PK\x03\x04"):
+        return PayloadKind.APK
     return PayloadKind.UNKNOWN
 
 
@@ -59,6 +64,19 @@ class InterceptedPayload:
     timestamp_ms: int
 
     def as_dex(self) -> Optional[DexFile]:
+        if self.kind is PayloadKind.APK:
+            # Containers analyze as the merge of their dex members, the
+            # same view the classloader defines from them.
+            from repro.android.apk import Apk, ApkFormatError
+
+            try:
+                container = Apk.from_bytes(self.data)
+            except ApkFormatError:
+                return None
+            merged = DexFile(source_name=self.path.rsplit("/", 1)[-1])
+            for dex in container.dex_files():
+                merged.merge(dex)
+            return merged if merged.classes else None
         if self.kind is not PayloadKind.DEX:
             return None
         try:

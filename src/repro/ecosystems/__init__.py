@@ -1,0 +1,28 @@
+"""Modern-DCL ecosystem scenario pack (plugin hosts, split APKs, staged
+downloaders, self-debloating apps) layered over :mod:`repro.corpus`."""
+
+from repro.ecosystems.hazards import (
+    ALL_HAZARD_CLASSES,
+    HAZARD_DROPPER_CHAIN,
+    HAZARD_NAMESPACE_COLLISION,
+    HAZARD_PLUGIN_HIJACK,
+    HAZARD_SHELF_RELOAD,
+    classify_hazards,
+    container_package,
+    payload_class_names,
+)
+from repro.ecosystems.registry import ECOSYSTEMS, EcosystemSpec, ecosystems_profile
+
+__all__ = [
+    "ALL_HAZARD_CLASSES",
+    "HAZARD_DROPPER_CHAIN",
+    "HAZARD_NAMESPACE_COLLISION",
+    "HAZARD_PLUGIN_HIJACK",
+    "HAZARD_SHELF_RELOAD",
+    "ECOSYSTEMS",
+    "EcosystemSpec",
+    "classify_hazards",
+    "container_package",
+    "ecosystems_profile",
+    "payload_class_names",
+]

@@ -1,0 +1,116 @@
+"""The ecosystem scenario registry: what each scenario is and how to get it.
+
+Each :class:`EcosystemSpec` binds one modern-DCL ecosystem to the corpus
+profile knob that generates it, the hazard classes it triggers, and the
+evolution mutation that churns it across lineage versions.  The registry
+drives ``repro ecosystems list|describe`` and
+:func:`ecosystems_profile`, the one-call "2026 mix" profile factory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.corpus.profiles import CorpusProfile
+from repro.ecosystems.hazards import (
+    HAZARD_DROPPER_CHAIN,
+    HAZARD_NAMESPACE_COLLISION,
+    HAZARD_PLUGIN_HIJACK,
+    HAZARD_SHELF_RELOAD,
+)
+
+
+@dataclass(frozen=True)
+class EcosystemSpec:
+    """One modern-DCL ecosystem scenario."""
+
+    key: str
+    title: str
+    description: str
+    #: CorpusProfile field holding the planted-app count.
+    profile_field: str
+    #: paper-scale planted population (out of 58,739 apps); scaled down
+    #: via ``planted_count`` so every ecosystem survives at bench scale.
+    paper_count: int
+    #: hazard classes this ecosystem triggers in the pipeline.
+    hazard_classes: Tuple[str, ...]
+    #: lineage mutation name in :mod:`repro.evolution.lineage`.
+    lineage_mutation: str
+
+
+ECOSYSTEMS: Dict[str, EcosystemSpec] = {
+    spec.key: spec
+    for spec in (
+        EcosystemSpec(
+            key="plugin-host",
+            title="Plugin / hot-update hosts",
+            description=(
+                "App-as-host loading a whole sub-app (own manifest fragment, "
+                "components, classloader namespace) through a RePlugin/"
+                "VirtualAPK-style framework SDK; the pack re-declares and "
+                "redefines a host component."
+            ),
+            profile_field="n_plugin_host_apps",
+            paper_count=2_400,
+            hazard_classes=(HAZARD_PLUGIN_HIJACK, HAZARD_NAMESPACE_COLLISION),
+            lineage_mutation="hot_update",
+        ),
+        EcosystemSpec(
+            key="split-apk",
+            title="Multi-dex and split-APK payloads",
+            description=(
+                "Secondary classesN.dex plus feature/config split APKs copied "
+                "into the app's private splits/ dir and loaded through one "
+                "classloader; the feature split shadows a host class and the "
+                "runtime must fix the split load order."
+            ),
+            profile_field="n_split_apk_apps",
+            paper_count=9_800,
+            hazard_classes=(HAZARD_NAMESPACE_COLLISION,),
+            lineage_mutation="split_update",
+        ),
+        EcosystemSpec(
+            key="staged-downloader",
+            title="Staged downloaders",
+            description=(
+                "Payload-fetches-payload dropper chains of configurable depth; "
+                "each stage downloads the next from a different origin, so the "
+                "final payload's provenance is a depth-N remote ancestry."
+            ),
+            profile_field="n_staged_downloader_apps",
+            paper_count=310,
+            hazard_classes=(HAZARD_DROPPER_CHAIN,),
+            lineage_mutation="stage_update",
+        ),
+        EcosystemSpec(
+            key="self-debloating",
+            title="Self-debloating apps",
+            description=(
+                "Features shelved as dex assets behind in-app guard stubs and "
+                "re-materialized under the private shelf/ dir on demand -- the "
+                "inverse of the debloating rewriter, producing high-churn "
+                "lineages."
+            ),
+            profile_field="n_self_debloating_apps",
+            paper_count=1_150,
+            hazard_classes=(HAZARD_SHELF_RELOAD,),
+            lineage_mutation="reshelve",
+        ),
+    )
+}
+
+
+def ecosystems_profile(
+    base: Optional[CorpusProfile] = None,
+    staged_depth: int = 3,
+) -> CorpusProfile:
+    """The "2026 mix": a profile with every ecosystem population enabled.
+
+    Counts are paper-scale, so ``planted_count`` keeps at least one app
+    per ecosystem at any corpus size.  ``base`` defaults to the paper
+    calibration; pass a customized profile to layer ecosystems on top.
+    """
+    profile = base or CorpusProfile()
+    counts = {spec.profile_field: spec.paper_count for spec in ECOSYSTEMS.values()}
+    return replace(profile, staged_downloader_depth=staged_depth, **counts)

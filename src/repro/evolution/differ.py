@@ -13,6 +13,11 @@ dcl_dropped           benign      an update removed all DCL code
 payload_added         benign      a new payload path was intercepted
 payload_removed       benign      a payload path stopped loading
 payload_digest        benign      same path, different bytes (digest churn)
+split_added           benign      a feature/config split started loading
+split_removed         benign      a feature/config split stopped loading
+split_digest          benign      a split's bytes changed (split update)
+hazard_added          suspicious  a new ecosystem hazard class appeared
+hazard_removed        benign      a hazard class disappeared
 provenance_remote     suspicious  a payload flipped local -> remote fetch
 provenance_local      benign      a payload flipped remote -> local
 verdict_malicious     critical    a payload (or the app) flipped
@@ -164,6 +169,16 @@ def _fmt(values) -> str:
     return ", ".join(sorted(values))
 
 
+def _is_split_path(path: str) -> bool:
+    """Feature/config splits are first-class: their churn diffs separately."""
+    basename = path.rsplit("/", 1)[-1]
+    return basename.startswith("split_") or basename.startswith("config.")
+
+
+def _hazard_classes(analysis: AppAnalysis) -> frozenset:
+    return frozenset(h for p in analysis.payloads for h in p.hazards)
+
+
 def diff_analyses(old: AppAnalysis, new: AppAnalysis) -> SnapshotDiff:
     """Structured behavior drift between two snapshots of one package."""
     if old.package != new.package:
@@ -243,19 +258,21 @@ def diff_analyses(old: AppAnalysis, new: AppAnalysis) -> SnapshotDiff:
     old_payloads = _payloads_by_path(old)
     new_payloads = _payloads_by_path(new)
     for path in sorted(new_payloads.keys() - old_payloads.keys()):
+        split = _is_split_path(path)
         out(
             DriftFinding(
-                "payload_added",
+                "split_added" if split else "payload_added",
                 DriftSeverity.BENIGN,
-                "new payload intercepted: {}".format(path),
+                "new {} intercepted: {}".format("split" if split else "payload", path),
             )
         )
     for path in sorted(old_payloads.keys() - new_payloads.keys()):
+        split = _is_split_path(path)
         out(
             DriftFinding(
-                "payload_removed",
+                "split_removed" if split else "payload_removed",
                 DriftSeverity.BENIGN,
-                "payload no longer loads: {}".format(path),
+                "{} no longer loads: {}".format("split" if split else "payload", path),
             )
         )
     for path in sorted(old_payloads.keys() & new_payloads.keys()):
@@ -263,7 +280,7 @@ def diff_analyses(old: AppAnalysis, new: AppAnalysis) -> SnapshotDiff:
         if before.digest and after.digest and before.digest != after.digest:
             out(
                 DriftFinding(
-                    "payload_digest",
+                    "split_digest" if _is_split_path(path) else "payload_digest",
                     DriftSeverity.BENIGN,
                     "{}: bytes changed ({}.. -> {}..)".format(
                         path, before.digest[:12], after.digest[:12]
@@ -289,6 +306,25 @@ def diff_analyses(old: AppAnalysis, new: AppAnalysis) -> SnapshotDiff:
                         "{}: remote -> locally bundled".format(path),
                     )
                 )
+
+    # -- ecosystem hazard drift (app-level, like verdict flips) ---------------------
+    old_hazards, new_hazards = _hazard_classes(old), _hazard_classes(new)
+    if new_hazards - old_hazards:
+        out(
+            DriftFinding(
+                "hazard_added",
+                DriftSeverity.SUSPICIOUS,
+                "new hazard classes: {}".format(_fmt(new_hazards - old_hazards)),
+            )
+        )
+    if old_hazards - new_hazards:
+        out(
+            DriftFinding(
+                "hazard_removed",
+                DriftSeverity.BENIGN,
+                "hazard classes gone: {}".format(_fmt(old_hazards - new_hazards)),
+            )
+        )
 
     # -- verdict flips (app-level so path churn cannot hide a flip) -----------------
     old_families = {

@@ -62,6 +62,17 @@ class LineageSpec:
     #: per-version probability that a so-far-benign app turns malicious
     #: (the "turn malicious at version k" hazard).
     malicious_hazard: float = 0.05
+    # -- ecosystem-pack churn (only drawn for apps planted with the
+    # matching role, so paper-profile lineages consume zero extra rng) --
+    #: plugin host ships a new hot-update pack generation.
+    p_hot_update: float = 0.45
+    #: split-APK app re-emits its feature/config splits.
+    p_split_update: float = 0.40
+    #: staged downloader rotates its delivery-chain payloads.
+    p_stage_update: float = 0.35
+    #: self-debloating app reshelves its on-demand features (high churn:
+    #: shelving is routine maintenance, not a rare event).
+    p_reshelve: float = 0.50
 
 
 @dataclass(frozen=True)
@@ -194,6 +205,25 @@ def _mutate(
         if mutated.dex_entity == "own":
             mutated.dex_entity = "third"
         applied.append("go_remote")
+
+    # Ecosystem-pack churn: bumping a generation counter changes the
+    # planted payload bytes (new digests) while the host role stays fixed.
+    # Guards come first so lineages without the role draw nothing.
+    if mutated.is_plugin_host and rng.random() < spec.p_hot_update:
+        mutated.plugin_generation += 1
+        applied.append("hot_update")
+
+    if mutated.is_split_apk and rng.random() < spec.p_split_update:
+        mutated.split_generation += 1
+        applied.append("split_update")
+
+    if mutated.is_staged_downloader and rng.random() < spec.p_stage_update:
+        mutated.stage_generation += 1
+        applied.append("stage_update")
+
+    if mutated.is_self_debloating and rng.random() < spec.p_reshelve:
+        mutated.shelf_generation += 1
+        applied.append("reshelve")
 
     return mutated, tuple(applied)
 

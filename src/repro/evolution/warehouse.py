@@ -120,6 +120,10 @@ class SnapshotWarehouse:
         #: True when the last open came from the sqlite sidecar (possibly
         #: plus a tail scan) instead of reading the whole file.
         self.sidecar_opened = False
+        #: how many times an open fell all the way back to scanning every
+        #: line of the log; warm opens (sidecar or trailing index intact)
+        #: must keep this at zero -- the regression tests assert on it.
+        self.full_scans = 0
         self._sealed = False
         self._sidecar: Optional[StoreIndex] = None
         self._want_sidecar = bool(index) and sqlite_available()
@@ -194,6 +198,7 @@ class SnapshotWarehouse:
             self._sealed = True
             self._rebuild_sidecar(size)
             return
+        self.full_scans += 1
         rows = self._scan_range(data, 0)
         if self._sidecar is not None:
             self._advance_sidecar(rows, size)
@@ -461,6 +466,28 @@ class SnapshotWarehouse:
                 for key in self._index
                 if key.startswith(prefix)
             )
+
+    def counts(self) -> Dict[str, int]:
+        """Stored versions per package, answered by the sqlite sidecar.
+
+        The sidecar carries every snapshot key, so warm readers get the
+        per-package tally without touching the log file; when sqlite is
+        unavailable (or mid-failure) the in-memory index answers instead.
+        """
+        with self._mutex:
+            keys: Optional[List[str]] = None
+            if self._sidecar is not None:
+                try:
+                    keys = [key for key, _ in self._sidecar.entries("snapshot")]
+                except SQLITE_ERRORS:
+                    self._drop_sidecar()
+            if keys is None:
+                keys = list(self._index)
+        table: Dict[str, int] = {}
+        for key in keys:
+            package = key.rsplit("@", 1)[0]
+            table[package] = table.get(package, 0) + 1
+        return table
 
     # -- lifecycle ---------------------------------------------------------------
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Any, List, Optional
 
 from repro.android.dex import DexFile, DexFormatError
-from repro.runtime.instrumentation import DexLoadEvent
+from repro.runtime.instrumentation import CodeOriginEvent, DexLoadEvent
 from repro.runtime.objects import VMException, VMObject
 from repro.runtime.stacktrace import call_site_class
 from repro.runtime.vfs import is_system, normalize
@@ -56,7 +56,9 @@ def _construct_loader(
     if not dex_path:
         raise VMException("java.lang.NullPointerException", "dexPath")
     ctx = vm.context
-    paths = [normalize(p) for p in str(dex_path).split(":") if p]
+    paths = _split_load_order(
+        [normalize(p) for p in str(dex_path).split(":") if p]
+    )
     app_paths = [p for p in paths if not is_system(p)]
 
     if app_paths:
@@ -83,9 +85,41 @@ def _construct_loader(
         dex = _read_dex(vm, path)
         if dex is None:
             continue
-        defined.extend(vm.load_dex(dex))
+        defined_here = vm.load_dex(dex)
+        defined.extend(defined_here)
+        # Per-class origin facts chain provenance across staged loads:
+        # code defined from this file may itself fetch the next payload.
+        for class_name in defined_here:
+            vm.instrumentation.emit_code_origin(
+                CodeOriginEvent(
+                    class_name=class_name,
+                    path=path,
+                    app_package=ctx.package if ctx else "",
+                )
+            )
         _write_odex(vm, dex, path, optimized_dir)
     loader.payload = {"kind": kind, "paths": paths, "defined": defined}
+
+
+def _is_split_basename(basename: str) -> bool:
+    return basename.startswith("split_") or basename.startswith("config.")
+
+
+def _split_load_order(paths: List[str]) -> List[str]:
+    """Split-aware dexPath ordering: base entries first, splits sorted.
+
+    A dexPath mixing base code with feature/config splits must define the
+    base first (splits may shadow base classes) and splits in a stable
+    name order, whatever order the app passed them in.  Single-entry and
+    split-free paths come back unchanged.
+    """
+    if len(paths) < 2:
+        return paths
+    base_like = [p for p in paths if not _is_split_basename(p.rsplit("/", 1)[-1])]
+    splits = [p for p in paths if _is_split_basename(p.rsplit("/", 1)[-1])]
+    if not splits:
+        return paths
+    return base_like + sorted(splits, key=lambda p: p.rsplit("/", 1)[-1])
 
 
 def _read_dex(vm, path: str) -> Optional[DexFile]:

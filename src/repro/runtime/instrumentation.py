@@ -51,6 +51,21 @@ class NativeLoadEvent:
 
 
 @dataclass(frozen=True)
+class CodeOriginEvent:
+    """One class defined into the VM and the file it was defined from.
+
+    Emitted per defined class by the hooked loader constructors; the
+    download tracker uses it to chain provenance across staged loads --
+    when code defined from file A later downloads file B, B inherits A's
+    remote ancestry.
+    """
+
+    class_name: str
+    path: str
+    app_package: str
+
+
+@dataclass(frozen=True)
 class LoadRejectedEvent:
     """A developer-side secure-loader refusal (digest/signature mismatch).
 
@@ -108,6 +123,7 @@ class Instrumentation:
         self._native_listeners: List[Callable[[NativeLoadEvent], None]] = []
         self._flow_listeners: List[Callable[[FlowEdge], None]] = []
         self._rejection_listeners: List[Callable[[LoadRejectedEvent], None]] = []
+        self._origin_listeners: List[Callable[[CodeOriginEvent], None]] = []
 
     # -- subscription -----------------------------------------------------------
 
@@ -122,6 +138,9 @@ class Instrumentation:
 
     def on_load_rejected(self, callback: Callable[[LoadRejectedEvent], None]) -> None:
         self._rejection_listeners.append(callback)
+
+    def on_code_origin(self, callback: Callable[[CodeOriginEvent], None]) -> None:
+        self._origin_listeners.append(callback)
 
     # -- emission (called by the framework implementations) -----------------------
 
@@ -144,6 +163,10 @@ class Instrumentation:
 
     def emit_load_rejected(self, event: LoadRejectedEvent) -> None:
         for callback in self._rejection_listeners:
+            callback(event)
+
+    def emit_code_origin(self, event: CodeOriginEvent) -> None:
+        for callback in self._origin_listeners:
             callback(event)
 
     # -- file-op mediation ----------------------------------------------------------

@@ -343,6 +343,52 @@ class TestWarehouseSidecar:
             assert warehouse.fast_opened  # trailing index still works
             assert warehouse.versions("com.example.app") == [1]
 
+    def test_counts_come_from_the_sidecar(self, tmp_path):
+        from repro.store import sqlite_available
+
+        if not sqlite_available():
+            pytest.skip("sqlite3 unavailable")
+        path = tmp_path / "w.jsonl"
+        with SnapshotWarehouse(path) as warehouse:
+            warehouse.append(analysis(package="com.a", version_code=1))
+            warehouse.append(analysis(package="com.a", version_code=2))
+            warehouse.append(analysis(package="com.b", version_code=1))
+        with SnapshotWarehouse(path) as warehouse:
+            assert warehouse.sidecar_opened
+            assert warehouse.counts() == {"com.a": 2, "com.b": 1}
+
+    def test_warm_open_never_full_scans(self, tmp_path):
+        """Regression: counts()/warm opens must not rescan the log."""
+        from repro.store import sqlite_available
+
+        if not sqlite_available():
+            pytest.skip("sqlite3 unavailable")
+        path = tmp_path / "w.jsonl"
+        with SnapshotWarehouse(path) as warehouse:
+            warehouse.append(analysis(package="com.a", version_code=1))
+            warehouse.append(analysis(package="com.b", version_code=1))
+            assert warehouse.full_scans == 0
+        with SnapshotWarehouse(path) as warehouse:
+            assert warehouse.counts() == {"com.a": 1, "com.b": 1}
+            assert warehouse.versions("com.a") == [1]
+            assert warehouse.full_scans == 0
+
+    def test_cold_open_without_any_index_scans_once(self, tmp_path):
+        from repro.store import index_path
+
+        path = tmp_path / "w.jsonl"
+        with SnapshotWarehouse(path) as warehouse:
+            warehouse.append(analysis(package="com.a", version_code=1))
+            # crash: no seal (no trailing index), and the sidecar is gone.
+            warehouse._sealed = True
+            warehouse._drop_sidecar()
+            warehouse._handle.close()
+        if index_path(path).exists():
+            index_path(path).unlink()
+        with SnapshotWarehouse(path, index=False) as warehouse:
+            assert warehouse.full_scans == 1
+            assert warehouse.counts() == {"com.a": 1}
+
 
 class TestCompactWarehouse:
     def test_compaction_drops_debris_and_preserves_lookups(self, tmp_path):
